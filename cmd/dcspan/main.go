@@ -1,0 +1,175 @@
+// Command dcspan builds a DC-spanner of a generated graph and reports its
+// size, certified distance stretch, and matching-routing congestion.
+//
+// Usage:
+//
+//	dcspan -gen regular -n 512 -d 96 -algo expander -seed 1
+//	dcspan -gen margulis -n 1024 -algo baswana-sen -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+	"repro/internal/spectral"
+)
+
+func buildGraph(kind string, n, d int, seed uint64, inPath string) (*graph.Graph, error) {
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graphio.ReadEdgeList(f)
+	}
+	r := rng.New(seed)
+	switch kind {
+	case "regular":
+		return gen.RandomRegular(n, d, r)
+	case "paley":
+		q := n
+		for q > 2 && !(isPrimeInt(q) && q%4 == 1) {
+			q--
+		}
+		return gen.Paley(q)
+	case "margulis":
+		m := int(math.Round(math.Sqrt(float64(n))))
+		return gen.Margulis(m), nil
+	case "clique":
+		return gen.Clique(n), nil
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		return gen.Hypercube(dim), nil
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return gen.Torus(side, side), nil
+	case "erdosrenyi":
+		p := float64(d) / float64(n-1)
+		return gen.ErdosRenyi(n, p, r), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}
+
+func isPrimeInt(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	kind := flag.String("gen", "regular", "graph family: regular|margulis|paley|clique|hypercube|torus|erdosrenyi")
+	in := flag.String("in", "", "read the base graph from an edge-list file instead of generating")
+	n := flag.Int("n", 512, "vertex count (approximate for margulis/torus)")
+	d := flag.Int("d", 96, "degree (regular/erdosrenyi)")
+	algo := flag.String("algo", "expander", "spanner: expander|regular|baswana-sen|greedy|sparsify-uniform|bounded-degree")
+	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
+	alpha := flag.Int("alpha", 3, "greedy spanner stretch / verification stretch")
+	seed := flag.Uint64("seed", 1, "random seed")
+	certify := flag.Bool("certify", false, "measure spectral expansion of G and H")
+	out := flag.String("out", "", "write the spanner to this file")
+	format := flag.String("format", "edgelist", "output format: edgelist|dot|spannerdot")
+	flag.Parse()
+
+	g, err := buildGraph(*kind, *n, *d, *seed, *in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
+
+	dc, err := core.Build(g, core.Options{
+		Algorithm: core.Algorithm(*algo),
+		Seed:      *seed,
+		K:         *k,
+		Alpha:     *alpha,
+		Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h := dc.Graph()
+	fmt.Printf("H (%s): m=%d (%.1f%% of G), maxDeg=%d\n",
+		*algo, h.M(), 100*float64(h.M())/float64(g.M()), h.MaxDegree())
+
+	verifyAlpha := *alpha
+	if *algo == "baswana-sen" {
+		verifyAlpha = 2**k - 1
+	}
+	rep := dc.VerifyDistance(verifyAlpha)
+	fmt.Printf("distance stretch ≤ %d: violations=%d maxStretch=%v meanStretch=%.3f\n",
+		verifyAlpha, rep.Violations, rep.MaxStretch, rep.MeanStretch)
+
+	// Matching routing over G's edges.
+	used := make([]bool, g.N())
+	var m []graph.Edge
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			m = append(m, e)
+		}
+	}
+	router := dc.Spanner().Router(*seed + 100)
+	paths, err := router.RouteMatching(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rt := &routing.Routing{Problem: routing.MatchingProblem(m), Paths: paths}
+	fmt.Printf("matching routing: %d pairs, node congestion %d (identity=%d, 3-detours=%d, 2-detours=%d, fallbacks=%d)\n",
+		len(m), rt.NodeCongestion(g.N()), router.Identity, router.Detour3, router.Detour2, router.Fallbacks)
+
+	if *certify {
+		r := rng.New(*seed + 7)
+		lamG, l1G := spectral.Expansion(g, 300, r)
+		lamH, l1H := spectral.Expansion(h, 300, r)
+		fmt.Printf("expansion: G λ=%.2f (λ1=%.2f)   H λ=%.2f (λ1=%.2f)\n", lamG, l1G, lamH, l1H)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "edgelist":
+			err = graphio.WriteEdgeList(f, h)
+		case "dot":
+			err = graphio.WriteDOT(f, h, *algo)
+		case "spannerdot":
+			err = graphio.WriteSpannerDOT(f, g, h, *algo)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s)\n", *out, *format)
+	}
+}

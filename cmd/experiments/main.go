@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's evaluation: every Table 1
+// row and every figure-derived experiment (see DESIGN.md §3). Output is a
+// sequence of paper-vs-measured tables.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-seed N] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Uint64("seed", 42, "random seed for all experiments")
+	quick := flag.Bool("quick", false, "reduced instance sizes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var results []*experiments.Result
+	if *runIDs == "" {
+		results = experiments.RunAll(cfg)
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			run, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			res, err := run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+		}
+	}
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.String())
+	}
+}

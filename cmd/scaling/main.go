@@ -1,0 +1,66 @@
+// Command scaling emits the scaling series of the reproduced results as
+// CSV files (or stdout), so the asymptotic shapes — the paper's Table 1
+// exponents — can be plotted or regression-checked externally.
+//
+// Usage:
+//
+//	scaling                 # all series to stdout
+//	scaling -out ./data     # writes theorem{2,3,4}-scaling.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "", "directory for CSV files (default: stdout)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	quick := flag.Bool("quick", false, "reduced sweep")
+	flag.Parse()
+
+	series, err := experiments.AllSeries(experiments.Config{Seed: *seed, Quick: *quick})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range series {
+		if *out == "" {
+			fmt.Printf("# %s\n", s.Name)
+			w := csv.NewWriter(os.Stdout)
+			writeSeries(w, s)
+			fmt.Println()
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, s.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := csv.NewWriter(f)
+		writeSeries(w, s)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(s.Rows))
+	}
+}
+
+func writeSeries(w *csv.Writer, s *experiments.Series) {
+	_ = w.Write(s.Header)
+	for _, row := range s.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+}

@@ -1,0 +1,81 @@
+package dcspanner
+
+import (
+	"testing"
+)
+
+// Tests of the public facade: the end-to-end flows a downstream user
+// would run, exercised through the re-exported API only.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := MustRandomRegular(216, 60, 1)
+	dc, err := Build(g, Options{
+		Algorithm: AlgoExpander,
+		Seed:      1,
+		Expander:  ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Graph().M() >= g.M() {
+		t.Fatal("spanner did not sparsify")
+	}
+	rep := VerifyEdgeStretch(g, dc.Graph(), 3)
+	if rep.Violations != 0 {
+		t.Fatalf("stretch violations: %+v", rep)
+	}
+	prob := RandomProblem(g.N(), 50, 2)
+	onG, onH, err := dc.RouteProblem(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureStretch(g.N(), onG, onH)
+	if res.DistanceStretch > 3 {
+		t.Fatalf("distance stretch %v > 3", res.DistanceStretch)
+	}
+	if res.CongestionStretch < 1 {
+		t.Fatalf("congestion stretch %v < 1?", res.CongestionStretch)
+	}
+}
+
+func TestFacadeRegularFlow(t *testing.T) {
+	g := MustRandomRegular(216, 40, 3)
+	dc, err := Build(g, Options{Algorithm: AlgoRegular, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := VerifyEdgeStretch(g, dc.Graph(), 3)
+	if rep.Violations != 0 {
+		t.Fatalf("stretch violations: %+v", rep)
+	}
+	prob := RandomMatchingProblem(g.N(), 40, 5)
+	onG, onH, err := dc.RouteProblem(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureStretch(g.N(), onG, onH)
+	if res.DistanceStretch > 3 {
+		t.Fatalf("matching distance stretch %v > 3", res.DistanceStretch)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if g.M() != 3 {
+		t.Fatalf("builder produced %d edges", g.M())
+	}
+	if m := Margulis(6); !m.Connected() {
+		t.Fatal("Margulis expander disconnected")
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("accepted odd n·d")
+	}
+	perm := RandomPermutationProblem(30, 6)
+	if err := perm.Validate(30); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package dcspanner_test
+
+import (
+	"fmt"
+
+	dcspanner "repro"
+)
+
+// Example demonstrates the core workflow: build a DC-spanner of an
+// expander, certify its distance stretch, and substitute a routing onto
+// it. All randomness is seeded, so the output is deterministic.
+func Example() {
+	g := dcspanner.MustRandomRegular(216, 60, 1)
+	dc, err := dcspanner.Build(g, dcspanner.Options{
+		Algorithm: dcspanner.AlgoExpander,
+		Seed:      1,
+		Expander:  dcspanner.ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep := dcspanner.VerifyEdgeStretch(g, dc.Graph(), 3)
+	fmt.Printf("stretch-3 violations: %d\n", rep.Violations)
+
+	prob := dcspanner.RandomMatchingProblem(g.N(), 40, 2)
+	onG, onH, err := dc.RouteProblem(prob)
+	if err != nil {
+		panic(err)
+	}
+	res := dcspanner.MeasureStretch(g.N(), onG, onH)
+	fmt.Printf("distance stretch within budget: %v\n", res.DistanceStretch <= 3)
+	// Output:
+	// stretch-3 violations: 0
+	// distance stretch within budget: true
+}
+
+// ExampleBuild_greedy builds a classical greedy 3-spanner of the explicit
+// Margulis expander through the same API.
+func ExampleBuild_greedy() {
+	g := dcspanner.Margulis(8) // 64 vertices, deterministic
+	dc, err := dcspanner.Build(g, dcspanner.Options{
+		Algorithm: dcspanner.AlgoGreedy,
+		Alpha:     3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep := dcspanner.VerifyEdgeStretch(g, dc.Graph(), 3)
+	fmt.Printf("sparsified: %v, violations: %d\n", dc.Graph().M() < g.M(), rep.Violations)
+	// Output:
+	// sparsified: true, violations: 0
+}
+
+// ExampleMinCongestion approximates the paper's C(R) — the smallest
+// congestion achievable by any routing — on a star workload whose optimum
+// is forced.
+func ExampleMinCongestion() {
+	b := dcspanner.NewBuilder(7)
+	for i := int32(1); i <= 6; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.MustBuild()
+	prob := dcspanner.Problem{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 5, Dst: 6}}
+	rt, err := dcspanner.MinCongestion(g, prob, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("C(R) =", rt.NodeCongestion(7))
+	// Output:
+	// C(R) = 3
+}
+
+// ExampleSimulatePackets runs the Section 1.1 store-and-forward model:
+// five packets through one hub serialize into a six-step schedule.
+func ExampleSimulatePackets() {
+	k := 5
+	var prob dcspanner.Problem
+	var paths []dcspanner.Path
+	for i := 0; i < k; i++ {
+		src := int32(1 + i)
+		dst := int32(1 + k + i)
+		prob = append(prob, dcspanner.Pair{Src: src, Dst: dst})
+		paths = append(paths, dcspanner.Path{src, 0, dst})
+	}
+	rt := &dcspanner.Routing{Problem: prob, Paths: paths}
+	res, err := dcspanner.SimulatePackets(2*k+1, rt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan=%d congestion=%d\n", res.Makespan, res.Congestion)
+	// Output:
+	// makespan=6 congestion=5
+}

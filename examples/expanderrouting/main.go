@@ -1,0 +1,72 @@
+// Expander routing: the paper's motivating scenario. A dense expander
+// (think: a full-mesh-ish datacenter fabric) must be sparsified to cut
+// routing-table and link cost, WITHOUT ruining the congestion of the
+// workloads it carries.
+//
+// This example compares three sparsifiers on the same graph under the
+// worst-case matching workload (every edge of G that can be in a matching
+// is a demand):
+//
+//   - the Theorem 2 DC-spanner (controls distance AND congestion),
+//   - a Baswana–Sen 3-spanner (classical, distance-only),
+//   - a greedy 3-spanner (distance-only).
+//
+// All three certify distance stretch 3; only the DC-spanner also keeps
+// the congestion low — the separation the paper is about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+	"repro/internal/stats"
+)
+
+func main() {
+	n, d := 343, 80 // Δ = 80 > 343^{2/3} ≈ 49: Theorem 2 regime
+	g := gen.MustRandomRegular(n, d, rng.New(1))
+	fmt.Printf("fabric: %d switches, %d links (%d-regular expander)\n\n", g.N(), g.M(), d)
+
+	// Worst-case matching workload over G's edges.
+	used := make([]bool, n)
+	var demands []graph.Edge
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			demands = append(demands, e)
+		}
+	}
+	fmt.Printf("workload: %d simultaneous point-to-point demands (a matching; congestion 1 on G)\n\n", len(demands))
+
+	tb := stats.NewTable("spanner", "edges", "% of G", "maxStretch", "congestion", "fallbacks")
+	for _, algo := range []core.Algorithm{core.AlgoExpander, core.AlgoBaswanaSen, core.AlgoGreedy} {
+		dc, err := core.Build(g, core.Options{
+			Algorithm: algo, Seed: 7, K: 2, Alpha: 3,
+			Expander: spanner.ExpanderOptions{EnsureConnected: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := dc.Graph()
+		rep := dc.VerifyDistance(3)
+		router := dc.Spanner().Router(11)
+		paths, err := router.RouteMatching(demands)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := &routing.Routing{Problem: routing.MatchingProblem(demands), Paths: paths}
+		tb.AddRow(string(algo), h.M(), fmt.Sprintf("%.1f", 100*float64(h.M())/float64(g.M())),
+			rep.MaxStretch, rt.NodeCongestion(n), router.Fallbacks)
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nAll three are 3-distance spanners; the DC-spanner keeps the matching")
+	fmt.Println("congestion near 1+o(1) (Theorem 2), while distance-only spanners funnel")
+	fmt.Println("demands through few surviving edges — exactly the gap Lemma 2 formalizes.")
+}

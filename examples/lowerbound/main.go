@@ -1,0 +1,77 @@
+// Lower bound: demonstrates the paper's negative results on live
+// instances — Lemma 18's fan graph, the Theorem 4 composite graph, the
+// Figure 1 fault-tolerant-spanner counterexample, and the Lemma 2
+// separation between independent distance/congestion spanners and true
+// DC-spanners.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/lowerbound"
+	"repro/internal/spanner"
+)
+
+func main() {
+	// --- Lemma 18: the fan graph ---------------------------------------
+	k := 8
+	fan := gen.FanGraph(k)
+	an := lowerbound.AnalyzeFan(fan)
+	if err := an.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Lemma 18 fan (k=%d): |V|=%d |E|=%d; spanner removes %d line edges\n",
+		k, fan.G.N(), fan.G.M(), len(an.Removed))
+	fmt.Printf("  every ≤3-hop substitute passes the hub s: %v\n", an.ForcedThroughS())
+	fmt.Printf("  congestion: %d in G → %d in H (Lemma 18 bound x/4 = %.1f)\n\n",
+		an.CongestionG, an.CongestionH, float64(2*k-1)/4)
+
+	// --- Theorem 4: composite lower-bound graph -------------------------
+	q := 11
+	inst, err := gen.Theorem4Affine(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t4, err := lowerbound.AnalyzeTheorem4(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t4.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	nTotal := float64(inst.G.N())
+	fmt.Printf("Theorem 4 composite (q=%d): %d fans over %d shared line nodes, |V|=%d\n",
+		q, len(inst.Lines), inst.Pool, inst.G.N())
+	fmt.Printf("  optimal 3-spanner: %d → %d edges (n^{7/6} = %.0f)\n",
+		t4.EdgesG, t4.EdgesH, math.Pow(nTotal, 7.0/6.0))
+	rep := spanner.VerifyEdgeStretch(inst.G, t4.H, 3)
+	fmt.Printf("  stretch ≤ 3 certified (violations=%d); congestion stretch %d (n^{1/6} = %.1f)\n\n",
+		rep.Violations, t4.CongestionH, math.Pow(nTotal, 1.0/6.0))
+
+	// --- Figure 1: f-VFT spanners don't control congestion --------------
+	vft, err := lowerbound.AnalyzeVFT(216)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vft.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 1 (n=216): keep f+1=%d of 108 matching edges\n", vft.F+1)
+	fmt.Printf("  perfect-matching congestion: %d in G → %d in H (n^{2/3}/2 = %.0f)\n\n",
+		vft.CongestionG, vft.CongestionH, math.Pow(216, 2.0/3.0)/2)
+
+	// --- Lemma 2: distance + congestion ≠ DC -----------------------------
+	l2 := lowerbound.AnalyzeLemma2(gen.Lemma2Graph(32, 3))
+	if err := l2.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Lemma 2 (n=32, α=3): H is a 3-distance spanner AND the matching problem\n")
+	fmt.Printf("  routes with congestion %d when path lengths are unconstrained,\n",
+		l2.CongestionUnconstrained)
+	fmt.Printf("  but every α-stretch substitute crosses (a₁,b₁): congestion %d — the\n",
+		l2.CongestionConstrained)
+	fmt.Printf("  DC property fails with β = n even though Definitions 1 and 2 hold separately.\n")
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a DC-spanner of a dense expander, route a random
+// workload through it, and report the realized distance and congestion
+// stretches — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dcspanner "repro"
+)
+
+func main() {
+	// A 512-node, 96-regular random graph: a spectral expander w.h.p.,
+	// matching the Theorem 2 regime Δ = n^{2/3+ε} (512^{2/3} = 64 < 96).
+	g := dcspanner.MustRandomRegular(512, 96, 1)
+	fmt.Printf("base graph: %d nodes, %d edges\n", g.N(), g.M())
+
+	// Build the Theorem 2 spanner: sample edges with probability n^{-ε};
+	// removed edges get uniformly random 3-hop replacement paths.
+	dc, err := dcspanner.Build(g, dcspanner.Options{
+		Algorithm: dcspanner.AlgoExpander,
+		Seed:      1,
+		Expander:  dcspanner.ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := dc.Graph()
+	fmt.Printf("spanner:    %d edges (%.1f%% of G)\n", h.M(), 100*float64(h.M())/float64(g.M()))
+
+	// Certify the distance stretch: every edge of G has a ≤3-hop
+	// substitute in H, hence H is a 3-distance spanner (Lemma 1).
+	rep := dcspanner.VerifyEdgeStretch(g, h, 3)
+	fmt.Printf("distance:   stretch ≤ 3 certified (violations=%d, mean=%.2f)\n",
+		rep.Violations, rep.MeanStretch)
+
+	// Route 200 random demands on G, then substitute onto H via the
+	// Theorem 1 pipeline (decompose into matchings, route each matching,
+	// splice back).
+	prob := dcspanner.RandomProblem(g.N(), 200, 2)
+	onG, onH, err := dc.RouteProblem(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := dcspanner.MeasureStretch(g.N(), onG, onH)
+	fmt.Printf("routing:    200 demands — distance stretch %.2f, congestion %d → %d (stretch %.2f)\n",
+		res.DistanceStretch, res.CongestionG, res.CongestionH, res.CongestionStretch)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+)
+
+func TestBuildRegularPopulatesResult(t *testing.T) {
+	g := gen.MustRandomRegular(216, 60, rng.New(21))
+	dc, err := Build(g, Options{Algorithm: AlgoRegular, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := dc.RegularResult
+	if res == nil {
+		t.Fatal("RegularResult nil")
+	}
+	if res.DeltaPrime < 1 || res.Rho <= 0 || res.Rho > 1 {
+		t.Fatalf("bad parameters: %+v", res)
+	}
+	if res.Sampled != res.GPrime.M() {
+		t.Fatalf("Sampled=%d but GPrime has %d edges", res.Sampled, res.GPrime.M())
+	}
+	if dc.Base() != g {
+		t.Fatal("Base() lost the input graph")
+	}
+}
+
+func TestBuildExpanderExplicitSampleProb(t *testing.T) {
+	// A low-degree graph is fine when SampleProb is set explicitly.
+	g := gen.MustRandomRegular(100, 10, rng.New(23))
+	dc, err := Build(g, Options{
+		Algorithm: AlgoExpander,
+		Expander:  spanner.ExpanderOptions{SampleProb: 0.9, EnsureConnected: true},
+		Seed:      24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Graph().M() > g.M() {
+		t.Fatal("spanner gained edges")
+	}
+}
+
+func TestBuildDefaultsKAndAlpha(t *testing.T) {
+	g := gen.MustRandomRegular(100, 20, rng.New(25))
+	bs, err := Build(g, Options{Algorithm: AlgoBaswanaSen, Seed: 26}) // default k=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := bs.VerifyDistance(3)
+	if rep.Violations != 0 {
+		t.Fatalf("default k=2 spanner violates stretch 3: %+v", rep)
+	}
+	gr, err := Build(g, Options{Algorithm: AlgoGreedy}) // default alpha=3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := gr.VerifyDistance(3); rep.Violations != 0 {
+		t.Fatalf("default greedy violates stretch 3: %+v", rep)
+	}
+}
+
+func TestSubstituteRoutingPreservesProblem(t *testing.T) {
+	dc := buildRegularGraph(t, 216, 60, 27)
+	prob := routing.RandomProblem(216, 30, rng.New(28))
+	onG, err := routing.ShortestPaths(dc.Base(), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, dec, err := dc.SubstituteRouting(onG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Paths) != len(prob) {
+		t.Fatalf("substitute has %d paths for %d pairs", len(sub.Paths), len(prob))
+	}
+	for i, p := range sub.Paths {
+		if p[0] != prob[i].Src || p[len(p)-1] != prob[i].Dst {
+			t.Fatalf("pair %d endpoints changed", i)
+		}
+	}
+	if dec.NumMatchings() <= 0 {
+		t.Fatal("no matchings in decomposition")
+	}
+	// Lemma 23: far fewer matchings than n³.
+	if dec.NumMatchings() >= 216*216 {
+		t.Fatalf("suspiciously many matchings: %d", dec.NumMatchings())
+	}
+}
+
+func TestMeasureStretchCongestionZeroGuard(t *testing.T) {
+	// Empty routing: congestion 0 on both sides; stretch must not divide
+	// by zero.
+	empty := &routing.Routing{}
+	res := MeasureStretch(4, empty, empty)
+	if res.CongestionStretch != 0 {
+		t.Fatalf("empty routing stretch %v", res.CongestionStretch)
+	}
+}
+
+func TestBuildBoundedDegreeOptions(t *testing.T) {
+	g, err := gen.DenseExpander(80, 0.5, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := Build(g, Options{Algorithm: AlgoBoundedDegree, BoundedDegree: 3, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Graph().MaxDegree() > 6 {
+		t.Fatalf("degree %d > 2d", dc.Graph().MaxDegree())
+	}
+}
+
+func TestBuildSparsifyOptions(t *testing.T) {
+	g := gen.MustRandomRegular(200, 40, rng.New(31))
+	dc, err := Build(g, Options{Algorithm: AlgoSparsifyUniform, SparsifyC: 4, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dc.Graph().Connected() {
+		t.Fatal("sparsified graph disconnected")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+)
+
+func buildRegularGraph(t testing.TB, n, d int, seed uint64) *DCSpanner {
+	t.Helper()
+	g := gen.MustRandomRegular(n, d, rng.New(seed))
+	dc, err := Build(g, Options{Algorithm: AlgoRegular, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestBuildExpanderDefaultEpsilon(t *testing.T) {
+	g := gen.MustRandomRegular(216, 60, rng.New(1))
+	dc, err := Build(g, Options{Algorithm: AlgoExpander, Seed: 2,
+		Expander: spanner.ExpanderOptions{EnsureConnected: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Graph().M() >= g.M() {
+		t.Fatal("expander spanner did not sparsify")
+	}
+	rep := dc.VerifyDistance(3)
+	if rep.Violations != 0 {
+		t.Fatalf("distance stretch violated: %+v", rep)
+	}
+}
+
+func TestBuildExpanderRejectsLowDegree(t *testing.T) {
+	g := gen.Cycle(100)
+	if _, err := Build(g, Options{Algorithm: AlgoExpander}); err == nil {
+		t.Fatal("accepted a 2-regular graph for the Theorem 2 regime")
+	}
+}
+
+func TestBuildRegularAndSubstitute(t *testing.T) {
+	dc := buildRegularGraph(t, 216, 60, 3)
+	if dc.RegularResult == nil {
+		t.Fatal("missing RegularResult")
+	}
+	prob := routing.RandomProblem(216, 100, rng.New(4))
+	onG, onH, err := dc.RouteProblem(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := onH.Validate(dc.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureStretch(216, onG, onH)
+	if res.DistanceStretch > 3 {
+		t.Fatalf("distance stretch %v > 3", res.DistanceStretch)
+	}
+	// Theorem 3 congestion shape: O(√Δ·log n)·C(P). Generous constant.
+	limit := 4 * math.Sqrt(60) * math.Log2(216)
+	if res.CongestionStretch > limit {
+		t.Fatalf("congestion stretch %v > %v", res.CongestionStretch, limit)
+	}
+	if res.CongestionH < res.CongestionG {
+		t.Fatalf("substitute congestion %d below original %d?", res.CongestionH, res.CongestionG)
+	}
+}
+
+func TestBuildBaselines(t *testing.T) {
+	g := gen.MustRandomRegular(120, 30, rng.New(5))
+	for _, algo := range []Algorithm{AlgoBaswanaSen, AlgoGreedy, AlgoSparsifyUniform, AlgoBoundedDegree} {
+		dc, err := Build(g, Options{Algorithm: algo, Seed: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !dc.Graph().IsSubgraphOf(g) {
+			t.Fatalf("%s: not a subgraph", algo)
+		}
+		if !dc.Graph().Connected() {
+			t.Fatalf("%s: disconnected", algo)
+		}
+	}
+}
+
+func TestBuildUnknownAlgorithm(t *testing.T) {
+	g := gen.Clique(10)
+	if _, err := Build(g, Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func TestBuildEmptyGraph(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}
+
+func TestMeasureStretchIdentity(t *testing.T) {
+	g := gen.Cycle(12)
+	prob := routing.Problem{{Src: 0, Dst: 3}}
+	rt, err := routing.ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureStretch(12, rt, rt)
+	if res.DistanceStretch != 1 || res.CongestionStretch != 1 {
+		t.Fatalf("identity stretch = %+v", res)
+	}
+}
+
+func TestSubstituteRoutingMatchingProblem(t *testing.T) {
+	dc := buildRegularGraph(t, 216, 60, 7)
+	prob := routing.RandomMatchingProblem(216, 50, rng.New(8))
+	onG, onH, err := dc.RouteProblem(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MeasureStretch(216, onG, onH)
+	if res.DistanceStretch > 3 {
+		t.Fatalf("matching distance stretch %v", res.DistanceStretch)
+	}
+	_ = onH
+}

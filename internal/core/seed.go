@@ -1,0 +1,6 @@
+package core
+
+import "repro/internal/rng"
+
+// seedRNG wraps rng.New so call sites in this package read naturally.
+func seedRNG(seed uint64) *rng.RNG { return rng.New(seed) }

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/packetsim"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+	"repro/internal/stats"
+)
+
+// AblateDetour quantifies the EnsureDetour reinsertion step of Algorithm 1
+// (the paper's prose reinsertion rule vs. the bare Algorithm 1 listing):
+// without it, removed supported edges may lose all 3-detours at practical
+// n and the 3-stretch guarantee becomes probabilistic.
+func AblateDetour(cfg Config) (*Result, error) {
+	n, d := 343, 56
+	if cfg.Quick {
+		n, d = 216, 40
+	}
+	g := gen.MustRandomRegular(n, d, rng.New(cfg.Seed^0xab1))
+	tb := stats.NewTable("EnsureDetour", "|E(H)|", "reinsNoDet", "stretchViol", "maxStretch", "matchCong")
+	for _, ensure := range []bool{true, false} {
+		opts := spanner.DefaultRegularOptions(cfg.Seed + 1)
+		opts.EnsureDetour = ensure
+		res, err := spanner.BuildRegular(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(g, res.Spanner.H, 3)
+		m := greedyMatchingOfEdges(g)
+		rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(ensure, res.Spanner.H.M(), res.ReinsertedNoDetour,
+			rep.Violations, rep.MaxStretch, rt.NodeCongestion(n))
+	}
+	body := tb.String() +
+		"EnsureDetour=true is the paper's reinsertion prose (stretch 3 becomes\n" +
+		"deterministic); false is the bare Algorithm 1 listing, whose stretch guarantee\n" +
+		"is w.h.p. only — at laptop n the difference is visible as violations.\n"
+	return &Result{ID: "ablate-detour", Title: "Ablation: EnsureDetour reinsertion", Body: body}, nil
+}
+
+// AblateSupport sweeps the (a, b) support thresholds of Algorithm 1,
+// exposing the size/congestion trade-off the constants c₁ and λ control.
+func AblateSupport(cfg Config) (*Result, error) {
+	n, d := 343, 56
+	if cfg.Quick {
+		n, d = 216, 40
+	}
+	g := gen.MustRandomRegular(n, d, rng.New(cfg.Seed^0xab2))
+	// The supported fraction transitions where the threshold a crosses the
+	// expected common-neighbor count Δ²/n; sweep across that point so the
+	// size/reinsertion trade-off is visible.
+	cn := d * d / n
+	tb := stats.NewTable("a", "b", "supported", "|E(H)|", "edgeRatio", "matchCong", "stretchViol")
+	for _, mult := range []float64{0.25, 0.75, 1.0, 1.25, 1.5, 2.0} {
+		opts := spanner.DefaultRegularOptions(cfg.Seed + 3)
+		opts.SupportA = int(mult * float64(cn))
+		if opts.SupportA < 1 {
+			opts.SupportA = 1
+		}
+		res, err := spanner.BuildRegular(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(g, res.Spanner.H, 3)
+		m := greedyMatchingOfEdges(g)
+		rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+4)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(res.SupportA, res.SupportB, res.SupportedCount, res.Spanner.H.M(),
+			res.Spanner.EdgeRatio(), rt.NodeCongestion(n), rep.Violations)
+	}
+	body := tb.String() +
+		"paper constants: c₁ and λ control these thresholds. Larger a/b mark fewer edges supported → more unconditional reinsertion\n" +
+		"(denser H, lower congestion); smaller thresholds trust detours more (sparser H).\n"
+	return &Result{ID: "ablate-support", Title: "Ablation: (a,b)-support thresholds", Body: body}, nil
+}
+
+// AblateEpsilon sweeps Theorem 2's sampling exponent ε: the edge count
+// falls as n^{-ε} while matching congestion and (eventually) stretch
+// degrade — the trade-off behind the O(n^{5/3}) operating point.
+func AblateEpsilon(cfg Config) (*Result, error) {
+	n, d := 343, 80
+	if cfg.Quick {
+		n, d = 216, 60
+	}
+	g := gen.MustRandomRegular(n, d, rng.New(cfg.Seed^0xab3))
+	tb := stats.NewTable("ε", "p=n^-ε", "|E(H)|", "stretchViol", "maxStretch", "matchCong", "fallbacks")
+	for _, eps := range []float64{0.05, 0.10, 0.15, 0.25, 0.40} {
+		sp, err := spanner.BuildExpander(g, spanner.ExpanderOptions{
+			Epsilon: eps, Seed: cfg.Seed + 5, EnsureConnected: true})
+		if err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+		m := greedyMatchingOfEdges(g)
+		rt, router, err := routeMatchingOn(sp, m, cfg.Seed+6)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(eps, math.Pow(float64(n), -eps), sp.H.M(),
+			rep.Violations, rep.MaxStretch, rt.NodeCongestion(n), router.Fallbacks)
+	}
+	body := tb.String() +
+		"paper (Theorem 2) needs ε < 1/3 − 3loglog n/log n so that 3-hop replacement paths\n" +
+		"survive w.h.p.; pushing ε higher sparsifies further but loses the 3-stretch.\n"
+	return &Result{ID: "ablate-epsilon", Title: "Ablation: Theorem 2 sampling exponent", Body: body}, nil
+}
+
+// AblateColoring compares Misra–Gries (m_k ≤ d_k+1, the Algorithm 2
+// requirement) against greedy edge coloring (≤ 2d_k−1) inside the
+// decomposition: more matchings per level inflate the congestion factor
+// of Lemma 22.
+func AblateColoring(cfg Config) (*Result, error) {
+	n, d := 256, 16
+	if cfg.Quick {
+		n, d = 128, 12
+	}
+	r := rng.New(cfg.Seed ^ 0xab4)
+	g := gen.MustRandomRegular(n, d, r)
+	sp := spanner.Greedy(g, 3)
+	prob := routing.RandomProblem(n, 4*n, r)
+	onG, err := routing.ShortestPaths(g, prob)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("colorer", "levels", "matchings", "Σ(d_k+1)", "C(P')", "congStretch")
+	cG := onG.NodeCongestion(n)
+	for _, c := range []struct {
+		name   string
+		fn     routing.EdgeColorer
+		strict bool
+	}{
+		{"misra-gries", matching.MisraGries, true},
+		{"greedy", matching.GreedyEdgeColoring, false},
+	} {
+		dec, err := routing.DecomposeWith(n, onG, c.fn, c.strict)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := dec.Substitute(sp.Router(cfg.Seed + 7))
+		if err != nil {
+			return nil, err
+		}
+		cH := sub.NodeCongestion(n)
+		tb.AddRow(c.name, len(dec.Levels), dec.NumMatchings(),
+			dec.DegreePlusOneSum(), cH, float64(cH)/float64(cG))
+	}
+	body := tb.String() +
+		"paper (Algorithm 2) requires m_k ≤ d_k+1 (Misra–Gries / Vizing); greedy coloring can\n" +
+		"double the matchings per level, which is exactly the slack Lemma 22 charges.\n"
+	return &Result{ID: "ablate-coloring", Title: "Ablation: level edge coloring", Body: body}, nil
+}
+
+// PacketLatency ties the congestion stretch to delivered performance via
+// the store-and-forward simulator (the Section 1.1 motivation): the same
+// demand set is routed on G, on the DC-spanner, and on a distance-only
+// greedy spanner, and packets are scheduled in the one-packet-per-node
+// model.
+func PacketLatency(cfg Config) (*Result, error) {
+	n, d := 343, 80
+	if cfg.Quick {
+		n, d = 216, 60
+	}
+	g := gen.MustRandomRegular(n, d, rng.New(cfg.Seed^0xab5))
+	m := greedyMatchingOfEdges(g)
+	prob := routing.MatchingProblem(m)
+
+	type variant struct {
+		name string
+		rt   *routing.Routing
+	}
+	var variants []variant
+
+	// On G: the matching routes over its own edges.
+	pathsG := make([]routing.Path, len(m))
+	for i, e := range m {
+		pathsG[i] = routing.Path{e.U, e.V}
+	}
+	variants = append(variants, variant{"G (direct)", &routing.Routing{Problem: prob, Paths: pathsG}})
+
+	dc, err := spanner.BuildExpander(g, spanner.ExpanderOptions{
+		Epsilon: spanner.EpsilonForDegree(n, d), Seed: cfg.Seed + 8, EnsureConnected: true})
+	if err != nil {
+		return nil, err
+	}
+	paths, err := dc.Router(cfg.Seed + 9).RouteMatching(m)
+	if err != nil {
+		return nil, err
+	}
+	variants = append(variants, variant{"DC-spanner (Thm 2)", &routing.Routing{Problem: prob, Paths: paths}})
+
+	gr := spanner.Greedy(g, 3)
+	paths2, err := gr.Router(cfg.Seed + 10).RouteMatching(m)
+	if err != nil {
+		return nil, err
+	}
+	variants = append(variants, variant{"greedy 3-spanner", &routing.Routing{Problem: prob, Paths: paths2}})
+
+	tb := stats.NewTable("network", "edges", "congestion", "dilation", "makespan", "meanLatency", "maxQueue")
+	edges := []int{g.M(), dc.H.M(), gr.H.M()}
+	for i, v := range variants {
+		res, err := packetsim.Simulate(n, v.rt, packetsim.Options{Priority: packetsim.FarthestToGo})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(v.name, edges[i], res.Congestion, res.Dilation, res.Makespan,
+			fmt.Sprintf("%.1f", res.MeanLatency()), res.MaxQueue)
+	}
+	body := tb.String() +
+		"paper §1.1: with one packet forwarded per node per step, routings with smaller\n" +
+		"node congestion give lower latency and queue sizes — the DC-spanner delivers\n" +
+		"close to the base graph while the distance-only spanner's hotspots serialize.\n"
+	return &Result{ID: "packet-latency", Title: "Packet latency (store-and-forward, §1.1)", Body: body}, nil
+}
+
+// IrregularDegrees explores the paper's footnote 1 / Section 8 extension:
+// Algorithm 1 on graphs whose degrees are only within a constant factor
+// of each other (here G(n, p) with np = Δ).
+func IrregularDegrees(cfg Config) (*Result, error) {
+	n, d := 343, 56
+	if cfg.Quick {
+		n, d = 216, 40
+	}
+	r := rng.New(cfg.Seed ^ 0xab6)
+	g := gen.ErdosRenyi(n, float64(d)/float64(n-1), r)
+	if !g.Connected() {
+		return nil, fmt.Errorf("experiments: G(n,p) instance disconnected")
+	}
+	res, err := spanner.BuildRegular(g, spanner.DefaultRegularOptions(cfg.Seed+11))
+	if err != nil {
+		return nil, err
+	}
+	rep := spanner.VerifyEdgeStretch(g, res.Spanner.H, 3)
+	m := greedyMatchingOfEdges(g)
+	rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+12)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("n", "minDeg", "maxDeg", "|E(G)|", "|E(H)|", "stretch≤3", "matchCong", "1+2√Δmax")
+	tb.AddRow(n, g.MinDegree(), g.MaxDegree(), g.M(), res.Spanner.H.M(),
+		fmt.Sprintf("viol=%d", rep.Violations), rt.NodeCongestion(n),
+		1+2*math.Sqrt(float64(g.MaxDegree())))
+	body := tb.String() +
+		"paper footnote 1: the Δ-regular analysis extends to degrees within a constant\n" +
+		"factor; Algorithm 1 run unchanged on G(n,p) keeps stretch 3 and the Lemma 17\n" +
+		"congestion shape (Section 8 lists full irregularity as open).\n"
+	return &Result{ID: "irregular", Title: "Extension: near-regular degrees (footnote 1 / §8)", Body: body}, nil
+}
+
+// ensure graph import used
+var _ = graph.Edge{}

@@ -1,0 +1,98 @@
+// Package experiments implements the reproduction harness: one runnable
+// experiment per table row and figure of the paper (see DESIGN.md §3 for
+// the index). Each experiment builds its workload, runs the relevant
+// construction, measures edge counts / distance stretch / congestion
+// stretch, and renders a paper-vs-measured table.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls experiment sizes.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical reports.
+	Seed uint64
+	// Quick shrinks instance sizes for CI/benchmark runs.
+	Quick bool
+}
+
+// Result is a rendered experiment report.
+type Result struct {
+	ID    string
+	Title string
+	Body  string // rendered tables + notes
+}
+
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Body)
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Config) (*Result, error)
+
+// registry maps experiment ids to runners, in presentation order.
+var registry = []struct {
+	ID     string
+	Runner Runner
+}{
+	{"table1-thm2", Table1Theorem2},
+	{"table1-thm3", Table1Theorem3},
+	{"table1-kx16", Table1KoutisXu},
+	{"table1-bd5", Table1BoundedDegree},
+	{"table1-thm4", Table1Theorem4},
+	{"fig1-vft", Figure1VFT},
+	{"fig2-matching", Figure2Matching},
+	{"fig34-detours", Figure34Detours},
+	{"lemma2", Lemma2Separation},
+	{"thm1-decompose", Theorem1Decompose},
+	{"cor3-local", Corollary3Local},
+	{"ablate-detour", AblateDetour},
+	{"ablate-support", AblateSupport},
+	{"ablate-epsilon", AblateEpsilon},
+	{"ablate-coloring", AblateColoring},
+	{"packet-latency", PacketLatency},
+	{"irregular", IrregularDegrees},
+	{"section8-stretch", Section8Stretch},
+	{"fault-tolerance", FaultTolerance},
+	{"seed-variance", SeedVariance},
+	{"defn2-beta", Definition2Beta},
+}
+
+// IDs returns the known experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Lookup returns the runner for an id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Runner, true
+		}
+	}
+	return nil, false
+}
+
+// RunAll executes every experiment, returning results in order and the
+// first error encountered per experiment inline in its body (so a single
+// failing experiment does not hide the others).
+func RunAll(cfg Config) []*Result {
+	out := make([]*Result, 0, len(registry))
+	for _, e := range registry {
+		res, err := e.Runner(cfg)
+		if err != nil {
+			res = &Result{ID: e.ID, Title: "FAILED", Body: "error: " + err.Error() + "\n"}
+		}
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+
+func TestIDsAndLookup(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup accepted unknown id")
+	}
+}
+
+func runOne(t *testing.T, id string) *Result {
+	t.Helper()
+	run, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	res, err := run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Fatalf("result id %q != %q", res.ID, id)
+	}
+	if !strings.Contains(res.Body, "paper") {
+		t.Fatalf("%s: report missing paper reference:\n%s", id, res.Body)
+	}
+	return res
+}
+
+func TestTable1Theorem2Quick(t *testing.T) {
+	res := runOne(t, "table1-thm2")
+	if !strings.Contains(res.Body, "viol=0") {
+		t.Fatalf("theorem 2 spanner violated stretch:\n%s", res.Body)
+	}
+}
+
+func TestTable1Theorem3Quick(t *testing.T) {
+	res := runOne(t, "table1-thm3")
+	if !strings.Contains(res.Body, "viol=0") {
+		t.Fatalf("theorem 3 spanner violated stretch:\n%s", res.Body)
+	}
+}
+
+func TestTable1KoutisXuQuick(t *testing.T) { runOne(t, "table1-kx16") }
+
+func TestTable1BoundedDegreeQuick(t *testing.T) { runOne(t, "table1-bd5") }
+
+func TestTable1Theorem4Quick(t *testing.T) {
+	res := runOne(t, "table1-thm4")
+	if !strings.Contains(res.Body, "viol=0") {
+		t.Fatalf("theorem 4 spanner violated stretch:\n%s", res.Body)
+	}
+}
+
+func TestFigure1VFTQuick(t *testing.T)        { runOne(t, "fig1-vft") }
+func TestFigure2MatchingQuick(t *testing.T)   { runOne(t, "fig2-matching") }
+func TestFigure34DetoursQuick(t *testing.T)   { runOne(t, "fig34-detours") }
+func TestLemma2Quick(t *testing.T)            { runOne(t, "lemma2") }
+func TestTheorem1DecomposeQuick(t *testing.T) { runOne(t, "thm1-decompose") }
+
+func TestCorollary3LocalQuick(t *testing.T) {
+	res := runOne(t, "cor3-local")
+	if !strings.Contains(res.Body, "true") {
+		t.Fatalf("distributed != sequential:\n%s", res.Body)
+	}
+}
+
+func TestAblateDetourQuick(t *testing.T) {
+	res := runOne(t, "ablate-detour")
+	// The EnsureDetour=true row must show zero violations.
+	if !strings.Contains(res.Body, "true") {
+		t.Fatalf("missing EnsureDetour row:\n%s", res.Body)
+	}
+}
+
+func TestAblateSupportQuick(t *testing.T)  { runOne(t, "ablate-support") }
+func TestAblateEpsilonQuick(t *testing.T)  { runOne(t, "ablate-epsilon") }
+func TestAblateColoringQuick(t *testing.T) { runOne(t, "ablate-coloring") }
+
+func TestPacketLatencyQuick(t *testing.T) {
+	res := runOne(t, "packet-latency")
+	if !strings.Contains(res.Body, "DC-spanner") || !strings.Contains(res.Body, "makespan") {
+		t.Fatalf("packet latency report malformed:\n%s", res.Body)
+	}
+}
+
+func TestIrregularQuick(t *testing.T) {
+	res := runOne(t, "irregular")
+	if !strings.Contains(res.Body, "viol=0") {
+		t.Fatalf("irregular run violated stretch:\n%s", res.Body)
+	}
+}
+
+func TestSection8StretchQuick(t *testing.T) { runOne(t, "section8-stretch") }
+
+func TestDefinition2BetaQuick(t *testing.T) { runOne(t, "defn2-beta") }
+
+func TestSeedVarianceQuick(t *testing.T) {
+	res := runOne(t, "seed-variance")
+	if !strings.Contains(res.Body, "theorem2=0 theorem3=0") {
+		t.Fatalf("seed variance saw stretch violations:\n%s", res.Body)
+	}
+}
+
+func TestFaultToleranceQuick(t *testing.T) {
+	res := runOne(t, "fault-tolerance")
+	if !strings.Contains(res.Body, "matchCong") {
+		t.Fatalf("fault-tolerance report malformed:\n%s", res.Body)
+	}
+}
+
+func TestRunAllQuickNoFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covered by per-experiment tests")
+	}
+	results := RunAll(quickCfg())
+	if len(results) != len(IDs()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if strings.Contains(r.Body, "error:") {
+			t.Errorf("%s failed:\n%s", r.ID, r.Body)
+		}
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	series, err := AllSeries(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Rows) == 0 {
+			t.Fatalf("%s: empty series", s.Name)
+		}
+		for _, row := range s.Rows {
+			if len(row) != len(s.Header) {
+				t.Fatalf("%s: row width %d != header %d", s.Name, len(row), len(s.Header))
+			}
+		}
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run, _ := Lookup("lemma2")
+	a, err := run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Body != b.Body {
+		t.Fatal("same seed produced different reports")
+	}
+}

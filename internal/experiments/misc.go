@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/local"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+	"repro/internal/stats"
+)
+
+// Lemma2Separation reproduces the Lemma 2 demonstration: a spanner that is
+// a 3-distance spanner AND admits congestion-1 routings (Definition 2),
+// yet is not a (3, β)-DC-spanner for any β < n.
+func Lemma2Separation(cfg Config) (*Result, error) {
+	sizes := []int{16, 64, 128}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	tb := stats.NewTable("n=|A|", "α", "|V|", "stretch≤3", "C_G",
+		"C_H unconstrained", "C_H α-constrained", "separation β≥")
+	for _, n := range sizes {
+		inst := gen.Lemma2Graph(n, 3)
+		an := lowerbound.AnalyzeLemma2(inst)
+		if err := an.Verify(); err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(inst.G, inst.H, 3)
+		tb.AddRow(n, inst.Alpha, inst.G.N(),
+			fmt.Sprintf("viol=%d", rep.Violations),
+			an.CongestionG, an.CongestionUnconstrained, an.CongestionConstrained,
+			an.CongestionConstrained)
+	}
+	body := tb.String() +
+		"paper (Lemma 2): H satisfies Definitions 1 and 2 separately, but the matching\n" +
+		"routing's α-stretch substitutes all cross (a₁,b₁): the DC property fails with β = n.\n"
+	return &Result{ID: "lemma2", Title: "Lemma 2 (distance+congestion ≠ DC)", Body: body}, nil
+}
+
+// Theorem1Decompose measures the Algorithm 2 pipeline: matchings used
+// (Lemma 23), Σ(d_k+1) versus the Lemma 21 bound, and the end-to-end
+// congestion stretch of the substitute routing (Lemma 22).
+func Theorem1Decompose(cfg Config) (*Result, error) {
+	n, d := 256, 16
+	loads := []int{64, 256, 1024}
+	if cfg.Quick {
+		n, d = 128, 12
+		loads = loads[:2]
+	}
+	r := rng.New(cfg.Seed ^ 0x71)
+	g := gen.MustRandomRegular(n, d, r)
+	// Use a deliberately aggressive (greedy 3-)spanner so the substitution
+	// is visibly non-trivial: most demands must detour, which makes the
+	// Lemma 22 congestion accounting observable rather than identity.
+	sp := spanner.Greedy(g, 3)
+	tb := stats.NewTable("paths", "C(P)", "levels", "matchings", "n³",
+		"Σ(d_k+1)", "12·C·log2n", "C(P')", "congStretch", "distStretch")
+	for _, k := range loads {
+		prob := routing.RandomProblem(n, k, r)
+		onG, err := routing.ShortestPaths(g, prob)
+		if err != nil {
+			return nil, err
+		}
+		sub, dec, err := routing.SubstituteViaMatchings(n, onG, sp.Router(cfg.Seed+uint64(k)))
+		if err != nil {
+			return nil, err
+		}
+		cG := onG.NodeCongestion(n)
+		cH := sub.NodeCongestion(n)
+		tb.AddRow(k, cG, len(dec.Levels), dec.NumMatchings(), int64(n)*int64(n)*int64(n),
+			dec.DegreePlusOneSum(), dec.Lemma21Bound(), cH,
+			float64(cH)/float64(cG), sub.Stretch(onG))
+	}
+	body := tb.String() +
+		"paper (Thm 1, Lemmas 21–23): ≤ O(n³) matchings; Σ(d_k+1) ≤ 12·C(P)·log n;\n" +
+		"substitute congestion ≤ O(β'·log n)·C(P) where β' is the per-matching congestion.\n"
+	return &Result{ID: "thm1-decompose", Title: "Theorem 1 (decomposition into matchings)", Body: body}, nil
+}
+
+// Corollary3Local runs the distributed Algorithm 1 in the LOCAL simulator
+// and checks it against the sequential reference.
+func Corollary3Local(cfg Config) (*Result, error) {
+	sizes := []struct{ n, d int }{{120, 24}, {216, 40}}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	tb := stats.NewTable("n", "Δ", "rounds", "messages", "maxMsgWords", "|E(G')|", "|E(H)|",
+		"=sequential", "stretch≤3")
+	for _, sz := range sizes {
+		r := rng.New(cfg.Seed ^ (uint64(sz.n) << 5))
+		g := gen.MustRandomRegular(sz.n, sz.d, r)
+		opts := spanner.DefaultRegularOptions(cfg.Seed + uint64(sz.n))
+		dist := local.DistributedRegularSpanner(g, opts)
+		seq := local.SequentialReference(g, opts)
+		same := dist.H.M() == seq.H.M() && dist.H.IsSubgraphOf(seq.H)
+		rep := spanner.VerifyEdgeStretch(g, dist.H, 3)
+		tb.AddRow(sz.n, sz.d, dist.Rounds, dist.Messages, dist.MaxMsg, dist.GPrime.M(), dist.H.M(),
+			same, fmt.Sprintf("viol=%d", rep.Violations))
+	}
+	body := tb.String() +
+		"paper (Cor. 3): O(1) LOCAL rounds (here exactly 5: coin, 3×flood, decide);\n" +
+		"the distributed output equals a sequential run with the same coins. The\n" +
+		"Θ(Δ³)-word flood messages are why the protocol lives in LOCAL, not CONGEST.\n"
+	return &Result{ID: "cor3-local", Title: "Corollary 3 (distributed LOCAL construction)", Body: body}, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+)
+
+// Series is tabular data for external plotting: a header row plus data
+// rows, ready for CSV emission. The paper reports asymptotic shapes rather
+// than plots; these series regenerate the shapes as data so the scaling
+// exponents can be read off directly.
+type Series struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// ScalingTheorem2 sweeps n in the Theorem 2 regime and emits the series
+// (n, |E(H)|, |E(H)|/n^{5/3}, matching congestion, permutation congestion
+// stretch). A flat third column is the O(n^{5/3}) law.
+func ScalingTheorem2(cfg Config) (*Series, error) {
+	sizes := []struct{ n, d int }{{125, 40}, {216, 60}, {343, 80}, {512, 96}, {729, 112}}
+	if cfg.Quick {
+		sizes = sizes[:2]
+	}
+	s := &Series{
+		Name:   "theorem2-scaling",
+		Header: []string{"n", "delta", "edges_g", "edges_h", "edges_norm_n53", "match_congestion", "perm_cong_stretch"},
+	}
+	for _, sz := range sizes {
+		r := rng.New(cfg.Seed ^ uint64(sz.n)<<7)
+		g := gen.MustRandomRegular(sz.n, sz.d, r)
+		sp, err := spanner.BuildExpander(g, spanner.ExpanderOptions{
+			Epsilon: spanner.EpsilonForDegree(sz.n, sz.d), Seed: cfg.Seed + uint64(sz.n),
+			EnsureConnected: true})
+		if err != nil {
+			return nil, err
+		}
+		m := greedyMatchingOfEdges(g)
+		rt, _, err := routeMatchingOn(sp, m, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		prob := routing.RandomPermutationProblem(sz.n, r)
+		onG, err := routing.ShortestPaths(g, prob)
+		if err != nil {
+			return nil, err
+		}
+		onH, _, err := routing.SubstituteViaMatchings(sz.n, onG, sp.Router(cfg.Seed+2))
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, []string{
+			itoa(sz.n), itoa(sz.d), itoa(g.M()), itoa(sp.H.M()),
+			ftoa(float64(sp.H.M()) / math.Pow(float64(sz.n), 5.0/3.0)),
+			itoa(rt.NodeCongestion(sz.n)),
+			ftoa(float64(onH.NodeCongestion(sz.n)) / float64(onG.NodeCongestion(sz.n))),
+		})
+	}
+	return s, nil
+}
+
+// ScalingTheorem3 sweeps n for Algorithm 1 with Δ ≈ 1.1·n^{2/3}.
+func ScalingTheorem3(cfg Config) (*Series, error) {
+	ns := []int{125, 216, 343, 512, 729}
+	if cfg.Quick {
+		ns = ns[:2]
+	}
+	s := &Series{
+		Name:   "theorem3-scaling",
+		Header: []string{"n", "delta", "delta_prime", "edges_g", "edges_h", "edges_norm", "reins_nodetour", "match_congestion"},
+	}
+	for _, n := range ns {
+		d := int(1.1 * math.Pow(float64(n), 2.0/3.0))
+		if (n*d)%2 != 0 {
+			d++
+		}
+		r := rng.New(cfg.Seed ^ uint64(n)<<8)
+		g := gen.MustRandomRegular(n, d, r)
+		res, err := spanner.BuildRegular(g, spanner.DefaultRegularOptions(cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		m := greedyMatchingOfEdges(g)
+		rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, []string{
+			itoa(n), itoa(d), itoa(res.DeltaPrime), itoa(g.M()), itoa(res.Spanner.H.M()),
+			ftoa(float64(res.Spanner.H.M()) / math.Pow(float64(n), 5.0/3.0)),
+			itoa(res.ReinsertedNoDetour),
+			itoa(rt.NodeCongestion(n)),
+		})
+	}
+	return s, nil
+}
+
+// ScalingTheorem4 sweeps the affine-plane parameter q and emits the
+// lower-bound series (n, optimal spanner edges, edges/n^{7/6}, forced
+// congestion stretch, n^{1/6}).
+func ScalingTheorem4(cfg Config) (*Series, error) {
+	qs := []int{5, 7, 11, 13, 17}
+	if cfg.Quick {
+		qs = qs[:3]
+	}
+	s := &Series{
+		Name:   "theorem4-scaling",
+		Header: []string{"q", "n", "k", "edges_g", "edges_h", "edges_norm_n76", "cong_stretch", "n_pow_16"},
+	}
+	for _, q := range qs {
+		inst, err := gen.Theorem4Affine(q)
+		if err != nil {
+			return nil, err
+		}
+		an, err := lowerbound.AnalyzeTheorem4(inst)
+		if err != nil {
+			return nil, err
+		}
+		nTotal := float64(inst.G.N())
+		s.Rows = append(s.Rows, []string{
+			itoa(q), itoa(inst.G.N()), itoa(inst.K), itoa(an.EdgesG), itoa(an.EdgesH),
+			ftoa(float64(an.EdgesH) / math.Pow(nTotal, 7.0/6.0)),
+			ftoa(an.MeasuredStretch),
+			ftoa(math.Pow(nTotal, 1.0/6.0)),
+		})
+	}
+	return s, nil
+}
+
+// AllSeries returns every scaling series.
+func AllSeries(cfg Config) ([]*Series, error) {
+	var out []*Series
+	for _, f := range []func(Config) (*Series, error){ScalingTheorem2, ScalingTheorem3, ScalingTheorem4} {
+		s, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+)
+
+// greedyMatchingOfEdges returns a maximal matching over the edges of g —
+// the worst-case matching routing problem for a spanner of g (removed
+// edges are forced onto detours).
+func greedyMatchingOfEdges(g *graph.Graph) []graph.Edge {
+	used := make([]bool, g.N())
+	var m []graph.Edge
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			m = append(m, e)
+		}
+	}
+	return m
+}
+
+// routeMatchingOn routes a matching with the spanner's router, returning
+// the routing and the router (for fallback stats).
+func routeMatchingOn(sp *spanner.Spanner, m []graph.Edge, seed uint64) (*routing.Routing, *spanner.DetourRouter, error) {
+	router := sp.Router(seed)
+	paths, err := router.RouteMatching(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &routing.Routing{Problem: routing.MatchingProblem(m), Paths: paths}, router, nil
+}
+
+// Table1Theorem2 reproduces the Table 1 row "Theorem 2": on
+// n^{2/3+ε}-regular expanders, a 3-distance spanner with O(n^{5/3}) edges,
+// matching congestion 1+o(1) expected / O(log n) w.h.p., and general
+// congestion O(log² n).
+func Table1Theorem2(cfg Config) (*Result, error) {
+	sizes := []struct{ n, d int }{{216, 60}, {343, 80}, {512, 96}, {729, 112}}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	tb := stats.NewTable("n", "Δ", "ε", "λ", "|E(G)|", "|E(H)|", "E/n^{5/3}",
+		"stretch≤3", "meanCong", "maxCong", "log2n", "permCongStretch", "log²n")
+	var notes []string
+	for _, sz := range sizes {
+		r := rng.New(cfg.Seed ^ uint64(sz.n))
+		g := gen.MustRandomRegular(sz.n, sz.d, r)
+		lam, _ := spectral.Expansion(g, 300, r)
+		eps := spanner.EpsilonForDegree(sz.n, sz.d)
+		sp, err := spanner.BuildExpander(g, spanner.ExpanderOptions{
+			Epsilon: eps, Seed: cfg.Seed + uint64(sz.n), EnsureConnected: true})
+		if err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+
+		// Matching congestion: route the maximal matching over G's edges.
+		m := greedyMatchingOfEdges(g)
+		rt, router, err := routeMatchingOn(sp, m, cfg.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		prof := rt.NodeCongestionProfile(sz.n)
+		nonzero := make([]float64, 0, sz.n)
+		maxC := 0
+		for _, c := range prof {
+			if c > 0 {
+				nonzero = append(nonzero, float64(c))
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		meanC := stats.Summarize(nonzero).Mean
+
+		// General routing: random permutation via shortest paths, then the
+		// Theorem 1 substitution.
+		prob := routing.RandomPermutationProblem(sz.n, r)
+		onG, err := routing.ShortestPaths(g, prob)
+		if err != nil {
+			return nil, err
+		}
+		onH, _, err := routing.SubstituteViaMatchings(sz.n, onG, sp.Router(cfg.Seed+13))
+		if err != nil {
+			return nil, err
+		}
+		cG := onG.NodeCongestion(sz.n)
+		cH := onH.NodeCongestion(sz.n)
+		permStretch := float64(cH) / float64(cG)
+
+		log2n := math.Log2(float64(sz.n))
+		tb.AddRow(sz.n, sz.d, fmt.Sprintf("%.3f", eps), fmt.Sprintf("%.1f", lam),
+			g.M(), sp.H.M(), float64(sp.H.M())/math.Pow(float64(sz.n), 5.0/3.0),
+			fmt.Sprintf("viol=%d", rep.Violations), meanC, maxC, log2n,
+			permStretch, log2n*log2n)
+		if router.Fallbacks > 0 {
+			notes = append(notes, fmt.Sprintf("n=%d: %d router fallbacks (of %d matching edges)",
+				sz.n, router.Fallbacks, len(m)))
+		}
+	}
+	body := tb.String() +
+		"paper: edges O(n^{5/3}); stretch 3; matching congestion 1+o(1) mean, O(log n) max;\n" +
+		"       permutation congestion stretch O(log² n)\n"
+	if len(notes) > 0 {
+		body += strings.Join(notes, "\n") + "\n"
+	}
+	return &Result{ID: "table1-thm2", Title: "Theorem 2 (expander DC-spanner)", Body: body}, nil
+}
+
+// Table1Theorem3 reproduces the Table 1 row "Theorem 3": Algorithm 1 on
+// Δ-regular graphs with Δ ≥ n^{2/3}.
+func Table1Theorem3(cfg Config) (*Result, error) {
+	sizes := []struct{ n, d int }{{216, 40}, {343, 56}, {512, 72}, {729, 92}}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	tb := stats.NewTable("n", "Δ", "Δ'", "|E(G)|", "|E(H)|", "E/(n^{5/3}log²n)",
+		"reinsUnsup", "reinsNoDet", "stretch≤3", "matchCong", "1+2√Δ",
+		"genCongStretch", "√Δ·log n")
+	for _, sz := range sizes {
+		r := rng.New(cfg.Seed ^ (uint64(sz.n) << 1))
+		g := gen.MustRandomRegular(sz.n, sz.d, r)
+		res, err := spanner.BuildRegular(g, spanner.DefaultRegularOptions(cfg.Seed+uint64(sz.n)))
+		if err != nil {
+			return nil, err
+		}
+		sp := res.Spanner
+		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+
+		m := greedyMatchingOfEdges(g)
+		rt, _, err := routeMatchingOn(sp, m, cfg.Seed+17)
+		if err != nil {
+			return nil, err
+		}
+		matchCong := rt.NodeCongestion(sz.n)
+
+		prob := routing.RandomPermutationProblem(sz.n, r)
+		onG, err := routing.ShortestPaths(g, prob)
+		if err != nil {
+			return nil, err
+		}
+		onH, _, err := routing.SubstituteViaMatchings(sz.n, onG, sp.Router(cfg.Seed+19))
+		if err != nil {
+			return nil, err
+		}
+		genStretch := float64(onH.NodeCongestion(sz.n)) / float64(onG.NodeCongestion(sz.n))
+
+		tb.AddRow(sz.n, sz.d, res.DeltaPrime, g.M(), sp.H.M(),
+			float64(sp.H.M())/spanner.TheoremEdgeBound(sz.n),
+			res.ReinsertedUnsupport, res.ReinsertedNoDetour,
+			fmt.Sprintf("viol=%d", rep.Violations),
+			matchCong, 1+2*math.Sqrt(float64(sz.d)),
+			genStretch, math.Sqrt(float64(sz.d))*math.Log2(float64(sz.n)))
+	}
+	body := tb.String() +
+		"paper: edges O(n^{5/3}·log²n); stretch 3; matching congestion ≤ 1+2√Δ (Lemma 17);\n" +
+		"       general congestion stretch O(√Δ·log n) (Theorem 3)\n" +
+		fmt.Sprintf("note: paper λ = 2⁷ln²n/c₁ ≈ %.0f at n=512 exceeds Δ'; practical thresholds per DESIGN.md\n",
+			spanner.PaperLambda(512, 0.25))
+	return &Result{ID: "table1-thm3", Title: "Theorem 3 (Algorithm 1, Δ-regular)", Body: body}, nil
+}
+
+// Table1KoutisXu reproduces the "[16]" row: uniform sparsification of an
+// expander to O(n log n) edges, distance stretch O(log n), matching
+// routing congestion polylog via Valiant routing.
+func Table1KoutisXu(cfg Config) (*Result, error) {
+	sizes := []struct{ n, d int }{{512, 64}, {1024, 64}}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	tb := stats.NewTable("n", "Δ", "|E(G)|", "|E(H)|", "E/(n·log n)", "λ(G)", "λ(H)/Δ_H",
+		"pairStretch", "log2n", "valiantCong", "log³n")
+	for _, sz := range sizes {
+		r := rng.New(cfg.Seed ^ (uint64(sz.n) << 2))
+		g := gen.MustRandomRegular(sz.n, sz.d, r)
+		lamG, _ := spectral.Expansion(g, 200, r)
+		sp, err := spanner.SparsifyUniform(g, 3.0, cfg.Seed+uint64(sz.n))
+		if err != nil {
+			return nil, err
+		}
+		lamH, l1H := spectral.Expansion(sp.H, 200, r)
+		pairRep := spanner.VerifyPairStretch(g, sp.H, 300, r)
+
+		// Matching routing problem solved on H by Valiant routing.
+		m := greedyMatchingOfEdges(g)
+		rt, err := routing.Valiant(sp.H, routing.MatchingProblem(m), r)
+		if err != nil {
+			return nil, err
+		}
+		cong := rt.NodeCongestion(sz.n)
+		log2n := math.Log2(float64(sz.n))
+		tb.AddRow(sz.n, sz.d, g.M(), sp.H.M(),
+			float64(sp.H.M())/(float64(sz.n)*log2n),
+			fmt.Sprintf("%.1f", lamG), fmt.Sprintf("%.2f", lamH/l1H),
+			pairRep.MaxStretch, log2n, cong, log2n*log2n*log2n)
+	}
+	body := tb.String() +
+		"paper row [16]: O(n log n) edges; distance stretch O(log n); congestion O(log⁴ n)\n" +
+		"(uniform sampling stands in for Koutis–Xu; Valiant routing for Scheideler — DESIGN.md)\n"
+	return &Result{ID: "table1-kx16", Title: "Table 1 row [16] (spectral sparsification)", Body: body}, nil
+}
+
+// Table1BoundedDegree reproduces the "[5]" row: from a dense expander
+// (Δ = Ω(n)) extract an O(n)-edge bounded-degree expander.
+func Table1BoundedDegree(cfg Config) (*Result, error) {
+	sizes := []int{128, 256}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	tb := stats.NewTable("n", "Δ", "|E(G)|", "|E(H)|", "E/n", "maxDeg(H)", "λ(H)/Δ_H",
+		"pairStretch", "log2n", "valiantCong", "log³n")
+	for _, n := range sizes {
+		r := rng.New(cfg.Seed ^ (uint64(n) << 3))
+		g, err := gen.DenseExpander(n, 0.5, r)
+		if err != nil {
+			return nil, err
+		}
+		d, _ := g.IsRegular()
+		sp, err := spanner.ExtractBoundedDegree(g, 5, cfg.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		lamH, l1H := spectral.Expansion(sp.H, 300, r)
+		pairRep := spanner.VerifyPairStretch(g, sp.H, 300, r)
+		m := greedyMatchingOfEdges(g)
+		rt, err := routing.Valiant(sp.H, routing.MatchingProblem(m), r)
+		if err != nil {
+			return nil, err
+		}
+		log2n := math.Log2(float64(n))
+		tb.AddRow(n, d, g.M(), sp.H.M(), float64(sp.H.M())/float64(n),
+			sp.H.MaxDegree(), fmt.Sprintf("%.2f", lamH/l1H),
+			pairRep.MaxStretch, log2n, rt.NodeCongestion(n), log2n*log2n*log2n)
+	}
+	body := tb.String() +
+		"paper row [5]: O(n) edges from Δ=Ω(n) expanders; stretch O(log n); congestion O(log³ n)\n"
+	return &Result{ID: "table1-bd5", Title: "Table 1 row [5] (bounded-degree extraction)", Body: body}, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+	"repro/internal/stats"
+)
+
+// SeedVariance re-runs the two headline constructions across independent
+// seeds and reports the distribution of the key metrics, quantifying how
+// much of the reproduction is seed noise. The theorems are w.h.p.
+// statements; tight distributions here are what "w.h.p." looks like at
+// fixed n.
+func SeedVariance(cfg Config) (*Result, error) {
+	n, d := 343, 80
+	runs := 10
+	if cfg.Quick {
+		n, d = 216, 60
+		runs = 4
+	}
+	g := gen.MustRandomRegular(n, d, rng.New(cfg.Seed^0x5eed))
+	m := greedyMatchingOfEdges(g)
+
+	edges2 := make([]float64, 0, runs)
+	cong2 := make([]float64, 0, runs)
+	viol2 := 0
+	for s := 0; s < runs; s++ {
+		sp, err := spanner.BuildExpander(g, spanner.ExpanderOptions{
+			Epsilon: spanner.EpsilonForDegree(n, d), Seed: cfg.Seed + uint64(s) + 1,
+			EnsureConnected: true})
+		if err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+		viol2 += rep.Violations
+		rt, _, err := routeMatchingOn(sp, m, cfg.Seed+uint64(s)+100)
+		if err != nil {
+			return nil, err
+		}
+		edges2 = append(edges2, float64(sp.H.M()))
+		cong2 = append(cong2, float64(rt.NodeCongestion(n)))
+	}
+
+	dReg := d * 7 / 10 // Theorem 3 degree choice for the same n
+	if (n*dReg)%2 != 0 {
+		dReg++
+	}
+	gReg := gen.MustRandomRegular(n, dReg, rng.New(cfg.Seed^0x5eee))
+	mReg := greedyMatchingOfEdges(gReg)
+	edges3 := make([]float64, 0, runs)
+	cong3 := make([]float64, 0, runs)
+	viol3 := 0
+	for s := 0; s < runs; s++ {
+		res, err := spanner.BuildRegular(gReg, spanner.DefaultRegularOptions(cfg.Seed+uint64(s)+1))
+		if err != nil {
+			return nil, err
+		}
+		rep := spanner.VerifyEdgeStretch(gReg, res.Spanner.H, 3)
+		viol3 += rep.Violations
+		rt, _, err := routeMatchingOn(res.Spanner, mReg, cfg.Seed+uint64(s)+200)
+		if err != nil {
+			return nil, err
+		}
+		edges3 = append(edges3, float64(res.Spanner.H.M()))
+		cong3 = append(cong3, float64(rt.NodeCongestion(n)))
+	}
+
+	tb := stats.NewTable("construction", "runs", "metric", "min", "mean", "max", "sd")
+	addRows := func(name string, xs []float64, metric string) {
+		s := stats.Summarize(xs)
+		tb.AddRow(name, s.N, metric, s.Min, s.Mean, s.Max, s.StdDev)
+	}
+	addRows("theorem2", edges2, "|E(H)|")
+	addRows("theorem2", cong2, "matchCong")
+	addRows("theorem3", edges3, "|E(H)|")
+	addRows("theorem3", cong3, "matchCong")
+
+	body := tb.String() + fmt.Sprintf(
+		"stretch-3 violations across all %d runs: theorem2=%d theorem3=%d\n"+
+			"paper: both theorems are w.h.p. statements; at fixed n this shows up as tight\n"+
+			"metric distributions and zero violations across independent seeds.\n",
+		2*runs, viol2, viol3)
+	return &Result{ID: "seed-variance", Title: "Seed variance of the headline constructions", Body: body}, nil
+}

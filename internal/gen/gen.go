@@ -1,0 +1,119 @@
+// Package gen builds the graph families used across the reproduction:
+// standard families (cliques, cycles, hypercubes, circulants, Erdős–Rényi),
+// expanders (random regular via the configuration model, the explicit
+// Margulis–Gabber–Galil expander), and every bespoke construction that
+// appears in the paper (the Lemma 2 separation graph, the Figure 1
+// clique–matching graph, the Lemma 18 fan graph, the Lemma 19 subset
+// families, and the Theorem 4 composite lower-bound graph).
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the n-cycle (n >= 3).
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: cycle needs n >= 3")
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.MustBuild()
+}
+
+// Circulant returns the circulant graph on n vertices with the given
+// offsets: vertex i is adjacent to i±off (mod n) for each offset. Offsets
+// must lie in [1, n/2].
+func Circulant(n int, offsets []int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, off := range offsets {
+		if off < 1 || off > n/2 {
+			panic(fmt.Sprintf("gen: circulant offset %d out of range", off))
+		}
+		for i := 0; i < n; i++ {
+			j := (i + off) % n
+			if i != j {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.BuildDedup()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << d
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				b.AddEdge(int32(v), int32(w))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Torus returns the rows×cols 2D torus (4-regular when rows, cols >= 3).
+func Torus(rows, cols int) *graph.Graph {
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	b := graph.NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.TryAddEdge(id(r, c), id((r+1)%rows, c))
+			b.TryAddEdge(id(r, c), id(r, (c+1)%cols))
+		}
+	}
+	return b.BuildDedup()
+}
+
+// CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	bld := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bld.AddEdge(int32(i), int32(a+j))
+		}
+	}
+	return bld.MustBuild()
+}
+
+// ErdosRenyi returns G(n, p): each possible edge independently with
+// probability p.
+func ErdosRenyi(n int, p float64, r *rng.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bernoulli(p) {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Lemma2Instance is the separation construction from Lemma 2 of the paper:
+// a graph G whose spanner H is simultaneously a 3-distance spanner and a
+// 2-congestion spanner, yet is NOT a (3, β)-DC-spanner for any
+// β < |V(G)|/(2(α−1)), witnessed by the perfect-matching routing problem.
+type Lemma2Instance struct {
+	G     *graph.Graph
+	H     *graph.Graph // G minus all matching edges except (a_1, b_1)
+	Alpha int          // the distance-stretch parameter used for the D_i path lengths
+	N     int          // |A| = |B|
+
+	A []int32   // a_1..a_n (clique)
+	B []int32   // b_1..b_n (clique)
+	D [][]int32 // D_i = the α interior detour nodes of instance i
+}
+
+// MatchingProblem returns the routing problem R = {(a_i, b_i)} whose
+// optimal congestion in G is 1 but which forces congestion n in H.
+func (l *Lemma2Instance) MatchingProblem() [][2]int32 {
+	pairs := make([][2]int32, l.N)
+	for i := 0; i < l.N; i++ {
+		pairs[i] = [2]int32{l.A[i], l.B[i]}
+	}
+	return pairs
+}
+
+// Lemma2Graph builds the Lemma 2 instance with |A| = |B| = n and detour
+// sets D_i of size alpha (alpha >= 3), so each private detour
+// a_i–d_{i,1}–…–d_{i,alpha}–b_i has length alpha+1.
+//
+// Note on the paper: the text defines |D_i| = α−1 (detour length α) but
+// its own congestion argument calls the detour "(α+1)-length" and needs
+// it to exceed the α-stretch budget — with length exactly α the matching
+// routing could use the private detours and the separation would vanish.
+// We implement the (α+1)-length variant, which makes every step of the
+// Lemma 2 proof go through.
+//
+// Layout: a_i = i, b_i = n+i, d_{i,j} = 2n + i·alpha + j.
+func Lemma2Graph(n, alpha int) *Lemma2Instance {
+	if n < 2 || alpha < 3 {
+		panic(fmt.Sprintf("gen: Lemma2Graph needs n >= 2, alpha >= 3; got n=%d alpha=%d", n, alpha))
+	}
+	inner := alpha
+	total := 2*n + n*inner
+	b := graph.NewBuilder(total)
+	inst := &Lemma2Instance{Alpha: alpha, N: n}
+	inst.A = make([]int32, n)
+	inst.B = make([]int32, n)
+	inst.D = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		inst.A[i] = int32(i)
+		inst.B[i] = int32(n + i)
+		row := make([]int32, inner)
+		for j := 0; j < inner; j++ {
+			row[j] = int32(2*n + i*inner + j)
+		}
+		inst.D[i] = row
+	}
+	// Cliques on A and on B.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(inst.A[i], inst.A[j])
+			b.AddEdge(inst.B[i], inst.B[j])
+		}
+	}
+	// Perfect matching M between A and B.
+	for i := 0; i < n; i++ {
+		b.AddEdge(inst.A[i], inst.B[i])
+	}
+	// Detour paths a_i – d_{i,1} – … – d_{i,alpha−1} – b_i.
+	for i := 0; i < n; i++ {
+		prev := inst.A[i]
+		for _, d := range inst.D[i] {
+			b.AddEdge(prev, d)
+			prev = d
+		}
+		b.AddEdge(prev, inst.B[i])
+	}
+	inst.G = b.MustBuild()
+	// H removes every matching edge except (a_1, b_1).
+	a1, b1 := inst.A[0], inst.B[0]
+	inst.H = inst.G.FilterEdges(func(e graph.Edge) bool {
+		if e.U == a1 && e.V == b1 {
+			return true
+		}
+		// Matching edges are exactly (i, n+i) for i in [0, n).
+		return !(int(e.U) < n && int(e.V) == int(e.U)+n)
+	})
+	return inst
+}
+
+// CliqueMatchingGraph is the Figure 1 graph: two cliques C_A and C_B of
+// size n/2 each, inter-connected by a perfect matching. n must be even and
+// at least 4. Clique A is {0..n/2−1}, clique B is {n/2..n−1}, and the
+// matching pairs i with n/2+i.
+func CliqueMatchingGraph(n int) *graph.Graph {
+	if n < 4 || n%2 != 0 {
+		panic(fmt.Sprintf("gen: CliqueMatchingGraph needs even n >= 4, got %d", n))
+	}
+	half := n / 2
+	b := graph.NewBuilder(n)
+	for i := 0; i < half; i++ {
+		for j := i + 1; j < half; j++ {
+			b.AddEdge(int32(i), int32(j))
+			b.AddEdge(int32(half+i), int32(half+j))
+		}
+	}
+	for i := 0; i < half; i++ {
+		b.AddEdge(int32(i), int32(half+i))
+	}
+	return b.MustBuild()
+}
+
+// FanInstance is the Lemma 18 building-block graph: 2k+1 "line" nodes
+// a_1..a_{2k+1} connected in a path, plus a special node s joined by "ray"
+// edges to every odd-indexed line node. |V| = 2k+2, |E| = 3k+1.
+type FanInstance struct {
+	G    *graph.Graph
+	K    int
+	S    int32   // the special node
+	Line []int32 // a_1..a_{2k+1} in line order (indices 0..2k)
+}
+
+// Rays returns the k+1 ray edges r_0..r_k, where r_i = (s, a_{2i+1}).
+func (f *FanInstance) Rays() []graph.Edge {
+	rays := make([]graph.Edge, 0, f.K+1)
+	for i := 0; i <= f.K; i++ {
+		rays = append(rays, graph.Edge{U: f.S, V: f.Line[2*i]}.Normalize())
+	}
+	return rays
+}
+
+// LineEdges returns the 2k line edges (a_i, a_{i+1}).
+func (f *FanInstance) LineEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, 2*f.K)
+	for i := 0; i+1 < len(f.Line); i++ {
+		out = append(out, graph.Edge{U: f.Line[i], V: f.Line[i+1]}.Normalize())
+	}
+	return out
+}
+
+// FaceLineEdges returns, for face f_j (1-indexed j in [1, k]), its two
+// consecutive line edges between rays r_{j−1} and r_j.
+func (f *FanInstance) FaceLineEdges(j int) [2]graph.Edge {
+	if j < 1 || j > f.K {
+		panic("gen: face index out of range")
+	}
+	lo := 2 * (j - 1)
+	return [2]graph.Edge{
+		{U: f.Line[lo], V: f.Line[lo+1]},
+		{U: f.Line[lo+1], V: f.Line[lo+2]},
+	}
+}
+
+// FanGraph builds the Lemma 18 fan with parameter k >= 1. Line node a_i
+// (1-indexed) is vertex i−1; the special node s is vertex 2k+1.
+func FanGraph(k int) *FanInstance {
+	if k < 1 {
+		panic("gen: FanGraph needs k >= 1")
+	}
+	nLine := 2*k + 1
+	s := int32(nLine)
+	b := graph.NewBuilder(nLine + 1)
+	inst := &FanInstance{K: k, S: s, Line: make([]int32, nLine)}
+	for i := 0; i < nLine; i++ {
+		inst.Line[i] = int32(i)
+	}
+	for i := 0; i+1 < nLine; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	for i := 0; i <= k; i++ {
+		b.AddEdge(s, int32(2*i))
+	}
+	inst.G = b.MustBuild()
+	return inst
+}
+
+// fanOn builds a Lemma 18 fan whose line nodes are the given global ids
+// (in order) and whose special node is s, adding edges into bld.
+func fanOn(bld *graph.Builder, s int32, line []int32) {
+	for i := 0; i+1 < len(line); i++ {
+		bld.AddEdge(line[i], line[i+1])
+	}
+	for i := 0; i < len(line); i += 2 {
+		bld.AddEdge(s, line[i])
+	}
+}

@@ -1,0 +1,236 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RandomRegular samples a random d-regular simple graph on n vertices via
+// the configuration model (uniform pairing of half-edges) followed by
+// local edge-swap repair of self-loops and multi-edges.
+//
+// Random regular graphs are near-Ramanujan w.h.p. (λ = O(√d)), so the
+// experiment harness uses them as the Theorem 2 / Theorem 3 input family
+// and certifies λ with internal/spectral at runtime rather than trusting
+// the asymptotic statement.
+//
+// n·d must be even and d < n. The repair loop always terminates for the
+// parameter ranges used here; a hard retry bound guards pathological cases
+// by resampling the pairing from scratch.
+func RandomRegular(n, d int, r *rng.RNG) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: RandomRegular requires 0 <= d < n, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: RandomRegular requires n*d even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return graph.NewBuilder(n).MustBuild(), nil
+	}
+	if d == n-1 {
+		// The only (n−1)-regular simple graph is the complete graph.
+		return Clique(n), nil
+	}
+	const maxAttempts = 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if g, ok := tryPairing(n, d, r); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: RandomRegular(n=%d, d=%d) failed after %d attempts", n, d, maxAttempts)
+}
+
+// MustRandomRegular is RandomRegular that panics on error. For tests and
+// generators with statically valid parameters.
+func MustRandomRegular(n, d int, r *rng.RNG) *graph.Graph {
+	g, err := RandomRegular(n, d, r)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// tryPairing runs one configuration-model draw plus repair.
+func tryPairing(n, d int, r *rng.RNG) (*graph.Graph, bool) {
+	// stubs[i] is the vertex owning half-edge i.
+	stubs := make([]int32, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs[v*d+k] = int32(v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	type pair = [2]int32
+	edges := make([]pair, 0, n*d/2)
+	for i := 0; i < len(stubs); i += 2 {
+		edges = append(edges, pair{stubs[i], stubs[i+1]})
+	}
+
+	seen := make(map[graph.Edge]int, len(edges)) // edge -> index of first occurrence
+	bad := make([]int, 0)                        // indices of loops / duplicate pairs
+	norm := func(p pair) graph.Edge { return graph.Edge{U: p[0], V: p[1]}.Normalize() }
+	classify := func(i int) {
+		p := edges[i]
+		if p[0] == p[1] {
+			bad = append(bad, i)
+			return
+		}
+		e := norm(p)
+		if first, dup := seen[e]; dup && first != i {
+			bad = append(bad, i)
+			return
+		}
+		seen[e] = i
+	}
+	for i := range edges {
+		classify(i)
+	}
+
+	// Repair: repeatedly swap a bad pair with a uniformly random pair.
+	// Swapping (a,b),(c,d) -> (a,c),(b,d) preserves the degree sequence.
+	budget := 200 * (len(bad) + 10)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		i := bad[len(bad)-1]
+		j := r.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		a, b := edges[i][0], edges[i][1]
+		c, dd := edges[j][0], edges[j][1]
+		// Proposed replacements.
+		p1 := pair{a, c}
+		p2 := pair{b, dd}
+		if p1[0] == p1[1] || p2[0] == p2[1] {
+			continue
+		}
+		e1, e2 := norm(p1), norm(p2)
+		if e1 == e2 {
+			continue
+		}
+		// The new edges must not collide with existing distinct edges.
+		if k, ok := seen[e1]; ok && k != i && k != j {
+			continue
+		}
+		if k, ok := seen[e2]; ok && k != i && k != j {
+			continue
+		}
+		// j must currently be a good, registered edge to keep bookkeeping
+		// simple: skip if j is itself bad.
+		ej := norm(edges[j])
+		if edges[j][0] == edges[j][1] || seen[ej] != j {
+			continue
+		}
+		// Apply.
+		if edges[i][0] != edges[i][1] {
+			ei := norm(edges[i])
+			if seen[ei] == i {
+				delete(seen, ei)
+			}
+		}
+		delete(seen, ej)
+		edges[i] = p1
+		edges[j] = p2
+		seen[e1] = i
+		seen[e2] = j
+		bad = bad[:len(bad)-1]
+	}
+	if len(bad) > 0 {
+		return nil, false
+	}
+
+	b := graph.NewBuilder(n)
+	for _, p := range edges {
+		b.AddEdge(p[0], p[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// Margulis returns the Margulis–Gabber–Galil expander on m² vertices.
+// Vertex (x, y) ∈ Z_m × Z_m is adjacent to
+//
+//	(x+y, y), (x−y, y), (x+y+1, y), (x−y−1, y),
+//	(x, y+x), (x, y−x), (x, y+x+1), (x, y−x−1)   (all mod m).
+//
+// The underlying multigraph is 8-regular with second eigenvalue bounded
+// away from 8 (λ ≤ 5√2 < 8); we return the simple-graph skeleton, which
+// remains a constant-degree expander and is fully deterministic — useful
+// when the harness wants an expander without sampling noise.
+func Margulis(m int) *graph.Graph {
+	if m < 2 {
+		panic("gen: Margulis needs m >= 2")
+	}
+	n := m * m
+	id := func(x, y int) int32 { return int32(((x%m+m)%m)*m + ((y%m + m) % m)) }
+	b := graph.NewBuilder(n)
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			v := id(x, y)
+			b.TryAddEdge(v, id(x+y, y))
+			b.TryAddEdge(v, id(x-y, y))
+			b.TryAddEdge(v, id(x+y+1, y))
+			b.TryAddEdge(v, id(x-y-1, y))
+			b.TryAddEdge(v, id(x, y+x))
+			b.TryAddEdge(v, id(x, y-x))
+			b.TryAddEdge(v, id(x, y+x+1))
+			b.TryAddEdge(v, id(x, y-x-1))
+		}
+	}
+	return b.BuildDedup()
+}
+
+// Paley returns the Paley graph on a prime q ≡ 1 (mod 4): vertices Z_q,
+// with an edge {u, v} iff u−v is a nonzero quadratic residue mod q. Paley
+// graphs are (q−1)/2-regular, self-complementary, strongly regular, and
+// have adjacency eigenvalues exactly (−1 ± √q)/2 besides the degree — so
+// λ = (√q+1)/2, essentially optimal expansion. They are the repository's
+// deterministic dense expander: the spectral package's estimates can be
+// validated against the closed-form eigenvalues.
+func Paley(q int) (*graph.Graph, error) {
+	if !isPrime(q) || q%4 != 1 {
+		return nil, fmt.Errorf("gen: Paley needs a prime q ≡ 1 (mod 4), got %d", q)
+	}
+	residue := make([]bool, q)
+	for x := 1; x < q; x++ {
+		residue[x*x%q] = true
+	}
+	b := graph.NewBuilder(q)
+	for u := 0; u < q; u++ {
+		for v := u + 1; v < q; v++ {
+			if residue[(v-u)%q] {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild(), nil
+}
+
+// DenseExpander samples a random Δ-regular graph with Δ close to αn.
+// Used by the Table 1 "[5]" experiment, whose premise is Δ = Ω(n). alpha
+// must lie in (0, 1); the degree is rounded to keep n·Δ even.
+func DenseExpander(n int, alpha float64, r *rng.RNG) (*graph.Graph, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("gen: DenseExpander alpha %v out of (0,1)", alpha)
+	}
+	d := int(alpha * float64(n))
+	if d < 1 {
+		d = 1
+	}
+	if (n*d)%2 != 0 {
+		d++
+	}
+	if d >= n {
+		d = n - 1
+		if (n*d)%2 != 0 {
+			d--
+		}
+	}
+	return RandomRegular(n, d, r)
+}

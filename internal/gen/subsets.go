@@ -1,0 +1,248 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// SubsetFamily samples, per Lemma 19, `count` subsets of a universe
+// [0, n), each of size `size`, such that any pair of subsets shares at
+// most one element. It uses rejection sampling: draw a subset, keep it if
+// it intersects every accepted subset in at most one element, otherwise
+// redraw. The paper's probabilistic argument guarantees such families
+// exist for size ≈ (n/17)^{1/6}; the sampler enforces the property
+// explicitly so the output is always valid (or an error if the parameters
+// are infeasible for the retry budget).
+//
+// Each element ends up in ≈ count·size/n subsets; the Lemma's balance
+// condition (every element in Θ(n^{1/6}) subsets) holds on average by
+// construction and is measured by the experiment harness.
+func SubsetFamily(n, count, size int, r *rng.RNG) ([][]int32, error) {
+	if size < 1 || size > n {
+		return nil, fmt.Errorf("gen: SubsetFamily size %d out of range for universe %d", size, n)
+	}
+	// occ[e] lists accepted subsets containing element e, so the
+	// pairwise-intersection check touches only candidates sharing an
+	// element rather than the whole family.
+	occ := make([][]int32, n)
+	family := make([][]int32, 0, count)
+	maxTries := 200 * count
+	tries := 0
+	shared := make(map[int32]int)
+	for len(family) < count {
+		tries++
+		if tries > maxTries {
+			return nil, fmt.Errorf("gen: SubsetFamily(n=%d, count=%d, size=%d) exceeded retry budget", n, count, size)
+		}
+		cand := r.Sample(n, size)
+		for k := range shared {
+			delete(shared, k)
+		}
+		ok := true
+		for _, e := range cand {
+			for _, si := range occ[e] {
+				shared[si]++
+				if shared[si] >= 2 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		idx := int32(len(family))
+		sub := make([]int32, size)
+		for i, e := range cand {
+			sub[i] = int32(e)
+			occ[e] = append(occ[e], idx)
+		}
+		family = append(family, sub)
+	}
+	return family, nil
+}
+
+// VerifySubsetFamily checks the Lemma 19 properties on a family over
+// universe [0, n): every subset has the stated size, all elements are in
+// range, and every pair of subsets shares at most one element. It returns
+// the per-element occurrence counts for balance inspection.
+func VerifySubsetFamily(n int, family [][]int32) ([]int, error) {
+	occ := make([][]int32, n)
+	counts := make([]int, n)
+	for si, sub := range family {
+		seen := make(map[int32]bool, len(sub))
+		for _, e := range sub {
+			if e < 0 || int(e) >= n {
+				return nil, fmt.Errorf("gen: element %d of subset %d out of range", e, si)
+			}
+			if seen[e] {
+				return nil, fmt.Errorf("gen: subset %d repeats element %d", si, e)
+			}
+			seen[e] = true
+			counts[e]++
+			occ[e] = append(occ[e], int32(si))
+		}
+	}
+	// Pairwise check via shared-element accumulation.
+	for e := 0; e < n; e++ {
+		list := occ[e]
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := family[list[i]], family[list[j]]
+				if intersectionSize(a, b) > 1 {
+					return nil, fmt.Errorf("gen: subsets %d and %d share more than one element", list[i], list[j])
+				}
+			}
+		}
+	}
+	return counts, nil
+}
+
+func intersectionSize(a, b []int32) int {
+	set := make(map[int32]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	c := 0
+	for _, y := range b {
+		if set[y] {
+			c++
+		}
+	}
+	return c
+}
+
+// AffinePlaneFamily returns the deterministic design alternative to
+// Lemma 19: the lines of the affine plane AG(2, q) for prime q. The
+// universe is the q² points (x, y) ↦ x·q+y; there are q²+q lines, each of
+// size q, every two lines share at most one point, and every point lies on
+// exactly q+1 lines. This matches the Lemma 19 profile with n = q².
+func AffinePlaneFamily(q int) ([][]int32, error) {
+	if q < 2 || !isPrime(q) {
+		return nil, fmt.Errorf("gen: AffinePlaneFamily needs prime q, got %d", q)
+	}
+	id := func(x, y int) int32 { return int32(x*q + y) }
+	family := make([][]int32, 0, q*q+q)
+	// Sloped lines y = m·x + c.
+	for m := 0; m < q; m++ {
+		for c := 0; c < q; c++ {
+			line := make([]int32, q)
+			for x := 0; x < q; x++ {
+				line[x] = id(x, (m*x+c)%q)
+			}
+			family = append(family, line)
+		}
+	}
+	// Vertical lines x = c.
+	for c := 0; c < q; c++ {
+		line := make([]int32, q)
+		for y := 0; y < q; y++ {
+			line[y] = id(c, y)
+		}
+		family = append(family, line)
+	}
+	return family, nil
+}
+
+func isPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Theorem4Instance is the Theorem 4 composite lower-bound graph: many
+// Lemma 18 fan instances over a shared pool of line nodes, arranged to be
+// pairwise edge-disjoint via a Lemma 19 subset family.
+type Theorem4Instance struct {
+	G        *graph.Graph
+	Pool     int       // number of shared line nodes (ids 0..Pool−1)
+	Specials []int32   // s_i for each fan instance
+	Lines    [][]int32 // the ordered line nodes of each instance
+	K        int       // fan parameter: each instance has 2K+1 line nodes
+}
+
+// Theorem4Graph assembles the composite graph from a subset family whose
+// subsets all have odd size 2k+1 >= 3. Subset i becomes the line of fan
+// instance i (in subset order); instance i gets a fresh special node s_i.
+// The family must have pairwise intersections <= 1 so instances are
+// edge-disjoint; Build enforces this by rejecting duplicate edges.
+func Theorem4Graph(pool int, family [][]int32) (*Theorem4Instance, error) {
+	if len(family) == 0 {
+		return nil, fmt.Errorf("gen: Theorem4Graph needs a nonempty family")
+	}
+	size := len(family[0])
+	if size < 3 || size%2 == 0 {
+		return nil, fmt.Errorf("gen: Theorem4Graph needs odd subset size >= 3, got %d", size)
+	}
+	for i, sub := range family {
+		if len(sub) != size {
+			return nil, fmt.Errorf("gen: subset %d has size %d, want %d", i, len(sub), size)
+		}
+	}
+	k := (size - 1) / 2
+	total := pool + len(family)
+	b := graph.NewBuilder(total)
+	inst := &Theorem4Instance{Pool: pool, K: k, Lines: family}
+	inst.Specials = make([]int32, len(family))
+	for i, sub := range family {
+		s := int32(pool + i)
+		inst.Specials[i] = s
+		fanOn(b, s, sub)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: Theorem4Graph instances are not edge-disjoint: %w", err)
+	}
+	inst.G = g
+	return inst, nil
+}
+
+// Theorem4Random builds the Theorem 4 graph with a random Lemma 19 family:
+// `count` fans over a pool of `pool` line nodes, each fan using 2k+1 line
+// nodes.
+func Theorem4Random(pool, count, k int, r *rng.RNG) (*Theorem4Instance, error) {
+	family, err := SubsetFamily(pool, count, 2*k+1, r)
+	if err != nil {
+		return nil, err
+	}
+	return Theorem4Graph(pool, family)
+}
+
+// Theorem4Affine builds the Theorem 4 graph deterministically from the
+// affine plane AG(2, q) (q prime, odd): pool = q² line nodes and q²+q fan
+// instances, each with q line nodes (so k = (q−1)/2).
+func Theorem4Affine(q int) (*Theorem4Instance, error) {
+	if q%2 == 0 {
+		return nil, fmt.Errorf("gen: Theorem4Affine needs odd prime q, got %d", q)
+	}
+	family, err := AffinePlaneFamily(q)
+	if err != nil {
+		return nil, err
+	}
+	return Theorem4Graph(q*q, family)
+}
+
+// Lemma19Parameters returns the paper's nominal subset size (n/17)^{1/6}
+// rounded to the nearest odd integer >= 3, for a pool of n line nodes.
+func Lemma19Parameters(n int) (size int) {
+	s := int(math.Round(math.Pow(float64(n)/17.0, 1.0/6.0)))
+	if s < 3 {
+		s = 3
+	}
+	if s%2 == 0 {
+		s++
+	}
+	return s
+}

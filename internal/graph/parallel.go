@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the degree of parallelism used by the Parallel* helpers:
+// GOMAXPROCS, floored at 1.
+func Workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelRange splits [0, n) into contiguous chunks and invokes fn(lo, hi)
+// for each chunk on a bounded pool of workers. fn must be safe to call
+// concurrently for disjoint ranges. It is a no-op for n <= 0.
+func ParallelRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForEachEdge invokes fn(i, e) for every edge index i in parallel
+// chunks. fn must not mutate shared state without its own synchronization;
+// the idiomatic pattern is writing to out[i].
+func (g *Graph) ParallelForEachEdge(fn func(i int, e Edge)) {
+	edges := g.edges
+	ParallelRange(len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i, edges[i])
+		}
+	})
+}
+
+// ParallelForEachVertex invokes fn(v) for every vertex in parallel chunks.
+func (g *Graph) ParallelForEachVertex(fn func(v int32)) {
+	ParallelRange(g.n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			fn(int32(v))
+		}
+	})
+}
+
+// BFSScratch holds reusable per-worker BFS state so bulk multi-source
+// distance computations do not reallocate O(n) slices per source.
+type BFSScratch struct {
+	dist  []int32
+	queue []int32
+	stamp []int32 // generation tags: dist[v] valid iff stamp[v] == gen
+	gen   int32
+}
+
+// NewBFSScratch allocates scratch for graphs with n vertices.
+func NewBFSScratch(n int) *BFSScratch {
+	return &BFSScratch{
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, 64),
+		stamp: make([]int32, n),
+		gen:   0,
+	}
+}
+
+// DistWithin is g.DistWithin using the scratch space (no allocation after
+// warm-up). limit < 0 means unlimited.
+func (s *BFSScratch) DistWithin(g *Graph, u, v, limit int32) int32 {
+	if u == v {
+		return 0
+	}
+	s.gen++
+	if s.gen == 0 { // wrapped; reset stamps
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, u)
+	s.dist[u] = 0
+	s.stamp[u] = s.gen
+	for head := 0; head < len(s.queue); head++ {
+		x := s.queue[head]
+		dx := s.dist[x]
+		if limit >= 0 && dx >= limit {
+			break
+		}
+		for _, w := range g.Neighbors(x) {
+			if s.stamp[w] == s.gen {
+				continue
+			}
+			s.stamp[w] = s.gen
+			s.dist[w] = dx + 1
+			if w == v {
+				return dx + 1
+			}
+			s.queue = append(s.queue, w)
+		}
+	}
+	return Unreachable
+}
+
+// PathWithin returns a shortest u–v path of length at most limit using the
+// scratch space, or nil if none exists. Unlike DistWithin it must finish
+// the BFS level containing v to reconstruct parents, so it is slightly
+// slower; use DistWithin when only existence matters.
+func (s *BFSScratch) PathWithin(g *Graph, u, v, limit int32, parent []int32) []int32 {
+	if u == v {
+		return []int32{u}
+	}
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, u)
+	s.dist[u] = 0
+	s.stamp[u] = s.gen
+	parent[u] = u
+	found := false
+	for head := 0; head < len(s.queue) && !found; head++ {
+		x := s.queue[head]
+		dx := s.dist[x]
+		if limit >= 0 && dx >= limit {
+			break
+		}
+		for _, w := range g.Neighbors(x) {
+			if s.stamp[w] == s.gen {
+				continue
+			}
+			s.stamp[w] = s.gen
+			s.dist[w] = dx + 1
+			parent[w] = x
+			if w == v {
+				found = true
+				break
+			}
+			s.queue = append(s.queue, w)
+		}
+	}
+	if !found {
+		return nil
+	}
+	path := make([]int32, 0, limit+1)
+	for x := v; ; x = parent[x] {
+		path = append(path, x)
+		if x == u {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// ParallelAllDistancesFrom computes BFS distances from each source in
+// sources concurrently, returning one distance slice per source.
+func (g *Graph) ParallelAllDistancesFrom(sources []int32) [][]int32 {
+	out := make([][]int32, len(sources))
+	ParallelRange(len(sources), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = g.BFS(sources[i])
+		}
+	})
+	return out
+}

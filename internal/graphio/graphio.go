@@ -1,0 +1,118 @@
+// Package graphio serializes graphs: a plain edge-list text format for
+// interchange between the CLI tools (and for persisting generated
+// instances so experiments can be re-run on identical inputs), plus
+// Graphviz DOT export for inspection. A spanner can be exported overlaid
+// on its base graph, with kept/removed edges distinguished.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteEdgeList writes the graph in the format:
+//
+//	# comment lines allowed
+//	n <vertices>
+//	<u> <v>      (one edge per line, normalized u < v)
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// starting with '#' are ignored. Duplicate edges are rejected.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *graph.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("graphio: line %d: expected header \"n <count>\", got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
+			}
+			b = graph.NewBuilder(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: line %d: expected \"u v\", got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad edge %q", line, text)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graphio: line %d: self-loop %d", line, u)
+		}
+		b.AddEdge(int32(u), int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graphio: missing header")
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+// WriteDOT exports the graph as Graphviz DOT.
+func WriteDOT(w io.Writer, g *graph.Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle];\n")
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteSpannerDOT exports base graph g with the spanner h overlaid: edges
+// kept in h are solid, removed edges dashed — handy for eyeballing small
+// constructions (the fan graph, Lemma 2 instances).
+func WriteSpannerDOT(w io.Writer, g, h *graph.Graph, name string) error {
+	if g.N() != h.N() {
+		return fmt.Errorf("graphio: vertex count mismatch %d vs %d", g.N(), h.N())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle];\n")
+	for _, e := range g.Edges() {
+		if h.HasEdge(e.U, e.V) {
+			fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+		} else {
+			fmt.Fprintf(bw, "  %d -- %d [style=dashed, color=gray];\n", e.U, e.V)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,137 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.MustRandomRegular(40, 6, rng.New(1))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+	}
+	for i, e := range g.Edges() {
+		if g2.Edges()[i] != e {
+			t.Fatalf("edge %d changed", i)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\nn 4\n0 1\n# another\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",                  // missing header
+		"0 1\n",             // edge before header
+		"n -3\n",            // bad count
+		"n 3\n0\n",          // malformed edge
+		"n 3\n0 9\n",        // out of range (panics in builder? -> check)
+		"n 3\n1 1\n",        // self loop
+		"n 3\n0 1\n1 0\n",   // duplicate
+		"n x\n",             // bad header value
+		"header nonsense\n", // bad header
+		"n 3\n0 1 2\n",      // too many fields
+		"n 3\nzero one\n",   // non-numeric
+	}
+	for _, in := range cases {
+		func() {
+			defer func() { recover() }() // builder panics count as rejection
+			if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+				t.Errorf("input %q accepted", in)
+			}
+		}()
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := gen.Cycle(4)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "c4"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph \"c4\"") || !strings.Contains(out, "0 -- 1;") {
+		t.Fatalf("DOT output:\n%s", out)
+	}
+	if strings.Count(out, "--") != 4 {
+		t.Fatalf("expected 4 edges in DOT:\n%s", out)
+	}
+}
+
+func TestWriteSpannerDOT(t *testing.T) {
+	g := gen.Clique(4)
+	h := g.FilterEdges(func(e graph.Edge) bool { return e.U == 0 })
+	var buf bytes.Buffer
+	if err := WriteSpannerDOT(&buf, g, h, "star"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "style=dashed") != g.M()-h.M() {
+		t.Fatalf("dashed count wrong:\n%s", out)
+	}
+}
+
+func TestWriteSpannerDOTMismatch(t *testing.T) {
+	if err := WriteSpannerDOT(&bytes.Buffer{}, gen.Cycle(4), gen.Cycle(5), "x"); err == nil {
+		t.Fatal("accepted mismatched vertex counts")
+	}
+}
+
+// Property: round trip preserves arbitrary random graphs.
+func TestPropertyRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.BuildDedup()
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for i, e := range g.Edges() {
+			if g2.Edges()[i] != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

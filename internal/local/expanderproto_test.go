@@ -1,0 +1,103 @@
+package local
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+func matchingDemands(g *graph.Graph) []graph.Edge {
+	used := make([]bool, g.N())
+	var m []graph.Edge
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			m = append(m, e)
+		}
+	}
+	return m
+}
+
+func TestDistributedExpanderThreeRounds(t *testing.T) {
+	r := rng.New(61)
+	n, d := 216, 60
+	g := gen.MustRandomRegular(n, d, r)
+	p := spanner.ProbForEpsilon(n, spanner.EpsilonForDegree(n, d))
+	demands := matchingDemands(g)
+	res, err := DistributedExpanderSpanner(g, p, 7, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+	if err := res.Routing.Validate(res.H); err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 2 w.h.p.: essentially every removed demand has a local
+	// 3-hop replacement.
+	if res.Unroutable > len(demands)/20 {
+		t.Fatalf("%d of %d demands unroutable locally", res.Unroutable, len(demands))
+	}
+	// Every distributed path has length ≤ 3 unless it was a fallback.
+	long := 0
+	for _, pth := range res.Routing.Paths {
+		if pth.Len() > 3 {
+			long++
+		}
+	}
+	if long > res.Unroutable {
+		t.Fatalf("%d paths exceed 3 hops but only %d were fallbacks", long, res.Unroutable)
+	}
+}
+
+func TestDistributedExpanderMatchesCentralSampling(t *testing.T) {
+	r := rng.New(62)
+	g := gen.MustRandomRegular(120, 24, r)
+	p := 0.5
+	res, err := DistributedExpanderSpanner(g, p, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spanner must equal central sampling with the same coins.
+	want := g.FilterEdges(func(e graph.Edge) bool { return coin(9, e) < p })
+	if res.H.M() != want.M() || !res.H.IsSubgraphOf(want) {
+		t.Fatalf("distributed H (%d edges) != central (%d edges)", res.H.M(), want.M())
+	}
+}
+
+func TestDistributedExpanderCongestion(t *testing.T) {
+	r := rng.New(63)
+	n, d := 216, 60
+	g := gen.MustRandomRegular(n, d, r)
+	p := spanner.ProbForEpsilon(n, spanner.EpsilonForDegree(n, d))
+	demands := matchingDemands(g)
+	res, err := DistributedExpanderSpanner(g, p, 11, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Routing.NodeCongestion(n)
+	if c > 24 { // 3·log2(216) ≈ 23: generous Theorem 2 budget
+		t.Fatalf("distributed matching congestion %d", c)
+	}
+}
+
+func TestDistributedExpanderRejectsBadDemands(t *testing.T) {
+	g := gen.Cycle(8)
+	if _, err := DistributedExpanderSpanner(g, 0.9, 1, []graph.Edge{{U: 0, V: 4}}); err == nil {
+		t.Fatal("accepted a non-edge demand")
+	}
+	if _, err := DistributedExpanderSpanner(g, 0.9, 1, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}); err == nil {
+		t.Fatal("accepted overlapping demands")
+	}
+}
+
+func TestEpsilonProbHelper(t *testing.T) {
+	if p := epsilonProb(216, 0.1); p <= 0 || p >= 1 {
+		t.Fatalf("p = %v", p)
+	}
+}

@@ -1,0 +1,180 @@
+package local
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+func TestNetworkSingleRoundDelivery(t *testing.T) {
+	g := gen.Path(3) // 0-1-2
+	net := NewNetwork(g)
+	received := make([][]int32, 3)
+	// Round 1: everyone pings neighbors.
+	net.RunRound(func(ctx *NodeCtx) {
+		ctx.Broadcast(ctx.ID)
+	})
+	// Round 2: record inboxes.
+	net.RunRound(func(ctx *NodeCtx) {
+		for _, m := range ctx.Inbox {
+			received[ctx.ID] = append(received[ctx.ID], m.From)
+		}
+	})
+	if len(received[0]) != 1 || received[0][0] != 1 {
+		t.Fatalf("node 0 inbox: %v", received[0])
+	}
+	if len(received[1]) != 2 {
+		t.Fatalf("node 1 inbox: %v", received[1])
+	}
+	if net.RoundsRun != 2 {
+		t.Fatalf("rounds = %d", net.RoundsRun)
+	}
+	if net.MessagesSent != 4 {
+		t.Fatalf("messages = %d, want 4", net.MessagesSent)
+	}
+}
+
+func TestNetworkRejectsNonNeighborSend(t *testing.T) {
+	g := gen.Path(3)
+	net := NewNetwork(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sending to non-neighbor did not panic")
+		}
+	}()
+	net.RunRound(func(ctx *NodeCtx) {
+		if ctx.ID == 0 {
+			ctx.Send(2, "illegal")
+		}
+	})
+}
+
+func TestNetworkFloodingReachesKHops(t *testing.T) {
+	g := gen.Path(6)
+	net := NewNetwork(g)
+	// Flood node ids; after r rounds node 0's knowledge should include
+	// exactly nodes within distance r.
+	known := make([]map[int32]bool, 6)
+	for i := range known {
+		known[i] = map[int32]bool{int32(i): true}
+	}
+	flood := func(ctx *NodeCtx) {
+		for _, m := range ctx.Inbox {
+			for _, id := range m.Payload.([]int32) {
+				known[ctx.ID][id] = true
+			}
+		}
+		var snap []int32
+		for id := range known[ctx.ID] {
+			snap = append(snap, id)
+		}
+		ctx.Broadcast(snap)
+	}
+	net.Run(flood, 4)
+	// After 4 rounds (3 effective propagation hops + final merge happens
+	// next round), node 0 must know nodes 0..3.
+	net.RunRound(func(ctx *NodeCtx) {
+		for _, m := range ctx.Inbox {
+			for _, id := range m.Payload.([]int32) {
+				known[ctx.ID][id] = true
+			}
+		}
+	})
+	for id := int32(0); id <= 4; id++ {
+		if !known[0][id] {
+			t.Fatalf("node 0 missing id %d after flooding", id)
+		}
+	}
+}
+
+func TestDistributedMatchesSequentialReference(t *testing.T) {
+	r := rng.New(51)
+	g := gen.MustRandomRegular(120, 24, r)
+	opts := spanner.DefaultRegularOptions(99)
+	dist := DistributedRegularSpanner(g, opts)
+	seq := SequentialReference(g, opts)
+
+	if dist.GPrime.M() != seq.GPrime.M() || !dist.GPrime.IsSubgraphOf(seq.GPrime) {
+		t.Fatalf("sampled graphs differ: distributed %d edges, sequential %d",
+			dist.GPrime.M(), seq.GPrime.M())
+	}
+	if dist.H.M() != seq.H.M() || !dist.H.IsSubgraphOf(seq.H) {
+		t.Fatalf("spanners differ: distributed %d edges, sequential %d",
+			dist.H.M(), seq.H.M())
+	}
+}
+
+func TestDistributedConstantRounds(t *testing.T) {
+	r := rng.New(52)
+	g := gen.MustRandomRegular(80, 16, r)
+	dist := DistributedRegularSpanner(g, spanner.DefaultRegularOptions(7))
+	if dist.Rounds != 5 {
+		t.Fatalf("protocol used %d rounds, want 5 (O(1))", dist.Rounds)
+	}
+}
+
+func TestDistributedOutputIs3Spanner(t *testing.T) {
+	r := rng.New(53)
+	g := gen.MustRandomRegular(120, 40, r)
+	dist := DistributedRegularSpanner(g, spanner.DefaultRegularOptions(12))
+	rep := spanner.VerifyEdgeStretch(g, dist.H, 3)
+	if rep.Violations != 0 {
+		t.Fatalf("distributed spanner violates stretch 3: max %v", rep.MaxStretch)
+	}
+	if !dist.H.IsSubgraphOf(g) {
+		t.Fatal("H not a subgraph of G")
+	}
+	if !dist.GPrime.IsSubgraphOf(dist.H) {
+		t.Fatal("G' not contained in H")
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	r := rng.New(55)
+	g := gen.MustRandomRegular(60, 12, r)
+	dist := DistributedRegularSpanner(g, spanner.DefaultRegularOptions(5))
+	if dist.TotalWords <= dist.Messages {
+		t.Fatalf("flood messages should exceed one word each: words=%d messages=%d",
+			dist.TotalWords, dist.Messages)
+	}
+	// After the last flood round a node broadcasts its 2-hop knowledge,
+	// which on a Δ-regular graph holds ≥ Δ²/2-ish edges — far beyond
+	// CONGEST's O(log n) words.
+	if dist.MaxMsg < g.MaxDegree() {
+		t.Fatalf("max message %d words suspiciously small (Δ=%d)", dist.MaxMsg, g.MaxDegree())
+	}
+}
+
+func TestCoinDeterministicAndBalanced(t *testing.T) {
+	e := graph.Edge{U: 3, V: 9}
+	if coin(1, e) != coin(1, e) {
+		t.Fatal("coin not deterministic")
+	}
+	if coin(1, e) == coin(2, e) {
+		t.Fatal("coin ignores seed")
+	}
+	// Empirical balance over many edges.
+	count := 0
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		if coin(7, graph.Edge{U: int32(i), V: int32(i + 1)}) < 0.5 {
+			count++
+		}
+	}
+	if count < trials*45/100 || count > trials*55/100 {
+		t.Fatalf("coin biased: %d/%d below 0.5", count, trials)
+	}
+}
+
+func BenchmarkDistributedSpanner(b *testing.B) {
+	r := rng.New(54)
+	g := gen.MustRandomRegular(100, 20, r)
+	opts := spanner.DefaultRegularOptions(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistributedRegularSpanner(g, opts)
+	}
+}

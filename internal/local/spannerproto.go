@@ -1,0 +1,301 @@
+package local
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/spanner"
+)
+
+// edgeInfo is the unit of knowledge flooded through the network: an edge
+// of G and whether it was sampled into G'.
+type edgeInfo struct {
+	E       graph.Edge
+	Sampled bool
+}
+
+// edgeInfoList is a knowledge snapshot; it reports its size so the
+// simulator's bandwidth accounting reflects the Δ³-word flood messages
+// that place this protocol in LOCAL rather than CONGEST.
+type edgeInfoList []edgeInfo
+
+// SizeWords implements local.Sized: one word per (edge, flag) entry.
+func (l edgeInfoList) SizeWords() int { return len(l) }
+
+// coin returns the deterministic sampling coin for an edge: a hash of
+// (seed, u, v) mapped to [0, 1). Both endpoints can evaluate it, which
+// models "u samples its incident edges and informs v" without a shared
+// random tape; the owner (min endpoint) is still the one that flips and
+// announces, keeping the message flow of Section 7.
+func coin(seed uint64, e graph.Edge) float64 {
+	x := seed ^ (uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))
+	// SplitMix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) * (1.0 / (1 << 53))
+}
+
+// DistributedResult carries the outcome of the distributed construction.
+type DistributedResult struct {
+	H          *graph.Graph
+	GPrime     *graph.Graph
+	Rounds     int
+	Messages   int64
+	TotalWords int64 // cumulative payload volume (abstract words)
+	MaxMsg     int   // largest single message (words) — LOCAL, not CONGEST
+	DeltaPrime int
+	SupportA   int
+	SupportB   int
+	Rho        float64
+}
+
+// DistributedRegularSpanner runs the Section 7 protocol on the LOCAL
+// simulator:
+//
+//	round 1   every edge owner flips the sampling coin and informs the
+//	          other endpoint;
+//	rounds 2–4 nodes flood their accumulated (edge, sampled) knowledge,
+//	          after which every node knows all edges incident to its
+//	          3-hop neighborhood in both G and G';
+//	round 5   every edge owner decides locally whether its edge belongs
+//	          to H: sampled edges stay; edges not (a,b)-supported are
+//	          reinserted; removed supported edges without a surviving
+//	          3-detour in G' are reinserted (and the owner informs the
+//	          neighbor, completing Corollary 3's final round).
+//
+// The decision rule is exactly Algorithm 1's, evaluated on purely local
+// knowledge; the output is therefore identical to a sequential execution
+// with the same coins (asserted by tests).
+func DistributedRegularSpanner(g *graph.Graph, opts spanner.RegularOptions) *DistributedResult {
+	n := g.N()
+	delta := g.MaxDegree()
+	dp := opts.DeltaPrime
+	if dp <= 0 {
+		dp = int(math.Sqrt(float64(delta)))
+		if dp < 1 {
+			dp = 1
+		}
+	}
+	rho := float64(dp) / float64(delta)
+	if rho > 1 {
+		rho = 1
+	}
+	aFrac := opts.AFrac
+	if aFrac <= 0 {
+		aFrac = 0.5
+	}
+	c1 := opts.C1
+	if c1 <= 0 {
+		c1 = 0.25
+	}
+	a := opts.SupportA
+	if a <= 0 {
+		a = int(aFrac * float64(dp))
+		if a < 1 {
+			a = 1
+		}
+	}
+	b := opts.SupportB
+	if b <= 0 {
+		b = int(c1 * float64(delta))
+		if b < 1 {
+			b = 1
+		}
+	}
+
+	net := NewNetwork(g)
+	// Per-node persistent state: accumulated knowledge. Each node touches
+	// only its own entry, so the slice is safe under the parallel round
+	// execution.
+	knowledge := make([]map[graph.Edge]bool, n)
+	for v := range knowledge {
+		knowledge[v] = make(map[graph.Edge]bool)
+	}
+	// Per-owner final decisions: keep[e] for edges owned by the node.
+	decisions := make([]map[graph.Edge]bool, n)
+	for v := range decisions {
+		decisions[v] = make(map[graph.Edge]bool)
+	}
+
+	mergeInbox := func(ctx *NodeCtx) {
+		k := knowledge[ctx.ID]
+		for _, m := range ctx.Inbox {
+			switch p := m.Payload.(type) {
+			case edgeInfo:
+				k[p.E] = p.Sampled
+			case edgeInfoList:
+				for _, ei := range p {
+					k[ei.E] = ei.Sampled
+				}
+			}
+		}
+	}
+	snapshot := func(v int32) edgeInfoList {
+		k := knowledge[v]
+		out := make(edgeInfoList, 0, len(k))
+		for e, s := range k {
+			out = append(out, edgeInfo{E: e, Sampled: s})
+		}
+		return out
+	}
+
+	// Round 1: owners flip coins and inform the other endpoint.
+	net.RunRound(func(ctx *NodeCtx) {
+		u := ctx.ID
+		k := knowledge[u]
+		for _, v := range ctx.Neighbors() {
+			e := graph.Edge{U: u, V: v}.Normalize()
+			if e.U != u {
+				continue // not the owner
+			}
+			sampled := coin(opts.Seed, e) < rho
+			k[e] = sampled
+			ctx.Send(v, edgeInfo{E: e, Sampled: sampled})
+		}
+	})
+
+	// Rounds 2–4: flood knowledge to 3 hops.
+	for round := 0; round < 3; round++ {
+		net.RunRound(func(ctx *NodeCtx) {
+			mergeInbox(ctx)
+			ctx.Broadcast(snapshot(ctx.ID))
+		})
+	}
+
+	// Round 5: merge the last flood wave, then every owner decides its
+	// incident edges from local knowledge and informs the neighbor of
+	// reinsertions (the message itself carries no new decision power —
+	// both endpoints could compute it — but matches the protocol text).
+	net.RunRound(func(ctx *NodeCtx) {
+		mergeInbox(ctx)
+		u := ctx.ID
+		base, sampledG := localViews(n, knowledge[u])
+		for _, v := range ctx.Neighbors() {
+			e := graph.Edge{U: u, V: v}.Normalize()
+			if e.U != u {
+				continue
+			}
+			sampled := knowledge[u][e]
+			keep := sampled
+			if !keep && !spanner.IsSupported(base, e, a, b) {
+				keep = true // E'' reinsertion
+			}
+			if !keep && opts.EnsureDetour {
+				if !hasThreeDetour(sampledG, e.U, e.V) {
+					keep = true
+				}
+			}
+			decisions[u][e] = keep
+			if keep && !sampled {
+				ctx.Send(v, edgeInfo{E: e, Sampled: false})
+			}
+		}
+	})
+
+	// Assemble H and G' from owner decisions.
+	keepSet := make(map[graph.Edge]bool, g.M())
+	sampledSet := make(map[graph.Edge]bool, g.M())
+	for v := 0; v < n; v++ {
+		for e, keep := range decisions[v] {
+			if keep {
+				keepSet[e] = true
+			}
+			if knowledge[v][e] && e.U == int32(v) {
+				sampledSet[e] = true
+			}
+		}
+	}
+	h := g.FilterEdges(func(e graph.Edge) bool { return keepSet[e] })
+	gp := g.FilterEdges(func(e graph.Edge) bool { return sampledSet[e] })
+	return &DistributedResult{
+		H: h, GPrime: gp,
+		Rounds: net.RoundsRun, Messages: net.MessagesSent,
+		TotalWords: net.TotalWords, MaxMsg: net.MaxMessageWords,
+		DeltaPrime: dp, SupportA: a, SupportB: b, Rho: rho,
+	}
+}
+
+// localViews materializes a node's knowledge as graphs over the global id
+// space: the known base graph and the known sampled subgraph.
+func localViews(n int, k map[graph.Edge]bool) (base, sampled *graph.Graph) {
+	edges := make([]graph.Edge, 0, len(k))
+	sedges := make([]graph.Edge, 0, len(k))
+	for e, s := range k {
+		edges = append(edges, e)
+		if s {
+			sedges = append(sedges, e)
+		}
+	}
+	return graph.FromEdges(n, edges), graph.FromEdges(n, sedges)
+}
+
+// hasThreeDetour reports whether a path of length ≤ 3 connects u and v in
+// h (avoiding the direct edge, which by construction is absent from h for
+// the callers' inputs).
+func hasThreeDetour(h *graph.Graph, u, v int32) bool {
+	return h.DistWithin(u, v, 3) != graph.Unreachable
+}
+
+// SequentialReference computes what Algorithm 1 with the same hash-based
+// coins would output, entirely centrally — the ground truth the
+// distributed protocol is tested against.
+func SequentialReference(g *graph.Graph, opts spanner.RegularOptions) *DistributedResult {
+	n := g.N()
+	delta := g.MaxDegree()
+	dp := opts.DeltaPrime
+	if dp <= 0 {
+		dp = int(math.Sqrt(float64(delta)))
+		if dp < 1 {
+			dp = 1
+		}
+	}
+	rho := float64(dp) / float64(delta)
+	if rho > 1 {
+		rho = 1
+	}
+	aFrac := opts.AFrac
+	if aFrac <= 0 {
+		aFrac = 0.5
+	}
+	c1 := opts.C1
+	if c1 <= 0 {
+		c1 = 0.25
+	}
+	a := opts.SupportA
+	if a <= 0 {
+		a = int(aFrac * float64(dp))
+		if a < 1 {
+			a = 1
+		}
+	}
+	b := opts.SupportB
+	if b <= 0 {
+		b = int(c1 * float64(delta))
+		if b < 1 {
+			b = 1
+		}
+	}
+	sampled := g.FilterEdges(func(e graph.Edge) bool { return coin(opts.Seed, e) < rho })
+	supported := spanner.SupportedEdges(g, a, b)
+	keep := make([]bool, g.M())
+	scratch := graph.NewBFSScratch(n)
+	for i, e := range g.Edges() {
+		switch {
+		case sampled.HasEdge(e.U, e.V):
+			keep[i] = true
+		case !supported[i]:
+			keep[i] = true
+		case opts.EnsureDetour && scratch.DistWithin(sampled, e.U, e.V, 3) == graph.Unreachable:
+			keep[i] = true
+		}
+	}
+	idx := 0
+	h := g.FilterEdges(func(e graph.Edge) bool {
+		k := keep[idx]
+		idx++
+		return k
+	})
+	return &DistributedResult{H: h, GPrime: sampled, DeltaPrime: dp, SupportA: a, SupportB: b, Rho: rho}
+}

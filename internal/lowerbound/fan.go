@@ -1,0 +1,159 @@
+// Package lowerbound constructs and measures the paper's lower-bound and
+// separation witnesses: the Lemma 18 fan graph whose 3-distance spanners
+// are forced into Ω(k) congestion stretch, the Theorem 4 composite graph
+// (Ω(n^{7/6}) edges for any optimal 3-spanner with (3, Ω(n^{1/6}))
+// congestion), the Figure 1 fault-tolerant-spanner counterexample, and
+// the Lemma 2 separation between independent distance/congestion spanners
+// and DC-spanners.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// FanAnalysis is the Lemma 18 measurement on one fan instance.
+type FanAnalysis struct {
+	Fan     *gen.FanInstance
+	H       *graph.Graph // the maximal-removal 3-distance spanner
+	Removed []graph.Edge // E₁: one line edge removed per face (k edges)
+
+	RoutingG *routing.Routing // the removed edges routed in G (their own edges)
+	RoutingH *routing.Routing // their forced substitutes in H (all through s)
+
+	CongestionG int // = 1: the removed edges form a matching
+	CongestionH int // = k: every substitute passes the special node s
+}
+
+// AnalyzeFan builds the Lemma 18 spanner of maximal removal and the
+// adversarial routing witnessing the congestion blow-up.
+//
+// The spanner removes the first line edge of every face f_j (positions
+// (2j−2, 2j−1) along the line) and keeps everything else. Each removed
+// edge keeps a 3-hop substitute a_{2j−1} → s → a_{2j+1} → a_{2j}
+// (1-indexed), so H is a 3-distance spanner with |E| − k edges; by
+// Lemma 18 (with x = 2k−1) no 3-distance spanner may remove
+// asymptotically more.
+func AnalyzeFan(f *gen.FanInstance) *FanAnalysis {
+	k := f.K
+	removedSet := make(map[graph.Edge]bool, k)
+	removed := make([]graph.Edge, 0, k)
+	for j := 1; j <= k; j++ {
+		e := graph.Edge{U: f.Line[2*(j-1)], V: f.Line[2*(j-1)+1]}.Normalize()
+		removedSet[e] = true
+		removed = append(removed, e)
+	}
+	h := f.G.FilterEdges(func(e graph.Edge) bool { return !removedSet[e] })
+
+	// Routing problem: the removed edges, oriented low line index → high.
+	prob := make(routing.Problem, 0, k)
+	pathsG := make([]routing.Path, 0, k)
+	pathsH := make([]routing.Path, 0, k)
+	for j := 1; j <= k; j++ {
+		u := f.Line[2*(j-1)]   // a_{2j−1}, a ray tip
+		v := f.Line[2*(j-1)+1] // a_{2j}, interior of the face
+		w := f.Line[2*j]       // a_{2j+1}, the next ray tip
+		prob = append(prob, routing.Pair{Src: u, Dst: v})
+		pathsG = append(pathsG, routing.Path{u, v})
+		pathsH = append(pathsH, routing.Path{u, f.S, w, v})
+	}
+	an := &FanAnalysis{
+		Fan:      f,
+		H:        h,
+		Removed:  removed,
+		RoutingG: &routing.Routing{Problem: prob, Paths: pathsG},
+		RoutingH: &routing.Routing{Problem: prob, Paths: pathsH},
+	}
+	an.CongestionG = an.RoutingG.NodeCongestion(f.G.N())
+	an.CongestionH = an.RoutingH.NodeCongestion(f.G.N())
+	return an
+}
+
+// Verify checks the structural claims of the analysis: H is a spanning
+// subgraph with exactly k fewer edges, both routings are valid, the G
+// routing has congestion 1, and every substitute path has length ≤ 3
+// (so H really is a 3-distance spanner on the removed edges).
+func (a *FanAnalysis) Verify() error {
+	f := a.Fan
+	if a.H.M() != f.G.M()-f.K {
+		return fmt.Errorf("lowerbound: spanner removed %d edges, want %d", f.G.M()-a.H.M(), f.K)
+	}
+	if err := a.RoutingG.Validate(f.G); err != nil {
+		return fmt.Errorf("lowerbound: G routing invalid: %w", err)
+	}
+	if err := a.RoutingH.Validate(a.H); err != nil {
+		return fmt.Errorf("lowerbound: H routing invalid: %w", err)
+	}
+	if a.CongestionG != 1 {
+		return fmt.Errorf("lowerbound: C_G = %d, want 1", a.CongestionG)
+	}
+	for i, p := range a.RoutingH.Paths {
+		if p.Len() > 3 {
+			return fmt.Errorf("lowerbound: substitute %d has length %d > 3", i, p.Len())
+		}
+	}
+	return nil
+}
+
+// ForcedThroughS reports whether every ≤3-hop substitute of every removed
+// edge must pass through the special node s — the structural heart of
+// Lemma 18. It enumerates all paths of length ≤ 3 between the endpoints
+// in H and checks each contains s.
+func (a *FanAnalysis) ForcedThroughS() bool {
+	for _, e := range a.Removed {
+		if !allShortPathsThrough(a.H, e.U, e.V, 3, a.Fan.S) {
+			return false
+		}
+	}
+	return true
+}
+
+// allShortPathsThrough enumerates simple paths of length ≤ limit from u to
+// v in h (DFS; limit is tiny) and checks all of them contain w.
+func allShortPathsThrough(h *graph.Graph, u, v int32, limit int, w int32) bool {
+	var stack []int32
+	ok := true
+	var dfs func(x int32)
+	dfs = func(x int32) {
+		if !ok {
+			return
+		}
+		if x == v {
+			found := false
+			for _, y := range stack {
+				if y == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+			}
+			return
+		}
+		if len(stack) > limit {
+			return
+		}
+		for _, y := range h.Neighbors(x) {
+			onStack := false
+			for _, z := range stack {
+				if z == y {
+					onStack = true
+					break
+				}
+			}
+			if onStack {
+				continue
+			}
+			stack = append(stack, y)
+			dfs(y)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	stack = append(stack, u)
+	dfs(u)
+	return ok
+}

@@ -1,0 +1,213 @@
+package lowerbound
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+func TestAnalyzeFanBasics(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		f := gen.FanGraph(k)
+		an := AnalyzeFan(f)
+		if err := an.Verify(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if an.CongestionH != k {
+			t.Fatalf("k=%d: C_H = %d, want %d", k, an.CongestionH, k)
+		}
+	}
+}
+
+func TestFanSpannerIs3Spanner(t *testing.T) {
+	f := gen.FanGraph(6)
+	an := AnalyzeFan(f)
+	rep := spanner.VerifyEdgeStretch(f.G, an.H, 3)
+	if rep.Violations != 0 {
+		t.Fatalf("fan spanner violates stretch 3: max %v", rep.MaxStretch)
+	}
+}
+
+func TestFanForcedThroughS(t *testing.T) {
+	f := gen.FanGraph(5)
+	an := AnalyzeFan(f)
+	if !an.ForcedThroughS() {
+		t.Fatal("some removed edge has a ≤3-hop substitute avoiding s")
+	}
+}
+
+func TestFanCongestionBeatsLemma18Bound(t *testing.T) {
+	// Lemma 18 guarantees β ≥ x/4 with x = 2k−1; the construction actually
+	// achieves β = k ≥ (2k−1)/4.
+	for _, k := range []int{2, 5, 9} {
+		f := gen.FanGraph(k)
+		an := AnalyzeFan(f)
+		bound := float64(2*k-1) / 4
+		if float64(an.CongestionH) < bound {
+			t.Fatalf("k=%d: C_H = %d below Lemma 18 bound %v", k, an.CongestionH, bound)
+		}
+	}
+}
+
+func TestAnalyzeTheorem4Affine(t *testing.T) {
+	inst, err := gen.Theorem4Affine(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTheorem4(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if an.CongestionG != 1 {
+		t.Fatalf("C_G = %d, want 1", an.CongestionG)
+	}
+	if an.CongestionH != inst.K {
+		t.Fatalf("C_H = %d, want k = %d", an.CongestionH, inst.K)
+	}
+	if an.MeasuredStretch < an.PaperBetaBound {
+		t.Fatalf("measured stretch %v below paper bound %v", an.MeasuredStretch, an.PaperBetaBound)
+	}
+	// Edge accounting: each instance loses exactly k edges.
+	wantRemoved := inst.K * len(inst.Lines)
+	if an.EdgesG-an.EdgesH != wantRemoved {
+		t.Fatalf("removed %d, want %d", an.EdgesG-an.EdgesH, wantRemoved)
+	}
+}
+
+func TestTheorem4SpannerIs3Spanner(t *testing.T) {
+	inst, err := gen.Theorem4Affine(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTheorem4(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := spanner.VerifyEdgeStretch(inst.G, an.H, 3)
+	if rep.Violations != 0 {
+		t.Fatalf("theorem4 spanner violates stretch 3: max %v", rep.MaxStretch)
+	}
+}
+
+func TestAnalyzeTheorem4Random(t *testing.T) {
+	r := rng.New(31)
+	inst, err := gen.Theorem4Random(150, 40, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTheorem4(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if an.CongestionH != 3 {
+		t.Fatalf("C_H = %d, want 3", an.CongestionH)
+	}
+}
+
+func TestAnalyzeVFT(t *testing.T) {
+	an, err := AnalyzeVFT(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// f = ⌈64^{1/3}⌉ = 4; kept = 5; rerouted = 27; balanced congestion at a
+	// kept endpoint ≈ ⌈27/5⌉ + its own pair + passthrough.
+	if an.CongestionH < int(an.PaperBound) {
+		t.Fatalf("C_H = %d below paper bound %v", an.CongestionH, an.PaperBound)
+	}
+	if an.CongestionH <= 2 {
+		t.Fatalf("VFT congestion %d shows no blow-up", an.CongestionH)
+	}
+}
+
+func TestVFTSpannerIs3Spanner(t *testing.T) {
+	an, err := AnalyzeVFT(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := spanner.VerifyEdgeStretch(an.G, an.H, 3)
+	if rep.Violations != 0 {
+		t.Fatalf("VFT spanner violates stretch 3: max %v", rep.MaxStretch)
+	}
+}
+
+func TestVFTRejectsBadN(t *testing.T) {
+	if _, err := AnalyzeVFT(7); err == nil {
+		t.Fatal("accepted odd n")
+	}
+	if _, err := AnalyzeVFT(4); err == nil {
+		t.Fatal("accepted tiny n")
+	}
+}
+
+func TestAnalyzeLemma2(t *testing.T) {
+	inst := gen.Lemma2Graph(10, 3)
+	an := AnalyzeLemma2(inst)
+	if err := an.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if an.CongestionConstrained != 10 {
+		t.Fatalf("constrained congestion %d, want 10", an.CongestionConstrained)
+	}
+	if an.CongestionUnconstrained != 1 {
+		t.Fatalf("unconstrained congestion %d, want 1", an.CongestionUnconstrained)
+	}
+}
+
+func TestLemma2HIs3Spanner(t *testing.T) {
+	inst := gen.Lemma2Graph(8, 3)
+	rep := spanner.VerifyEdgeStretch(inst.G, inst.H, 3)
+	if rep.Violations != 0 {
+		t.Fatalf("Lemma 2 H violates stretch 3: max %v", rep.MaxStretch)
+	}
+}
+
+func TestLemma2NoShortPathAvoidsBottleneck(t *testing.T) {
+	inst := gen.Lemma2Graph(6, 3)
+	an := AnalyzeLemma2(inst)
+	for i := 1; i < inst.N; i++ {
+		if !an.NoShortPathAvoids(i) {
+			t.Fatalf("pair %d has an admissible substitute avoiding (a_1,b_1)", i)
+		}
+	}
+}
+
+// Property: the fan analysis invariants hold for all k.
+func TestPropertyFanAnalysis(t *testing.T) {
+	check := func(seed uint64) bool {
+		k := 1 + int(seed%12)
+		f := gen.FanGraph(k)
+		an := AnalyzeFan(f)
+		if an.Verify() != nil {
+			return false
+		}
+		return an.CongestionH == k && an.CongestionG == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnalyzeTheorem4(b *testing.B) {
+	inst, err := gen.Theorem4Affine(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeTheorem4(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

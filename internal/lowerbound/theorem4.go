@@ -1,0 +1,109 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Theorem4Analysis measures the Theorem 4 composite lower bound: the
+// optimal-size 3-distance spanner of the composite fan graph and the
+// adversarial routing whose congestion stretch is Ω(k) = Ω(n^{1/6}).
+type Theorem4Analysis struct {
+	Inst    *gen.Theorem4Instance
+	H       *graph.Graph
+	Removed []graph.Edge // k removed line edges per fan instance
+
+	RoutingG *routing.Routing
+	RoutingH *routing.Routing
+
+	CongestionG int // 1 (the removed edges of one instance form a matching; across instances subsets overlap in ≤1 node)
+	CongestionH int // ≥ k at each special node
+
+	EdgesG, EdgesH  int
+	PaperEdgeBound  float64 // n^{7/6} shape for the instance's parameters
+	PaperBetaBound  float64 // (2k−1)/4
+	MeasuredStretch float64 // CongestionH / CongestionG
+}
+
+// AnalyzeTheorem4 applies the Lemma 18 maximal removal to every fan
+// instance of the composite graph (establishing the Ω(n^{7/6}) optimal
+// spanner size), then builds the adversarial routing of a SINGLE instance
+// — the removed edges of one fan, whose optimal congestion in G is 1 but
+// which all funnel through that instance's special node in H, exactly as
+// in the proof of Theorem 4 (which invokes Lemma 18 on one instance).
+func AnalyzeTheorem4(inst *gen.Theorem4Instance) (*Theorem4Analysis, error) {
+	k := inst.K
+	removedSet := make(map[graph.Edge]bool, k*len(inst.Lines))
+	var removed []graph.Edge
+	var prob routing.Problem
+	var pathsG, pathsH []routing.Path
+
+	for i, line := range inst.Lines {
+		s := inst.Specials[i]
+		for j := 1; j <= k; j++ {
+			u := line[2*(j-1)]
+			v := line[2*(j-1)+1]
+			w := line[2*j]
+			e := graph.Edge{U: u, V: v}.Normalize()
+			if removedSet[e] {
+				return nil, fmt.Errorf("lowerbound: duplicate removal %v (family not edge-disjoint?)", e)
+			}
+			removedSet[e] = true
+			removed = append(removed, e)
+			if i == 0 {
+				// The adversarial routing targets one instance.
+				prob = append(prob, routing.Pair{Src: u, Dst: v})
+				pathsG = append(pathsG, routing.Path{u, v})
+				pathsH = append(pathsH, routing.Path{u, s, w, v})
+			}
+		}
+	}
+	h := inst.G.FilterEdges(func(e graph.Edge) bool { return !removedSet[e] })
+
+	an := &Theorem4Analysis{
+		Inst:     inst,
+		H:        h,
+		Removed:  removed,
+		RoutingG: &routing.Routing{Problem: prob, Paths: pathsG},
+		RoutingH: &routing.Routing{Problem: prob, Paths: pathsH},
+		EdgesG:   inst.G.M(),
+		EdgesH:   h.M(),
+	}
+	an.CongestionG = an.RoutingG.NodeCongestion(inst.G.N())
+	an.CongestionH = an.RoutingH.NodeCongestion(inst.G.N())
+	nTotal := float64(inst.G.N())
+	an.PaperEdgeBound = math.Pow(nTotal, 7.0/6.0)
+	an.PaperBetaBound = float64(2*k-1) / 4
+	if an.CongestionG > 0 {
+		an.MeasuredStretch = float64(an.CongestionH) / float64(an.CongestionG)
+	}
+	return an, nil
+}
+
+// Verify checks validity of both routings, spanner containment, and the
+// per-instance edge accounting (each instance loses exactly k edges).
+func (a *Theorem4Analysis) Verify() error {
+	if err := a.RoutingG.Validate(a.Inst.G); err != nil {
+		return fmt.Errorf("lowerbound: theorem4 G routing: %w", err)
+	}
+	if err := a.RoutingH.Validate(a.H); err != nil {
+		return fmt.Errorf("lowerbound: theorem4 H routing: %w", err)
+	}
+	if !a.H.IsSubgraphOf(a.Inst.G) {
+		return fmt.Errorf("lowerbound: H not a subgraph")
+	}
+	wantRemoved := a.Inst.K * len(a.Inst.Lines)
+	if a.EdgesG-a.EdgesH != wantRemoved {
+		return fmt.Errorf("lowerbound: removed %d edges, want %d", a.EdgesG-a.EdgesH, wantRemoved)
+	}
+	for i, p := range a.RoutingH.Paths {
+		if p.Len() > 3 {
+			return fmt.Errorf("lowerbound: substitute %d longer than 3", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// VFTAnalysis is the Figure 1 measurement: an f-vertex-fault-tolerant-
+// style spanner of the clique–matching graph that keeps only f+1 matching
+// edges, and the perfect-matching routing problem that forces congestion
+// Ω(n^{2/3}) on the endpoints of the kept edges.
+type VFTAnalysis struct {
+	G *graph.Graph // two n/2-cliques + perfect matching
+	H *graph.Graph // spanner keeping only f+1 matching edges
+	F int          // the fault parameter, ⌈n^{1/3}⌉
+
+	RoutingG *routing.Routing // the matching pairs routed over their own edges
+	RoutingH *routing.Routing // balanced rerouting over the kept edges
+
+	CongestionG int
+	CongestionH int
+	PaperBound  float64 // Ω(n^{2/3}): (n/2 − (f+1)) / (f+1) with balancing
+}
+
+// AnalyzeVFT builds the Figure 1 construction on the clique–matching
+// graph with n vertices (n even). The spanner keeps the cliques intact
+// (sparsifying them further cannot reduce congestion at the matching
+// endpoints) and only the first f+1 matching edges, f = ⌈n^{1/3}⌉.
+//
+// The rerouted matching pairs are spread over the kept edges as evenly as
+// possible — the best case for the spanner — and the congestion at kept-
+// edge endpoints is still Ω(n^{2/3}).
+func AnalyzeVFT(n int) (*VFTAnalysis, error) {
+	if n < 8 || n%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: AnalyzeVFT needs even n >= 8")
+	}
+	g := gen.CliqueMatchingGraph(n)
+	half := n / 2
+	f := int(math.Ceil(math.Cbrt(float64(n))))
+	kept := f + 1
+	if kept > half {
+		kept = half
+	}
+	h := g.FilterEdges(func(e graph.Edge) bool {
+		// Matching edges are (i, half+i); drop those with i >= kept.
+		if int(e.V) == int(e.U)+half {
+			return int(e.U) < kept
+		}
+		return true
+	})
+
+	prob := make(routing.Problem, half)
+	pathsG := make([]routing.Path, half)
+	pathsH := make([]routing.Path, half)
+	for i := 0; i < half; i++ {
+		src, dst := int32(i), int32(half+i)
+		prob[i] = routing.Pair{Src: src, Dst: dst}
+		pathsG[i] = routing.Path{src, dst}
+		if i < kept {
+			pathsH[i] = routing.Path{src, dst}
+			continue
+		}
+		// Balanced reroute via kept edge j: i → j → half+j → half+i.
+		j := int32((i - kept) % kept)
+		pathsH[i] = routing.Path{src, j, int32(half) + j, dst}
+	}
+	an := &VFTAnalysis{
+		G: g, H: h, F: f,
+		RoutingG: &routing.Routing{Problem: prob, Paths: pathsG},
+		RoutingH: &routing.Routing{Problem: prob, Paths: pathsH},
+	}
+	an.CongestionG = an.RoutingG.NodeCongestion(n)
+	an.CongestionH = an.RoutingH.NodeCongestion(n)
+	an.PaperBound = float64(half-kept) / float64(kept)
+	return an, nil
+}
+
+// Verify validates both routings and the spanner relationship.
+func (a *VFTAnalysis) Verify() error {
+	if err := a.RoutingG.Validate(a.G); err != nil {
+		return fmt.Errorf("lowerbound: VFT G routing: %w", err)
+	}
+	if err := a.RoutingH.Validate(a.H); err != nil {
+		return fmt.Errorf("lowerbound: VFT H routing: %w", err)
+	}
+	if !a.H.IsSubgraphOf(a.G) {
+		return fmt.Errorf("lowerbound: VFT H not a subgraph")
+	}
+	if a.CongestionG != 1 {
+		return fmt.Errorf("lowerbound: VFT C_G = %d, want 1", a.CongestionG)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package matching
+
+// Edmonds' blossom algorithm for maximum matching in general (not
+// necessarily bipartite) graphs, O(V³).
+//
+// The spanner package needs it for Lemma 4's neighborhood matchings: when
+// N(u) and N(v) overlap, the "matching between N(u) and N(v)" is a
+// matching problem on a non-bipartite graph (a shared neighbor may be
+// matched to another shared neighbor), and Hopcroft–Karp over the two
+// sides systematically underestimates it.
+
+// GeneralGraph is an adjacency-list graph for Blossom; vertices are
+// 0..N−1.
+type GeneralGraph struct {
+	N   int
+	Adj [][]int32
+}
+
+// NewGeneralGraph creates an empty graph on n vertices.
+func NewGeneralGraph(n int) *GeneralGraph {
+	return &GeneralGraph{N: n, Adj: make([][]int32, n)}
+}
+
+// AddEdge inserts an undirected edge (both directions). Duplicate edges
+// are harmless (they only cost scan time).
+func (g *GeneralGraph) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	g.Adj[u] = append(g.Adj[u], v)
+	g.Adj[v] = append(g.Adj[v], u)
+}
+
+// Blossom computes a maximum matching. match[v] is the partner of v or −1.
+func Blossom(g *GeneralGraph) (match []int32, size int) {
+	n := g.N
+	match = make([]int32, n)
+	p := make([]int32, n)    // parent in the alternating tree
+	base := make([]int32, n) // base of the blossom containing v
+	q := make([]int32, 0, n)
+	used := make([]bool, n)
+	blossom := make([]bool, n)
+	for i := range match {
+		match[i] = -1
+	}
+
+	lca := func(a, b int32) int32 {
+		usedPath := make(map[int32]bool)
+		for {
+			a = base[a]
+			usedPath[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = p[match[a]]
+		}
+		for {
+			b = base[b]
+			if usedPath[b] {
+				return b
+			}
+			b = p[match[b]]
+		}
+	}
+
+	markPath := func(v, b, child int32) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[match[v]]] = true
+			p[v] = child
+			child = match[v]
+			v = p[match[v]]
+		}
+	}
+
+	findPath := func(root int32) int32 {
+		for i := range used {
+			used[i] = false
+			p[i] = -1
+			base[i] = int32(i)
+		}
+		q = q[:0]
+		q = append(q, root)
+		used[root] = true
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			for _, to := range g.Adj[v] {
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && p[match[to]] != -1) {
+					// Found a blossom: contract it.
+					curBase := lca(v, to)
+					for i := range blossom {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := int32(0); i < int32(n); i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								q = append(q, i)
+							}
+						}
+					}
+				} else if p[to] == -1 {
+					p[to] = v
+					if match[to] == -1 {
+						return to // augmenting path found
+					}
+					used[match[to]] = true
+					q = append(q, match[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := int32(0); v < int32(n); v++ {
+		if match[v] != -1 {
+			continue
+		}
+		u := findPath(v)
+		if u == -1 {
+			continue
+		}
+		size++
+		// Augment along the path ending at u.
+		for u != -1 {
+			pv := p[u]
+			ppv := match[pv]
+			match[u] = pv
+			match[pv] = u
+			u = ppv
+		}
+	}
+	return match, size
+}
+
+// VerifyGeneralMatching checks match is a valid matching of g.
+func VerifyGeneralMatching(g *GeneralGraph, match []int32) bool {
+	for v := int32(0); v < int32(g.N); v++ {
+		w := match[v]
+		if w == -1 {
+			continue
+		}
+		if w < 0 || int(w) >= g.N || match[w] != v || w == v {
+			return false
+		}
+		found := false
+		for _, x := range g.Adj[v] {
+			if x == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBlossomTriangle(t *testing.T) {
+	g := NewGeneralGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	match, size := Blossom(g)
+	if size != 1 {
+		t.Fatalf("triangle matching size %d, want 1", size)
+	}
+	if !VerifyGeneralMatching(g, match) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestBlossomOddCycle(t *testing.T) {
+	// C5 has maximum matching 2.
+	g := NewGeneralGraph(5)
+	for i := int32(0); i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	_, size := Blossom(g)
+	if size != 2 {
+		t.Fatalf("C5 matching size %d, want 2", size)
+	}
+}
+
+func TestBlossomRequiresContraction(t *testing.T) {
+	// The classic case: two triangles joined by a path, where a greedy
+	// bipartite-style search fails without blossom contraction.
+	//   0-1, 1-2, 2-0 (triangle A), 3-4, 4-5, 5-3 (triangle B), 2-3.
+	g := NewGeneralGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	g.AddEdge(2, 3)
+	match, size := Blossom(g)
+	if size != 3 {
+		t.Fatalf("matching size %d, want 3 (perfect)", size)
+	}
+	if !VerifyGeneralMatching(g, match) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestBlossomPetersenPerfect(t *testing.T) {
+	// The Petersen graph has a perfect matching (size 5).
+	outer := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int32{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	g := NewGeneralGraph(10)
+	for _, e := range outer {
+		g.AddEdge(e[0], e[1])
+	}
+	for _, e := range inner {
+		g.AddEdge(e[0], e[1])
+	}
+	for i := int32(0); i < 5; i++ {
+		g.AddEdge(i, i+5)
+	}
+	match, size := Blossom(g)
+	if size != 5 {
+		t.Fatalf("Petersen matching size %d, want 5", size)
+	}
+	if !VerifyGeneralMatching(g, match) {
+		t.Fatal("invalid matching")
+	}
+}
+
+// bruteGeneralMatching computes the maximum matching size exhaustively.
+func bruteGeneralMatching(g *GeneralGraph) int {
+	type edge struct{ u, v int32 }
+	var edges []edge
+	for u := int32(0); u < int32(g.N); u++ {
+		for _, v := range g.Adj[u] {
+			if v > u {
+				edges = append(edges, edge{u, v})
+			}
+		}
+	}
+	used := make([]bool, g.N)
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == len(edges) {
+			return 0
+		}
+		best := rec(i + 1)
+		e := edges[i]
+		if !used[e.u] && !used[e.v] {
+			used[e.u] = true
+			used[e.v] = true
+			if got := 1 + rec(i+1); got > best {
+				best = got
+			}
+			used[e.u] = false
+			used[e.v] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestPropertyBlossomOptimal(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(9)
+		g := NewGeneralGraph(n)
+		seen := make(map[[2]int32]bool)
+		for i := 0; i < 2*n; i++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int32{u, v}] {
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			g.AddEdge(u, v)
+		}
+		match, size := Blossom(g)
+		if !VerifyGeneralMatching(g, match) {
+			return false
+		}
+		return size == bruteGeneralMatching(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	r := rng.New(77)
+	n := 200
+	g := NewGeneralGraph(n)
+	for i := 0; i < 5*n; i++ {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Blossom(g)
+	}
+}

@@ -1,0 +1,108 @@
+// Package matching provides the matching and edge-coloring substrates the
+// spanner constructions rely on: Hopcroft–Karp maximum bipartite matching
+// (used for the neighborhood matchings M_{u,v} of Lemma 4), greedy maximal
+// matching, and Misra–Gries edge coloring with at most Δ+1 colors (used by
+// Algorithm 2, which requires m_k ≤ d_k + 1 matchings per level).
+package matching
+
+// Bipartite describes a bipartite graph for maximum matching: left
+// vertices 0..L−1, right vertices 0..R−1, and Adj[l] listing the right
+// vertices adjacent to left vertex l.
+type Bipartite struct {
+	L, R int
+	Adj  [][]int32
+}
+
+const unmatched = int32(-1)
+
+// HopcroftKarp computes a maximum matching. It returns matchL (for each
+// left vertex, its matched right vertex or −1) and the matching size.
+// Complexity O(E·√V).
+func HopcroftKarp(b *Bipartite) (matchL []int32, size int) {
+	matchL = make([]int32, b.L)
+	matchR := make([]int32, b.R)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	const inf = int32(1) << 30
+	dist := make([]int32, b.L)
+	queue := make([]int32, 0, b.L)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := int32(0); l < int32(b.L); l++ {
+			if matchL[l] == unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			l := queue[head]
+			for _, r := range b.Adj[l] {
+				nl := matchR[r]
+				if nl == unmatched {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, r := range b.Adj[l] {
+			nl := matchR[r]
+			if nl == unmatched || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := int32(0); l < int32(b.L); l++ {
+			if matchL[l] == unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+// VerifyMatching checks that matchL is a valid matching of b: matched
+// pairs are edges and no right vertex is used twice.
+func VerifyMatching(b *Bipartite, matchL []int32) bool {
+	usedR := make(map[int32]bool)
+	for l, r := range matchL {
+		if r == unmatched {
+			continue
+		}
+		if usedR[r] {
+			return false
+		}
+		usedR[r] = true
+		ok := false
+		for _, rr := range b.Adj[l] {
+			if rr == r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,235 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestHopcroftKarpPerfect(t *testing.T) {
+	// K_{5,5} has a perfect matching.
+	b := &Bipartite{L: 5, R: 5, Adj: make([][]int32, 5)}
+	for l := 0; l < 5; l++ {
+		for r := 0; r < 5; r++ {
+			b.Adj[l] = append(b.Adj[l], int32(r))
+		}
+	}
+	matchL, size := HopcroftKarp(b)
+	if size != 5 {
+		t.Fatalf("size = %d, want 5", size)
+	}
+	if !VerifyMatching(b, matchL) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestHopcroftKarpStar(t *testing.T) {
+	// One left vertex adjacent to all rights: matching size 1.
+	b := &Bipartite{L: 3, R: 4, Adj: [][]int32{{0, 1, 2, 3}, {0}, {0}}}
+	_, size := HopcroftKarp(b)
+	// Left 0 can take right 1..3 while left 1 or 2 takes right 0: size 2.
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestHopcroftKarpAugmenting(t *testing.T) {
+	// Classic case needing augmenting paths:
+	// L0-{R0}, L1-{R0,R1}, L2-{R1,R2}: perfect matching of size 3 exists.
+	b := &Bipartite{L: 3, R: 3, Adj: [][]int32{{0}, {0, 1}, {1, 2}}}
+	matchL, size := HopcroftKarp(b)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	if !VerifyMatching(b, matchL) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	b := &Bipartite{L: 3, R: 3, Adj: make([][]int32, 3)}
+	_, size := HopcroftKarp(b)
+	if size != 0 {
+		t.Fatalf("size = %d, want 0", size)
+	}
+}
+
+// bruteMaxMatching computes maximum matching size by exhaustive search
+// (exponential; only for tiny graphs).
+func bruteMaxMatching(b *Bipartite) int {
+	usedR := make([]bool, b.R)
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == b.L {
+			return 0
+		}
+		best := rec(l + 1) // skip l
+		for _, r := range b.Adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				if v := 1 + rec(l+1); v > best {
+					best = v
+				}
+				usedR[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestPropertyHopcroftKarpOptimal(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		L := 1 + r.Intn(7)
+		R := 1 + r.Intn(7)
+		b := &Bipartite{L: L, R: R, Adj: make([][]int32, L)}
+		for l := 0; l < L; l++ {
+			for rr := 0; rr < R; rr++ {
+				if r.Bernoulli(0.4) {
+					b.Adj[l] = append(b.Adj[l], int32(rr))
+				}
+			}
+		}
+		matchL, size := HopcroftKarp(b)
+		if !VerifyMatching(b, matchL) {
+			return false
+		}
+		return size == bruteMaxMatching(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisraGriesSmall(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Path(6), gen.Cycle(7), gen.Cycle(8), gen.Clique(6), gen.Clique(7),
+		gen.CompleteBipartite(4, 5), gen.Hypercube(4),
+	} {
+		col := MisraGries(g)
+		if !col.Verify() {
+			t.Fatalf("%v: improper coloring", g)
+		}
+		if col.NumColors > g.MaxDegree()+1 {
+			t.Fatalf("%v: %d colors > Δ+1 = %d", g, col.NumColors, g.MaxDegree()+1)
+		}
+	}
+}
+
+func TestMisraGriesEvenCycleUsesDeltaColors(t *testing.T) {
+	// Even cycles are class 1: exactly 2 colors suffice; Misra-Gries may
+	// use Δ+1 = 3, but must stay proper. Just check bound here.
+	g := gen.Cycle(10)
+	col := MisraGries(g)
+	if !col.Verify() || col.NumColors > 3 {
+		t.Fatalf("C10 coloring invalid or used %d colors", col.NumColors)
+	}
+}
+
+func TestMisraGriesEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(5).MustBuild()
+	col := MisraGries(g)
+	if col.NumColors != 0 {
+		t.Fatalf("empty graph used %d colors", col.NumColors)
+	}
+}
+
+func TestMisraGriesMatchingsPartition(t *testing.T) {
+	g := gen.Clique(8)
+	col := MisraGries(g)
+	ms := col.Matchings()
+	total := 0
+	for _, m := range ms {
+		total += len(m)
+		// Each group is a matching: no shared endpoints.
+		used := make(map[int32]bool)
+		for _, e := range m {
+			if used[e.U] || used[e.V] {
+				t.Fatal("color class is not a matching")
+			}
+			used[e.U] = true
+			used[e.V] = true
+		}
+	}
+	if total != g.M() {
+		t.Fatalf("matchings cover %d edges, want %d", total, g.M())
+	}
+}
+
+func TestPropertyMisraGriesRandomGraphs(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.BuildDedup()
+		col := MisraGries(g)
+		return col.Verify() && (g.M() == 0 || col.NumColors <= g.MaxDegree()+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyEdgeColoring(t *testing.T) {
+	g := gen.Clique(9)
+	col := GreedyEdgeColoring(g)
+	if !col.Verify() {
+		t.Fatal("greedy coloring improper")
+	}
+	if col.NumColors > 2*g.MaxDegree()-1 {
+		t.Fatalf("greedy used %d colors", col.NumColors)
+	}
+}
+
+func TestGreedyMaximalMatching(t *testing.T) {
+	g := gen.Cycle(9)
+	m := GreedyMaximalMatching(g)
+	used := make(map[int32]bool)
+	for _, e := range m {
+		if used[e.U] || used[e.V] {
+			t.Fatal("not a matching")
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	// Maximality: every edge touches a matched vertex.
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			t.Fatal("matching not maximal")
+		}
+	}
+}
+
+func BenchmarkMisraGriesRegular(b *testing.B) {
+	r := rng.New(21)
+	g := gen.MustRandomRegular(200, 12, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MisraGries(g)
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	r := rng.New(22)
+	L, R := 300, 300
+	bi := &Bipartite{L: L, R: R, Adj: make([][]int32, L)}
+	for l := 0; l < L; l++ {
+		for k := 0; k < 8; k++ {
+			bi.Adj[l] = append(bi.Adj[l], int32(r.Intn(R)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HopcroftKarp(bi)
+	}
+}

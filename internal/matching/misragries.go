@@ -1,0 +1,256 @@
+package matching
+
+import (
+	"repro/internal/graph"
+)
+
+// EdgeColoring is a proper edge coloring of a graph: Colors[i] is the
+// color (in [0, NumColors)) of g.Edges()[i], with no two edges sharing an
+// endpoint and a color.
+type EdgeColoring struct {
+	G         *graph.Graph
+	Colors    []int32
+	NumColors int
+}
+
+// Matchings groups the edges by color; each group is a matching.
+func (c *EdgeColoring) Matchings() [][]graph.Edge {
+	out := make([][]graph.Edge, c.NumColors)
+	for i, e := range c.G.Edges() {
+		col := c.Colors[i]
+		out[col] = append(out[col], e)
+	}
+	return out
+}
+
+// Verify checks the coloring is proper and uses colors in range.
+func (c *EdgeColoring) Verify() bool {
+	n := c.G.N()
+	seen := make(map[int64]bool, 2*c.G.M())
+	key := func(v int32, col int32) int64 { return int64(v)*int64(c.NumColors+1) + int64(col) }
+	_ = n
+	for i, e := range c.G.Edges() {
+		col := c.Colors[i]
+		if col < 0 || int(col) >= c.NumColors {
+			return false
+		}
+		ku, kv := key(e.U, col), key(e.V, col)
+		if seen[ku] || seen[kv] {
+			return false
+		}
+		seen[ku] = true
+		seen[kv] = true
+	}
+	return true
+}
+
+// MisraGries edge-colors g with at most Δ+1 colors using the Misra–Gries
+// constructive proof of Vizing's theorem. This is the coloring Algorithm 2
+// needs: each level-k subgraph with degree d_k is split into m_k ≤ d_k+1
+// matchings.
+//
+// Complexity O(n·m); entirely adequate for the level subgraphs arising in
+// the experiments (their sizes shrink geometrically with level).
+func MisraGries(g *graph.Graph) *EdgeColoring {
+	n := g.N()
+	maxDeg := g.MaxDegree()
+	numColors := maxDeg + 1
+	if g.M() == 0 {
+		return &EdgeColoring{G: g, Colors: nil, NumColors: 0}
+	}
+
+	// colorAt[v][c] = the neighbor joined to v by the edge colored c, or −1.
+	colorAt := make([][]int32, n)
+	for v := range colorAt {
+		row := make([]int32, numColors)
+		for c := range row {
+			row[c] = -1
+		}
+		colorAt[v] = row
+	}
+	// edgeColor[{u,v}] for output assembly.
+	edgeColor := make(map[graph.Edge]int32, g.M())
+
+	free := func(v int32) int32 {
+		for c := int32(0); int(c) < numColors; c++ {
+			if colorAt[v][c] == -1 {
+				return c
+			}
+		}
+		panic("matching: no free color (impossible with Δ+1 colors)")
+	}
+	isFree := func(v, c int32) bool { return colorAt[v][c] == -1 }
+
+	setColor := func(u, v, c int32) {
+		colorAt[u][c] = v
+		colorAt[v][c] = u
+		edgeColor[graph.Edge{U: u, V: v}.Normalize()] = c
+	}
+	unsetColor := func(u, v, c int32) {
+		colorAt[u][c] = -1
+		colorAt[v][c] = -1
+	}
+	getColor := func(u, v int32) (int32, bool) {
+		c, ok := edgeColor[graph.Edge{U: u, V: v}.Normalize()]
+		return c, ok
+	}
+
+	// invert flips colors c and d along the maximal cd-alternating path
+	// starting at u (u has no c edge by choice of c, so the path starts
+	// with a d edge if any). The path is collected first, then recolored,
+	// so the walk never reads its own writes.
+	invert := func(u, c, d int32) {
+		type step struct{ a, b, col int32 }
+		path := make([]step, 0, 16)
+		v := u
+		want := d
+		for {
+			w := colorAt[v][want]
+			if w == -1 {
+				break
+			}
+			path = append(path, step{v, w, want})
+			v = w
+			if want == d {
+				want = c
+			} else {
+				want = d
+			}
+		}
+		for _, s := range path {
+			unsetColor(s.a, s.b, s.col)
+		}
+		for _, s := range path {
+			nc := c
+			if s.col == c {
+				nc = d
+			}
+			setColor(s.a, s.b, nc)
+		}
+	}
+
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		// Build a maximal fan F = [v = f0, f1, ...] around u: each
+		// subsequent f_{i+1} is a neighbor of u whose edge (u, f_{i+1}) is
+		// colored with a color free on f_i.
+		fan := []int32{v}
+		inFan := map[int32]bool{v: true}
+		for {
+			last := fan[len(fan)-1]
+			extended := false
+			for _, w := range g.Neighbors(u) {
+				if inFan[w] {
+					continue
+				}
+				cw, colored := getColor(u, w)
+				if !colored {
+					continue
+				}
+				if isFree(last, cw) {
+					fan = append(fan, w)
+					inFan[w] = true
+					extended = true
+					break
+				}
+			}
+			if !extended {
+				break
+			}
+		}
+		c := free(u)
+		d := free(fan[len(fan)-1])
+		if c != d {
+			invert(u, c, d)
+		}
+		// After inverting the cd path from u, d is free on u. Find the
+		// first fan prefix [f0..fw] that is still a fan and whose tip has
+		// d free; rotate and color.
+		w := len(fan) - 1
+		for i := range fan {
+			if isFree(fan[i], d) {
+				// Check prefix validity: for j < i, color(u, f_{j+1}) must
+				// be free on f_j — inversion may have broken this only at
+				// vertices on the cd path; recompute directly.
+				valid := true
+				for j := 0; j+1 <= i; j++ {
+					cw, colored := getColor(u, fan[j+1])
+					if !colored || !isFree(fan[j], cw) {
+						valid = false
+						break
+					}
+				}
+				if valid {
+					w = i
+					break
+				}
+			}
+		}
+		// Rotate the fan prefix: shift color of (u, f_{j+1}) onto (u, f_j).
+		for j := 0; j < w; j++ {
+			cw, _ := getColor(u, fan[j+1])
+			unsetColor(u, fan[j+1], cw)
+			setColor(u, fan[j], cw)
+		}
+		if !isFree(fan[w], d) || !isFree(u, d) {
+			panic("matching: Misra-Gries invariant violated")
+		}
+		setColor(u, fan[w], d)
+	}
+
+	colors := make([]int32, g.M())
+	used := int32(0)
+	for i, e := range g.Edges() {
+		c := edgeColor[e]
+		colors[i] = c
+		if c+1 > used {
+			used = c + 1
+		}
+	}
+	return &EdgeColoring{G: g, Colors: colors, NumColors: int(used)}
+}
+
+// GreedyEdgeColoring colors edges greedily with the first color free at
+// both endpoints; uses at most 2Δ−1 colors. Retained as a fast fallback
+// and as a baseline to compare against Misra–Gries in tests.
+func GreedyEdgeColoring(g *graph.Graph) *EdgeColoring {
+	numColors := 2*g.MaxDegree() - 1
+	if numColors < 1 {
+		numColors = 1
+	}
+	n := g.N()
+	colorAt := make([][]bool, n)
+	for v := range colorAt {
+		colorAt[v] = make([]bool, numColors)
+	}
+	colors := make([]int32, g.M())
+	used := int32(0)
+	for i, e := range g.Edges() {
+		c := int32(0)
+		for colorAt[e.U][c] || colorAt[e.V][c] {
+			c++
+		}
+		colors[i] = c
+		colorAt[e.U][c] = true
+		colorAt[e.V][c] = true
+		if c+1 > used {
+			used = c + 1
+		}
+	}
+	return &EdgeColoring{G: g, Colors: colors, NumColors: int(used)}
+}
+
+// GreedyMaximalMatching returns a maximal matching of g as a set of edges,
+// scanning edges in their canonical order.
+func GreedyMaximalMatching(g *graph.Graph) []graph.Edge {
+	used := make([]bool, g.N())
+	var out []graph.Edge
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

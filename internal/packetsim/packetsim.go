@@ -1,0 +1,190 @@
+// Package packetsim is a synchronous store-and-forward packet simulator
+// in the node-capacity model the paper's introduction motivates
+// (Section 1.1: in wireless networks "typically at most one packet can be
+// received and forwarded by a node at a time", so routings with smaller
+// node congestion yield lower latency and queue sizes).
+//
+// Given a routing (one path per packet), the simulator advances in
+// synchronous steps; in each step every node transmits at most one queued
+// packet one hop along its path. Makespan, per-packet latency, and queue
+// occupancy are reported, so experiments can tie the paper's congestion
+// stretch directly to delivered performance.
+package packetsim
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+)
+
+// Priority selects which queued packet a node forwards first.
+type Priority int
+
+const (
+	// FIFO forwards in arrival order (ties by packet id).
+	FIFO Priority = iota
+	// FarthestToGo forwards the packet with the most remaining hops —
+	// the classic priority that favors long paths.
+	FarthestToGo
+	// LongestInSystem forwards the oldest packet (injection order).
+	LongestInSystem
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Priority Priority
+	// MaxSteps aborts the run (0 means 16·(n + total path length), far
+	// beyond any legitimate schedule).
+	MaxSteps int
+	// ReceiveCap additionally limits every node to receiving at most one
+	// packet per step — the strict reading of §1.1 ("at most one packet
+	// can be received and forwarded by a node at a time"). A transmission
+	// blocked by the receiver's cap stays queued at the sender.
+	ReceiveCap bool
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Makespan  int   // steps until the last packet arrived
+	Delivered int   // packets delivered (== packets unless aborted)
+	MaxQueue  int   // maximum queue length observed at any node
+	Latencies []int // per-packet delivery step (−1 if undelivered)
+
+	// Lower bounds for context: any schedule needs ≥ Dilation steps and,
+	// for each node, ≥ the number of packets that must cross it.
+	Dilation   int
+	Congestion int
+}
+
+// packet is the mutable in-flight state.
+type packet struct {
+	id   int
+	path routing.Path
+	pos  int // index into path of the node currently holding the packet
+}
+
+// Simulate runs the store-and-forward schedule for the given routing on
+// an n-node network. Paths of length 0 (already at destination) deliver
+// at step 0.
+func Simulate(n int, rt *routing.Routing, opts Options) (*Result, error) {
+	numPackets := len(rt.Paths)
+	res := &Result{Latencies: make([]int, numPackets)}
+	for i := range res.Latencies {
+		res.Latencies[i] = -1
+	}
+
+	queues := make([][]*packet, n)
+	totalLen := 0
+	for i, p := range rt.Paths {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("packetsim: packet %d has empty path", i)
+		}
+		pk := &packet{id: i, path: p, pos: 0}
+		if p.Len() == 0 {
+			res.Latencies[i] = 0
+			res.Delivered++
+			continue
+		}
+		queues[p[0]] = append(queues[p[0]], pk)
+		totalLen += p.Len()
+		if p.Len() > res.Dilation {
+			res.Dilation = p.Len()
+		}
+	}
+	res.Congestion = rt.NodeCongestion(n)
+
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 16 * (n + totalLen + 1)
+	}
+
+	inFlight := numPackets - res.Delivered
+	step := 0
+	for inFlight > 0 && step < maxSteps {
+		step++
+		// Selection phase: every node picks at most one packet to send.
+		type move struct {
+			pk   *packet
+			from int32
+		}
+		var moves []move
+		received := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			q := queues[v]
+			if len(q) == 0 {
+				continue
+			}
+			best := 0
+			switch opts.Priority {
+			case FarthestToGo:
+				for i := 1; i < len(q); i++ {
+					ri := q[i].path.Len() - q[i].pos
+					rb := q[best].path.Len() - q[best].pos
+					if ri > rb || (ri == rb && q[i].id < q[best].id) {
+						best = i
+					}
+				}
+			case LongestInSystem:
+				for i := 1; i < len(q); i++ {
+					if q[i].id < q[best].id {
+						best = i
+					}
+				}
+			default: // FIFO: head of queue
+			}
+			if opts.ReceiveCap {
+				// The chosen packet's next hop must still be free to
+				// receive this step (nodes are scanned in id order, a
+				// fixed arbitration).
+				next := q[best].path[q[best].pos+1]
+				if received[next] {
+					continue // blocked; stays queued
+				}
+				received[next] = true
+			}
+			moves = append(moves, move{pk: q[best], from: int32(v)})
+			queues[v] = append(q[:best], q[best+1:]...)
+		}
+		// Delivery phase: all selected packets advance one hop
+		// simultaneously (synchronous model).
+		for _, m := range moves {
+			m.pk.pos++
+			at := m.pk.path[m.pk.pos]
+			if m.pk.pos == len(m.pk.path)-1 {
+				res.Latencies[m.pk.id] = step
+				res.Delivered++
+				inFlight--
+				continue
+			}
+			queues[at] = append(queues[at], m.pk)
+		}
+		for v := 0; v < n; v++ {
+			if len(queues[v]) > res.MaxQueue {
+				res.MaxQueue = len(queues[v])
+			}
+		}
+		if res.Delivered == numPackets {
+			break
+		}
+	}
+	res.Makespan = step
+	if inFlight > 0 {
+		return res, fmt.Errorf("packetsim: %d packets undelivered after %d steps", inFlight, step)
+	}
+	return res, nil
+}
+
+// MeanLatency returns the average delivery step over delivered packets.
+func (r *Result) MeanLatency() float64 {
+	sum, cnt := 0, 0
+	for _, l := range r.Latencies {
+		if l >= 0 {
+			sum += l
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}

@@ -1,0 +1,244 @@
+package packetsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/routing"
+)
+
+func TestSinglePacketDeliversInDilation(t *testing.T) {
+	rt := &routing.Routing{
+		Problem: routing.Problem{{Src: 0, Dst: 4}},
+		Paths:   []routing.Path{{0, 1, 2, 3, 4}},
+	}
+	res, err := Simulate(5, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 4 {
+		t.Fatalf("makespan %d, want 4", res.Makespan)
+	}
+	if res.Latencies[0] != 4 {
+		t.Fatalf("latency %d", res.Latencies[0])
+	}
+	if res.MaxQueue != 1 {
+		t.Fatalf("max queue %d, want 1", res.MaxQueue)
+	}
+}
+
+func TestHubSerializesPackets(t *testing.T) {
+	// k packets all passing node 0 (a star hub): the hub transmits one
+	// per step, so makespan ≥ k+1 (last packet waits k−1 steps at source
+	// side... exactly: all arrive at hub needing hub transmission).
+	k := 5
+	var paths []routing.Path
+	var prob routing.Problem
+	// Leaves 1..k send to leaves k+1..2k via hub 0.
+	for i := 0; i < k; i++ {
+		src := int32(1 + i)
+		dst := int32(1 + k + i)
+		prob = append(prob, routing.Pair{Src: src, Dst: dst})
+		paths = append(paths, routing.Path{src, 0, dst})
+	}
+	rt := &routing.Routing{Problem: prob, Paths: paths}
+	res, err := Simulate(2*k+1, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: all k sources transmit into the hub simultaneously; then the
+	// hub drains one per step: makespan = 1 + k.
+	if res.Makespan != 1+k {
+		t.Fatalf("makespan %d, want %d", res.Makespan, 1+k)
+	}
+	if res.MaxQueue < k-1 {
+		t.Fatalf("max queue %d, want >= %d", res.MaxQueue, k-1)
+	}
+	if res.Congestion != k {
+		t.Fatalf("congestion %d, want %d", res.Congestion, k)
+	}
+}
+
+func TestDisjointPathsRunInParallel(t *testing.T) {
+	rt := &routing.Routing{
+		Problem: routing.Problem{{Src: 0, Dst: 2}, {Src: 3, Dst: 5}},
+		Paths:   []routing.Path{{0, 1, 2}, {3, 4, 5}},
+	}
+	res, err := Simulate(6, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2 {
+		t.Fatalf("makespan %d, want 2 (parallel)", res.Makespan)
+	}
+}
+
+func TestMakespanAtLeastLowerBounds(t *testing.T) {
+	r := rng.New(1)
+	g := gen.MustRandomRegular(60, 6, r)
+	prob := routing.RandomProblem(60, 80, r)
+	rt, err := routing.ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prio := range []Priority{FIFO, FarthestToGo, LongestInSystem} {
+		res, err := Simulate(60, rt, Options{Priority: prio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.Dilation {
+			t.Fatalf("prio %d: makespan %d < dilation %d", prio, res.Makespan, res.Dilation)
+		}
+		if res.Delivered != len(prob) {
+			t.Fatalf("prio %d: delivered %d of %d", prio, res.Delivered, len(prob))
+		}
+	}
+}
+
+func TestZeroLengthPathDeliversImmediately(t *testing.T) {
+	rt := &routing.Routing{
+		Problem: routing.Problem{{Src: 0, Dst: 1}},
+		Paths:   []routing.Path{{0}},
+	}
+	res, err := Simulate(2, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 || res.Latencies[0] != 0 {
+		t.Fatalf("zero-length path: %+v", res)
+	}
+}
+
+func TestEmptyPathRejected(t *testing.T) {
+	rt := &routing.Routing{
+		Problem: routing.Problem{{Src: 0, Dst: 1}},
+		Paths:   []routing.Path{{}},
+	}
+	if _, err := Simulate(2, rt, Options{}); err == nil {
+		t.Fatal("accepted empty path")
+	}
+}
+
+func TestMaxStepsAbort(t *testing.T) {
+	k := 10
+	var paths []routing.Path
+	var prob routing.Problem
+	for i := 0; i < k; i++ {
+		src := int32(1 + i)
+		dst := int32(1 + k + i)
+		prob = append(prob, routing.Pair{Src: src, Dst: dst})
+		paths = append(paths, routing.Path{src, 0, dst})
+	}
+	rt := &routing.Routing{Problem: prob, Paths: paths}
+	res, err := Simulate(2*k+1, rt, Options{MaxSteps: 3})
+	if err == nil {
+		t.Fatal("expected abort error")
+	}
+	if res.Delivered >= k {
+		t.Fatalf("delivered %d with only 3 steps", res.Delivered)
+	}
+}
+
+func TestReceiveCapSerializesFanIn(t *testing.T) {
+	// k sources each one hop from a common destination 0: without the
+	// receive cap all deliver in step 1; with it, one per step.
+	k := 4
+	var prob routing.Problem
+	var paths []routing.Path
+	for i := 0; i < k; i++ {
+		src := int32(1 + i)
+		prob = append(prob, routing.Pair{Src: src, Dst: 0})
+		paths = append(paths, routing.Path{src, 0})
+	}
+	rt := &routing.Routing{Problem: prob, Paths: paths}
+	free, err := Simulate(k+1, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Makespan != 1 {
+		t.Fatalf("uncapped makespan %d, want 1", free.Makespan)
+	}
+	capped, err := Simulate(k+1, rt, Options{ReceiveCap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Makespan != k {
+		t.Fatalf("capped makespan %d, want %d", capped.Makespan, k)
+	}
+}
+
+func TestReceiveCapStillDelivers(t *testing.T) {
+	r := rng.New(9)
+	g := gen.MustRandomRegular(40, 6, r)
+	prob := routing.RandomProblem(40, 60, r)
+	rt, err := routing.ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(40, rt, Options{ReceiveCap: true, Priority: FarthestToGo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(prob) {
+		t.Fatalf("delivered %d of %d under receive cap", res.Delivered, len(prob))
+	}
+	uncapped, err := Simulate(40, rt, Options{Priority: FarthestToGo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < uncapped.Makespan {
+		t.Fatalf("receive cap sped things up? %d < %d", res.Makespan, uncapped.Makespan)
+	}
+}
+
+// Property: makespan is always >= dilation and every packet's latency is
+// >= its path length; all packets deliver within the default budget.
+func TestPropertySimulationSane(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + 2*r.Intn(20)
+		g := gen.MustRandomRegular(n, 4, r)
+		if !g.Connected() {
+			return true
+		}
+		prob := routing.RandomProblem(n, 1+r.Intn(2*n), r)
+		rt, err := routing.ShortestPaths(g, prob)
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(n, rt, Options{Priority: Priority(seed % 3)})
+		if err != nil {
+			return false
+		}
+		if res.Makespan < res.Dilation {
+			return false
+		}
+		for i, p := range rt.Paths {
+			if res.Latencies[i] < p.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	r := rng.New(2)
+	g := gen.MustRandomRegular(200, 8, r)
+	prob := routing.RandomProblem(200, 400, r)
+	rt, err := routing.ShortestPaths(g, prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(200, rt, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams collide %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(2)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d of expected %d", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(4)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(6)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 3}, {10, 10}, {1000, 5}, {100, 90}} {
+		s := r.Sample(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("Sample(%d,%d) length %d", tc.n, tc.k, len(s))
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid: %v", tc.n, tc.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3,4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestNorm64Moments(t *testing.T) {
+	r := New(8)
+	const trials = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		x := r.Norm64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm64 mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm64 variance %v", variance)
+	}
+}
+
+func TestShuffleIsPermutationProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, n)
+		for _, v := range xs {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(1000)
+	}
+}

@@ -1,0 +1,70 @@
+package routing
+
+import "repro/internal/graph"
+
+// NodeCongestionProfile returns, for each vertex of an n-vertex graph, the
+// number of paths of r that use it (C(P, v) in the paper). A path visiting
+// a vertex multiple times (non-simple walk) counts once, matching the
+// set-membership definition C(P, v) = |{p_i : v ∈ p_i}|.
+func (r *Routing) NodeCongestionProfile(n int) []int {
+	counts := make([]int, n)
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for pi, p := range r.Paths {
+		for _, v := range p {
+			if stamp[v] != pi {
+				stamp[v] = pi
+				counts[v]++
+			}
+		}
+	}
+	return counts
+}
+
+// NodeCongestion returns C(P) = max_v C(P, v).
+func (r *Routing) NodeCongestion(n int) int {
+	max := 0
+	for _, c := range r.NodeCongestionProfile(n) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// EdgeCongestionProfile returns the number of paths using each edge of g
+// (in either direction). Edges outside g used by a path are ignored; call
+// Validate first if that matters.
+func (r *Routing) EdgeCongestionProfile(g *graph.Graph) map[graph.Edge]int {
+	counts := make(map[graph.Edge]int)
+	for _, p := range r.Paths {
+		for i := 1; i < len(p); i++ {
+			e := graph.Edge{U: p[i-1], V: p[i]}.Normalize()
+			counts[e]++
+		}
+	}
+	return counts
+}
+
+// EdgeCongestion returns the maximum per-edge congestion.
+func (r *Routing) EdgeCongestion(g *graph.Graph) int {
+	max := 0
+	for _, c := range r.EdgeCongestionProfile(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TotalLength returns the sum of path lengths — a secondary quality metric
+// used by the experiment harness.
+func (r *Routing) TotalLength() int {
+	sum := 0
+	for _, p := range r.Paths {
+		sum += p.Len()
+	}
+	return sum
+}

@@ -1,0 +1,280 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// edgeRef addresses one edge occurrence inside one path of a routing:
+// path Paths[PathIdx], edge (p[Pos], p[Pos+1]).
+type edgeRef struct {
+	PathIdx int32
+	Pos     int32
+}
+
+// Level is one level of the Algorithm 2 decomposition: the subgraph
+// G_k = (V, Y_k) induced by the level's edges, its degree d_k, and the
+// partition of Y_k into matchings via a proper edge coloring with
+// m_k ≤ d_k+1 colors (Misra–Gries).
+type Level struct {
+	Edges     []graph.Edge   // Y_k, each edge once
+	Degree    int            // d_k
+	Matchings [][]graph.Edge // color classes; each is a matching
+	// assignment of this level's (path, pos) pairs:
+	// refs[i] is the occurrence that consumed Edges[i].
+	refs []edgeRef
+	// colorOf[i] is the color (matching index) of Edges[i].
+	colorOf []int32
+}
+
+// Decomposition is the output of Algorithm 2's first half (lines 1–17):
+// the routing's edges partitioned into per-level matchings, with each edge
+// occurrence of each path assigned to exactly one (level, matching) slot.
+type Decomposition struct {
+	N       int
+	Routing *Routing
+	Levels  []*Level
+	// slot[pathIdx][pos] = (level, matching index within level, index of
+	// the edge within that matching), so substitution is O(1) per edge.
+	slot [][]slotRef
+}
+
+type slotRef struct {
+	Level int32
+	Match int32
+	Idx   int32
+}
+
+// NumMatchings returns the total number of matchings across levels
+// (Lemma 23 bounds this by O(n³); in practice it is far smaller).
+func (d *Decomposition) NumMatchings() int {
+	total := 0
+	for _, l := range d.Levels {
+		total += len(l.Matchings)
+	}
+	return total
+}
+
+// DegreePlusOneSum returns Σ_k (d_k + 1), the quantity Lemma 21 bounds by
+// 12·C(P)·log₂ n.
+func (d *Decomposition) DegreePlusOneSum() int {
+	s := 0
+	for _, l := range d.Levels {
+		s += l.Degree + 1
+	}
+	return s
+}
+
+// Lemma21Bound returns 12·C(P)·log₂ n for this decomposition's routing.
+func (d *Decomposition) Lemma21Bound() float64 {
+	c := d.Routing.NodeCongestion(d.N)
+	return 12 * float64(c) * math.Log2(float64(d.N))
+}
+
+// EdgeColorer colors a level subgraph into matchings. Algorithm 2 uses
+// Misra–Gries (m_k ≤ d_k+1 colors); the ablation experiments also run the
+// greedy colorer (≤ 2d_k−1 colors) to quantify what the tighter coloring
+// buys.
+type EdgeColorer func(*graph.Graph) *matching.EdgeColoring
+
+// Decompose runs lines 1–17 of Algorithm 2: it assigns every edge
+// occurrence of every path to a level (each level uses each edge at most
+// once), then edge-colors each level subgraph with ≤ d_k+1 colors so each
+// color class is a matching.
+func Decompose(n int, r *Routing) (*Decomposition, error) {
+	return DecomposeWith(n, r, matching.MisraGries, true)
+}
+
+// DecomposeWith is Decompose with a custom level colorer. strict enforces
+// the m_k ≤ d_k+1 bound (set false for colorers without that guarantee).
+func DecomposeWith(n int, r *Routing, color EdgeColorer, strict bool) (*Decomposition, error) {
+	// A_p: remaining edge occurrences per path, expressed as positions.
+	// An edge may appear several times across paths (and, for non-simple
+	// walks, within a path); each occurrence is consumed exactly once.
+	type occList struct {
+		refs []edgeRef
+	}
+	remaining := make(map[graph.Edge]*occList)
+	for pi, p := range r.Paths {
+		for j := 0; j+1 < len(p); j++ {
+			e := graph.Edge{U: p[j], V: p[j+1]}.Normalize()
+			l := remaining[e]
+			if l == nil {
+				l = &occList{}
+				remaining[e] = l
+			}
+			l.refs = append(l.refs, edgeRef{PathIdx: int32(pi), Pos: int32(j)})
+		}
+	}
+
+	d := &Decomposition{N: n, Routing: r}
+	d.slot = make([][]slotRef, len(r.Paths))
+	for pi, p := range r.Paths {
+		if p.Len() > 0 {
+			d.slot[pi] = make([]slotRef, p.Len())
+		}
+	}
+
+	// Build levels: level k takes one pending occurrence of every edge
+	// that still has pending occurrences. Y_{k+1} ⊆ Y_k holds because an
+	// edge with occurrences left at level k+1 had some at level k too.
+	for len(remaining) > 0 {
+		level := &Level{}
+		for e, l := range remaining {
+			level.Edges = append(level.Edges, e)
+			level.refs = append(level.refs, l.refs[len(l.refs)-1])
+			l.refs = l.refs[:len(l.refs)-1]
+			if len(l.refs) == 0 {
+				delete(remaining, e)
+			}
+		}
+		// Canonicalize edge order (map iteration is randomized) so the
+		// decomposition is deterministic for a given routing.
+		sortLevel(level)
+		d.Levels = append(d.Levels, level)
+	}
+
+	// Color each level and record slots.
+	for li, level := range d.Levels {
+		sub := graph.FromEdges(n, level.Edges)
+		level.Degree = sub.MaxDegree()
+		coloring := color(sub)
+		if strict && coloring.NumColors > level.Degree+1 {
+			return nil, fmt.Errorf("routing: level %d used %d colors > d_k+1 = %d",
+				li, coloring.NumColors, level.Degree+1)
+		}
+		level.Matchings = make([][]graph.Edge, coloring.NumColors)
+		level.colorOf = make([]int32, len(level.Edges))
+		// The subgraph's canonical edge order equals level.Edges' sorted
+		// order, which sortLevel established; map colors back by index.
+		subEdges := sub.Edges()
+		if len(subEdges) != len(level.Edges) {
+			return nil, fmt.Errorf("routing: level %d lost edges in subgraph", li)
+		}
+		idxWithin := make([]int32, len(level.Edges))
+		for i, e := range subEdges {
+			if e != level.Edges[i] {
+				return nil, fmt.Errorf("routing: level %d edge order mismatch", li)
+			}
+			c := coloring.Colors[i]
+			level.colorOf[i] = c
+			idxWithin[i] = int32(len(level.Matchings[c]))
+			level.Matchings[c] = append(level.Matchings[c], e)
+		}
+		for i, ref := range level.refs {
+			d.slot[ref.PathIdx][ref.Pos] = slotRef{
+				Level: int32(li),
+				Match: level.colorOf[i],
+				Idx:   idxWithin[i],
+			}
+		}
+	}
+	return d, nil
+}
+
+// sortLevel sorts the level's parallel slices (Edges, refs) by edge.
+func sortLevel(l *Level) {
+	idx := make([]int, len(l.Edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort on the permutation; levels are typically small and
+	// this keeps the parallel-slice permutation explicit.
+	lessEdge := func(a, b graph.Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	}
+	for i := 1; i < len(idx); i++ {
+		j := i
+		for j > 0 && lessEdge(l.Edges[idx[j]], l.Edges[idx[j-1]]) {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			j--
+		}
+	}
+	edges := make([]graph.Edge, len(l.Edges))
+	refs := make([]edgeRef, len(l.refs))
+	for to, from := range idx {
+		edges[to] = l.Edges[from]
+		refs[to] = l.refs[from]
+	}
+	l.Edges = edges
+	l.refs = refs
+}
+
+// MatchingRouter produces a substitute routing on a spanner for a matching
+// routing problem: given matching edges, it returns one path per edge,
+// oriented from e.U to e.V. Implementations are provided by the spanner
+// package (identity for surviving edges, 3-detours for removed ones).
+type MatchingRouter interface {
+	// RouteMatching returns paths[i] from edges[i].U to edges[i].V in the
+	// spanner. The input is a matching in the base graph.
+	RouteMatching(edges []graph.Edge) ([]Path, error)
+}
+
+// Substitute runs the second half of Algorithm 2 (lines 18–27): each
+// matching of each level is routed on the spanner via router, and every
+// path of the original routing is rebuilt by splicing in the matching
+// paths (oriented to the traversal direction).
+func (d *Decomposition) Substitute(router MatchingRouter) (*Routing, error) {
+	// Route every matching once.
+	routed := make([][][]Path, len(d.Levels))
+	for li, level := range d.Levels {
+		routed[li] = make([][]Path, len(level.Matchings))
+		for mi, m := range level.Matchings {
+			paths, err := router.RouteMatching(m)
+			if err != nil {
+				return nil, fmt.Errorf("routing: level %d matching %d: %w", li, mi, err)
+			}
+			if len(paths) != len(m) {
+				return nil, fmt.Errorf("routing: level %d matching %d: %d paths for %d edges",
+					li, mi, len(paths), len(m))
+			}
+			routed[li][mi] = paths
+		}
+	}
+
+	out := &Routing{Problem: d.Routing.Problem, Paths: make([]Path, len(d.Routing.Paths))}
+	for pi, p := range d.Routing.Paths {
+		if p.Len() == 0 {
+			out.Paths[pi] = append(Path(nil), p...)
+			continue
+		}
+		np := make(Path, 0, 3*p.Len()+1)
+		np = append(np, p[0])
+		for j := 0; j+1 < len(p); j++ {
+			ref := d.slot[pi][j]
+			level := d.Levels[ref.Level]
+			e := level.Matchings[ref.Match][ref.Idx]
+			q := routed[ref.Level][ref.Match][ref.Idx]
+			// Orient q to run p[j] -> p[j+1].
+			if p[j] == e.U {
+				np = append(np, q[1:]...)
+			} else {
+				rq := q.Reversed()
+				np = append(np, rq[1:]...)
+			}
+		}
+		out.Paths[pi] = np
+	}
+	return out, nil
+}
+
+// SubstituteViaMatchings is the end-to-end Theorem 1 pipeline: decompose
+// the routing into matchings and splice the router's per-matching paths
+// back into a substitute routing on the spanner.
+func SubstituteViaMatchings(n int, r *Routing, router MatchingRouter) (*Routing, *Decomposition, error) {
+	d, err := Decompose(n, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := d.Substitute(router)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, d, nil
+}

@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExactOptions configures the exact min-congestion solver.
+type ExactOptions struct {
+	// MaxPathLen bounds the candidate simple paths per pair; 0 means
+	// dist(u,v) + 4. C(R) can in principle profit from arbitrarily long
+	// paths, but on the small instances this solver targets, the optimum
+	// is attained well within this slack; raise it to certify.
+	MaxPathLen int
+	// MaxCandidates aborts if a pair has more candidate paths (guards
+	// against accidental exponential blow-ups). Default 20000.
+	MaxCandidates int
+}
+
+// ExactMinCongestion computes the minimum node congestion C_G(R) by
+// branch-and-bound over all simple candidate paths of bounded length —
+// exponential, intended only for validating the heuristic solver and the
+// paper's small witnesses. Returns an optimal routing and its congestion.
+func ExactMinCongestion(g *graph.Graph, prob Problem, opts ExactOptions) (*Routing, int, error) {
+	if err := prob.Validate(g.N()); err != nil {
+		return nil, 0, err
+	}
+	maxCand := opts.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = 20000
+	}
+
+	// Enumerate candidates per pair.
+	cands := make([][]Path, len(prob))
+	for i, pr := range prob {
+		limit := opts.MaxPathLen
+		if limit <= 0 {
+			d := g.Dist(pr.Src, pr.Dst)
+			if d == graph.Unreachable {
+				return nil, 0, fmt.Errorf("routing: pair (%d,%d) disconnected", pr.Src, pr.Dst)
+			}
+			limit = int(d) + 4
+		}
+		paths, err := enumerateSimplePaths(g, pr.Src, pr.Dst, limit, maxCand)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(paths) == 0 {
+			return nil, 0, fmt.Errorf("routing: pair (%d,%d) has no path within %d hops", pr.Src, pr.Dst, limit)
+		}
+		cands[i] = paths
+	}
+
+	// Order pairs by fewest candidates first (most constrained first).
+	order := make([]int, len(prob))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && len(cands[order[j]]) < len(cands[order[j-1]]) {
+			order[j], order[j-1] = order[j-1], order[j]
+			j--
+		}
+	}
+
+	// Initial upper bound from the heuristic.
+	best := len(prob) + 1
+	var bestAssign []int
+	if h, err := MinCongestion(g, prob, MinCongestionOptions{Seed: 1}); err == nil {
+		best = h.NodeCongestion(g.N()) + 1 // +1: we search for strictly better
+	}
+
+	load := make([]int, g.N())
+	assign := make([]int, len(prob))
+	for i := range assign {
+		assign[i] = -1
+	}
+	curMax := 0
+
+	var dfs func(pos int)
+	dfs = func(pos int) {
+		if curMax >= best {
+			return
+		}
+		if pos == len(order) {
+			best = curMax
+			bestAssign = append([]int(nil), assign...)
+			return
+		}
+		i := order[pos]
+		for ci, p := range cands[i] {
+			// Apply.
+			newMax := curMax
+			ok := true
+			for _, v := range p {
+				load[v]++
+				if load[v] > newMax {
+					newMax = load[v]
+				}
+				if load[v] >= best {
+					ok = false
+				}
+			}
+			if ok {
+				savedMax := curMax
+				curMax = newMax
+				assign[i] = ci
+				dfs(pos + 1)
+				assign[i] = -1
+				curMax = savedMax
+			}
+			for _, v := range p {
+				load[v]--
+			}
+			if best == 1 && bestAssign != nil {
+				return // cannot do better than 1
+			}
+		}
+	}
+	dfs(0)
+
+	if bestAssign == nil {
+		// The heuristic bound was already optimal; recover its routing.
+		h, err := MinCongestion(g, prob, MinCongestionOptions{Seed: 1})
+		if err != nil {
+			return nil, 0, err
+		}
+		return h, h.NodeCongestion(g.N()), nil
+	}
+	out := &Routing{Problem: prob, Paths: make([]Path, len(prob))}
+	for i, ci := range bestAssign {
+		out.Paths[i] = cands[i][ci]
+	}
+	return out, best, nil
+}
+
+// enumerateSimplePaths lists all simple src–dst paths with at most limit
+// edges, erroring out past maxCand.
+func enumerateSimplePaths(g *graph.Graph, src, dst int32, limit, maxCand int) ([]Path, error) {
+	var out []Path
+	onPath := make([]bool, g.N())
+	stack := make(Path, 0, limit+1)
+	var dfs func(v int32) error
+	dfs = func(v int32) error {
+		stack = append(stack, v)
+		onPath[v] = true
+		defer func() {
+			stack = stack[:len(stack)-1]
+			onPath[v] = false
+		}()
+		if v == dst {
+			out = append(out, append(Path(nil), stack...))
+			if len(out) > maxCand {
+				return fmt.Errorf("routing: more than %d candidate paths for (%d,%d)", maxCand, src, dst)
+			}
+			return nil
+		}
+		if len(stack) > limit {
+			return nil
+		}
+		for _, w := range g.Neighbors(v) {
+			if !onPath[w] {
+				if err := dfs(w); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := dfs(src); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestExactHubStar(t *testing.T) {
+	b := graph.NewBuilder(7)
+	for i := int32(1); i <= 6; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.MustBuild()
+	prob := Problem{{1, 2}, {3, 4}, {5, 6}}
+	rt, c, err := ExactMinCongestion(g, prob, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 {
+		t.Fatalf("exact congestion %d, want 3", c)
+	}
+	if err := rt.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactDoubleDetour(t *testing.T) {
+	// Same graph as the MinCongestion spreading test: optimum is 1.
+	b := graph.NewBuilder(9)
+	b.AddEdge(0, 4)
+	b.AddEdge(4, 1)
+	b.AddEdge(2, 4)
+	b.AddEdge(4, 3)
+	b.AddEdge(0, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 1)
+	b.AddEdge(2, 7)
+	b.AddEdge(7, 8)
+	b.AddEdge(8, 3)
+	g := b.MustBuild()
+	_, c, err := ExactMinCongestion(g, Problem{{0, 1}, {2, 3}}, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Fatalf("exact congestion %d, want 1", c)
+	}
+}
+
+func TestExactMatchesHeuristicOnFan(t *testing.T) {
+	// Lemma 18's fan: the removed-edge routing in H has optimum k (all
+	// substitutes cross s). Verify the exact solver agrees.
+	f := gen.FanGraph(3)
+	// Remove first line edge of each face.
+	removed := make(map[graph.Edge]bool)
+	var prob Problem
+	for j := 1; j <= 3; j++ {
+		u := f.Line[2*(j-1)]
+		v := f.Line[2*(j-1)+1]
+		removed[graph.Edge{U: u, V: v}.Normalize()] = true
+		prob = append(prob, Pair{Src: u, Dst: v})
+	}
+	h := f.G.FilterEdges(func(e graph.Edge) bool { return !removed[e] })
+	_, c, err := ExactMinCongestion(h, prob, ExactOptions{MaxPathLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 {
+		t.Fatalf("fan exact congestion %d, want k=3", c)
+	}
+}
+
+func TestExactDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if _, _, err := ExactMinCongestion(g, Problem{{0, 3}}, ExactOptions{}); err == nil {
+		t.Fatal("accepted disconnected pair")
+	}
+}
+
+func TestEnumerateSimplePaths(t *testing.T) {
+	g := gen.Cycle(6)
+	paths, err := enumerateSimplePaths(g, 0, 3, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two simple paths: clockwise (3 edges) and counterclockwise (3 edges).
+	if len(paths) != 2 {
+		t.Fatalf("found %d paths, want 2: %v", len(paths), paths)
+	}
+	short, err := enumerateSimplePaths(g, 0, 3, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 0 {
+		t.Fatalf("length-2 budget found %d paths", len(short))
+	}
+}
+
+func TestEnumerateCapExceeded(t *testing.T) {
+	g := gen.Clique(8)
+	if _, err := enumerateSimplePaths(g, 0, 1, 7, 10); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+// Property: on tiny random instances the heuristic solver matches the
+// exact optimum reasonably often and never beats it (sanity of both).
+func TestPropertyHeuristicVsExact(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(6)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.BuildDedup()
+		if !g.Connected() {
+			return true
+		}
+		k := 1 + r.Intn(3)
+		prob := RandomProblem(n, k, r)
+		_, exact, err := ExactMinCongestion(g, prob, ExactOptions{MaxCandidates: 5000})
+		if err != nil {
+			return true // enumeration blew up; skip
+		}
+		h, err := MinCongestion(g, prob, MinCongestionOptions{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return h.NodeCongestion(n) >= exact
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

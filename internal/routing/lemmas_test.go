@@ -1,0 +1,211 @@
+package routing
+
+// Lemma-level tests for Section 6 (decomposition into matchings).
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// spannerRouter routes matching edges on a fixed spanner via shortest
+// paths, recording the per-matching congestion β' it realizes.
+type spannerRouter struct {
+	h        *graph.Graph
+	maxBeta  int
+	maxAlpha int
+}
+
+func (s *spannerRouter) RouteMatching(edges []graph.Edge) ([]Path, error) {
+	out := make([]Path, len(edges))
+	counts := make(map[int32]int)
+	for i, e := range edges {
+		p := s.h.ShortestPath(e.U, e.V)
+		if p == nil {
+			return nil, errUnreachable2
+		}
+		out[i] = p
+		if len(p)-1 > s.maxAlpha {
+			s.maxAlpha = len(p) - 1
+		}
+		for _, v := range p {
+			counts[v]++
+			if counts[v] > s.maxBeta {
+				s.maxBeta = counts[v]
+			}
+		}
+	}
+	return out, nil
+}
+
+var errUnreachable2 = errorString("unreachable")
+
+// Lemma 20: if C(P) = 1 (the routing is node-disjoint), the substitute
+// routing built from per-matching (α', β')-substitutes has congestion at
+// most 2β' (m_P ≤ 2 matchings suffice).
+func TestLemma20UnitCongestionCase(t *testing.T) {
+	r := rng.New(201)
+	g := gen.MustRandomRegular(100, 8, r)
+	var h *graph.Graph
+	for {
+		h = g.FilterEdges(func(graph.Edge) bool { return r.Bernoulli(0.6) })
+		if h.Connected() {
+			break
+		}
+	}
+	// Build a node-disjoint routing: vertex-disjoint short paths.
+	used := make([]bool, g.N())
+	var prob Problem
+	var paths []Path
+	for _, e := range g.Edges() {
+		if used[e.U] || used[e.V] {
+			continue
+		}
+		// Extend to a 2-edge path if possible for a non-trivial test.
+		var third int32 = -1
+		for _, w := range g.Neighbors(e.V) {
+			if w != e.U && !used[w] {
+				third = w
+				break
+			}
+		}
+		if third >= 0 {
+			prob = append(prob, Pair{Src: e.U, Dst: third})
+			paths = append(paths, Path{e.U, e.V, third})
+			used[third] = true
+		} else {
+			prob = append(prob, Pair{Src: e.U, Dst: e.V})
+			paths = append(paths, Path{e.U, e.V})
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	rt := &Routing{Problem: prob, Paths: paths}
+	if c := rt.NodeCongestion(g.N()); c != 1 {
+		t.Fatalf("constructed routing has C(P) = %d, want 1", c)
+	}
+	dec, err := Decompose(g.N(), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(P) = 1: exactly one level, and at most d_1+1 ≤ 3 matchings (path
+	// subgraph has degree ≤ 2).
+	if len(dec.Levels) != 1 {
+		t.Fatalf("C(P)=1 routing produced %d levels", len(dec.Levels))
+	}
+	if dec.Levels[0].Degree > 2 {
+		t.Fatalf("level degree %d > 2 for a disjoint-paths routing", dec.Levels[0].Degree)
+	}
+	router := &spannerRouter{h: h}
+	sub, err := dec.Substitute(router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 20 bound with m_P ≤ d_1+1 matchings: C(P') ≤ (d_1+1)·β'.
+	limit := (dec.Levels[0].Degree + 1) * router.maxBeta
+	if c := sub.NodeCongestion(g.N()); c > limit {
+		t.Fatalf("substitute congestion %d > (d+1)·β' = %d", c, limit)
+	}
+}
+
+// Lemma 22: C(P') ≤ 12·β'·C(P)·log₂ n for arbitrary routings.
+func TestLemma22SubstituteCongestion(t *testing.T) {
+	r := rng.New(202)
+	n := 128
+	g := gen.MustRandomRegular(n, 10, r)
+	var h *graph.Graph
+	for {
+		h = g.FilterEdges(func(graph.Edge) bool { return r.Bernoulli(0.5) })
+		if h.Connected() {
+			break
+		}
+	}
+	prob := RandomProblem(n, 3*n, r)
+	onG, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompose(n, onG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := &spannerRouter{h: h}
+	sub, err := dec.Substitute(router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cP := onG.NodeCongestion(n)
+	cSub := sub.NodeCongestion(n)
+	bound := 12 * float64(router.maxBeta) * float64(cP) * math.Log2(float64(n))
+	if float64(cSub) > bound {
+		t.Fatalf("C(P') = %d > Lemma 22 bound %v (β'=%d, C(P)=%d)",
+			cSub, bound, router.maxBeta, cP)
+	}
+	// Distance side of Lemma 22: per-path stretch ≤ α'.
+	for i, p := range sub.Paths {
+		if p.Len() > router.maxAlpha*onG.Paths[i].Len() {
+			t.Fatalf("path %d stretch exceeds α' = %d", i, router.maxAlpha)
+		}
+	}
+}
+
+// Lemma 23: the number of distinct matchings is at most O(n³) — and in
+// practice bounded by Σ_k (d_k+1), which we assert directly.
+func TestLemma23MatchingCount(t *testing.T) {
+	r := rng.New(203)
+	n := 100
+	g := gen.MustRandomRegular(n, 8, r)
+	prob := RandomProblem(n, 5*n, r)
+	onG, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompose(n, onG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumMatchings() > dec.DegreePlusOneSum() {
+		t.Fatalf("matchings %d exceed Σ(d_k+1) = %d", dec.NumMatchings(), dec.DegreePlusOneSum())
+	}
+	if int64(dec.NumMatchings()) > int64(n)*int64(n)*int64(n) {
+		t.Fatalf("matchings %d exceed n³", dec.NumMatchings())
+	}
+}
+
+// Y_{i+1} ⊆ Y_i: the level edge sets are nested (the structural invariant
+// Lemma 21's range argument relies on).
+func TestLevelsAreNested(t *testing.T) {
+	r := rng.New(204)
+	n := 80
+	g := gen.MustRandomRegular(n, 8, r)
+	prob := RandomProblem(n, 4*n, r)
+	onG, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompose(n, onG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 1; li < len(dec.Levels); li++ {
+		prev := make(map[graph.Edge]bool, len(dec.Levels[li-1].Edges))
+		for _, e := range dec.Levels[li-1].Edges {
+			prev[e] = true
+		}
+		for _, e := range dec.Levels[li].Edges {
+			if !prev[e] {
+				t.Fatalf("level %d edge %v absent from level %d", li, e, li-1)
+			}
+		}
+		if dec.Levels[li].Degree > dec.Levels[li-1].Degree {
+			t.Fatalf("degree increased across levels: %d then %d",
+				dec.Levels[li-1].Degree, dec.Levels[li].Degree)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// MinCongestionOptions configures the approximate min-congestion solver.
+type MinCongestionOptions struct {
+	// Passes is the number of full rerouting sweeps (default 8).
+	Passes int
+	// Base is the potential base: the solver minimizes Σ_v Base^load(v),
+	// which drives the maximum node congestion down (default 2).
+	Base float64
+	// Seed randomizes the demand processing order between passes.
+	Seed uint64
+}
+
+// MinCongestion computes a routing for prob that approximately minimizes
+// the node congestion C(P) — the paper's C(R) = min over routings
+// (Section 2). It is an exponential-potential local-search: each demand
+// is (re)routed along a node-weighted shortest path whose node costs are
+// the marginal increase of Σ_v Base^load(v), for several randomized
+// passes. The result is feasible and its congestion upper-bounds C_G(R);
+// on instances with known optima (matchings over edges, hub stars) it
+// attains them, which the tests pin down.
+func MinCongestion(g *graph.Graph, prob Problem, opts MinCongestionOptions) (*Routing, error) {
+	if err := prob.Validate(g.N()); err != nil {
+		return nil, err
+	}
+	passes := opts.Passes
+	if passes <= 0 {
+		passes = 8
+	}
+	base := opts.Base
+	if base <= 1 {
+		base = 2
+	}
+	r := rng.New(opts.Seed)
+	n := g.N()
+
+	load := make([]int, n)
+	paths := make([]Path, len(prob))
+
+	// Congestion-driven node cost: base^load − 1, so unloaded nodes are
+	// (nearly) free — C(R) puts no constraint on path lengths, only on
+	// congestion. The tiny per-node epsilon breaks ties toward shorter
+	// paths among equally-congested alternatives.
+	const lenEps = 1e-9
+	cost := func(v int32) float64 {
+		return math.Pow(base, float64(load[v])) - 1 + lenEps
+	}
+	addPath := func(p Path, delta int) {
+		for _, v := range p {
+			load[v] += delta
+		}
+	}
+
+	d := newNodeDijkstra(n)
+	for pass := 0; pass < passes; pass++ {
+		order := r.Perm(len(prob))
+		improved := false
+		for _, idx := range order {
+			pr := prob[idx]
+			old := paths[idx]
+			if old != nil {
+				addPath(old, -1)
+			}
+			p := d.route(g, pr.Src, pr.Dst, cost)
+			if p == nil {
+				if old != nil {
+					addPath(old, +1)
+				}
+				return nil, fmt.Errorf("routing: pair (%d,%d) disconnected", pr.Src, pr.Dst)
+			}
+			if old == nil || pathCost(p, cost) < pathCost(old, cost)-1e-12 {
+				paths[idx] = p
+				addPath(p, +1)
+				improved = improved || old != nil
+			} else {
+				paths[idx] = old
+				addPath(old, +1)
+			}
+			if old == nil {
+				improved = true
+			}
+		}
+		if !improved && pass > 0 {
+			break
+		}
+	}
+	return &Routing{Problem: prob, Paths: paths}, nil
+}
+
+func pathCost(p Path, cost func(int32) float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += cost(v)
+	}
+	return s
+}
+
+// CongestionLowerBound returns a trivial lower bound on C_G(R): the
+// maximum number of demands sharing an endpoint (every path must touch
+// its endpoints). For matching problems this equals 1, the exact optimum.
+func CongestionLowerBound(n int, prob Problem) int {
+	cnt := make([]int, n)
+	for _, p := range prob {
+		cnt[p.Src]++
+		cnt[p.Dst]++
+	}
+	max := 0
+	for _, c := range cnt {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// nodeDijkstra is a node-weighted shortest path solver with reusable
+// buffers (the cost of a path is the sum of node costs, including both
+// endpoints).
+type nodeDijkstra struct {
+	dist    []float64
+	parent  []int32
+	visited []bool
+	touched []int32
+	pq      pqueue
+}
+
+func newNodeDijkstra(n int) *nodeDijkstra {
+	d := &nodeDijkstra{
+		dist:    make([]float64, n),
+		parent:  make([]int32, n),
+		visited: make([]bool, n),
+	}
+	for i := range d.dist {
+		d.dist[i] = math.Inf(1)
+	}
+	return d
+}
+
+func (d *nodeDijkstra) route(g *graph.Graph, src, dst int32, cost func(int32) float64) Path {
+	// Reset only touched entries from the previous run.
+	for _, v := range d.touched {
+		d.dist[v] = math.Inf(1)
+		d.visited[v] = false
+	}
+	d.touched = d.touched[:0]
+	d.pq = d.pq[:0]
+
+	d.dist[src] = cost(src)
+	d.parent[src] = src
+	d.touched = append(d.touched, src)
+	heap.Push(&d.pq, pqItem{v: src, prio: d.dist[src]})
+	for d.pq.Len() > 0 {
+		it := heap.Pop(&d.pq).(pqItem)
+		v := it.v
+		if d.visited[v] {
+			continue
+		}
+		d.visited[v] = true
+		if v == dst {
+			break
+		}
+		dv := d.dist[v]
+		for _, w := range g.Neighbors(v) {
+			if d.visited[w] {
+				continue
+			}
+			nd := dv + cost(w)
+			if nd < d.dist[w] {
+				if math.IsInf(d.dist[w], 1) {
+					d.touched = append(d.touched, w)
+				}
+				d.dist[w] = nd
+				d.parent[w] = v
+				heap.Push(&d.pq, pqItem{v: w, prio: nd})
+			}
+		}
+	}
+	if !d.visited[dst] {
+		return nil
+	}
+	var p Path
+	for x := dst; ; x = d.parent[x] {
+		p = append(p, x)
+		if x == src {
+			break
+		}
+	}
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+type pqItem struct {
+	v    int32
+	prio float64
+}
+
+type pqueue []pqItem
+
+func (q pqueue) Len() int           { return len(q) }
+func (q pqueue) Less(i, j int) bool { return q[i].prio < q[j].prio }
+func (q pqueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pqueue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }

@@ -1,0 +1,172 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestMinCongestionMatchingOverEdges(t *testing.T) {
+	// Each demand is an edge of G and the demands form a matching: the
+	// optimum is 1 (route each demand over its own edge).
+	r := rng.New(1)
+	g := gen.MustRandomRegular(60, 8, r)
+	used := make([]bool, g.N())
+	var prob Problem
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			prob = append(prob, Pair{Src: e.U, Dst: e.V})
+		}
+	}
+	rt, err := MinCongestion(g, prob, MinCongestionOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if c := rt.NodeCongestion(g.N()); c != 1 {
+		t.Fatalf("matching congestion %d, want 1", c)
+	}
+}
+
+func TestMinCongestionHubStar(t *testing.T) {
+	// Star K_{1,6}: demands between distinct leaves all pass the hub.
+	b := graph.NewBuilder(7)
+	for i := int32(1); i <= 6; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.MustBuild()
+	prob := Problem{{1, 2}, {3, 4}, {5, 6}}
+	rt, err := MinCongestion(g, prob, MinCongestionOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := rt.NodeCongestion(7); c != 3 {
+		t.Fatalf("hub congestion %d, want 3 (forced)", c)
+	}
+}
+
+func TestMinCongestionSpreadsOverParallelPaths(t *testing.T) {
+	// Two demands whose unique shortest paths share a hub m, but each has
+	// a private longer detour. Optimal congestion is 1 (route one demand
+	// through m and the other over its detour, or both over detours);
+	// naive shortest-path routing gives 2 at m.
+	//
+	//   s1(0) – m(4) – t1(1),  detour s1–5–6–t1
+	//   s2(2) – m(4) – t2(3),  detour s2–7–8–t2
+	b := graph.NewBuilder(9)
+	b.AddEdge(0, 4)
+	b.AddEdge(4, 1)
+	b.AddEdge(2, 4)
+	b.AddEdge(4, 3)
+	b.AddEdge(0, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 1)
+	b.AddEdge(2, 7)
+	b.AddEdge(7, 8)
+	b.AddEdge(8, 3)
+	g := b.MustBuild()
+	prob := Problem{{0, 1}, {2, 3}}
+	sp, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NodeCongestion(9) != 2 {
+		t.Fatalf("BFS congestion = %d, want 2 (both via hub)", sp.NodeCongestion(9))
+	}
+	rt, err := MinCongestion(g, prob, MinCongestionOptions{Seed: 4, Passes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := rt.NodeCongestion(9); c != 1 {
+		t.Fatalf("min-congestion = %d, want 1: %v", c, rt.Paths)
+	}
+}
+
+func TestMinCongestionBeatsShortestPaths(t *testing.T) {
+	// On a random graph with a heavy single-source workload, potential-
+	// based routing should never be worse than plain BFS routing.
+	r := rng.New(5)
+	g := gen.MustRandomRegular(80, 6, r)
+	prob := RandomProblem(80, 200, r)
+	sp, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MinCongestion(g, prob, MinCongestionOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.NodeCongestion(80) > sp.NodeCongestion(80) {
+		t.Fatalf("min-congestion %d worse than shortest paths %d",
+			mc.NodeCongestion(80), sp.NodeCongestion(80))
+	}
+}
+
+func TestMinCongestionDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if _, err := MinCongestion(g, Problem{{0, 3}}, MinCongestionOptions{}); err == nil {
+		t.Fatal("accepted disconnected pair")
+	}
+}
+
+func TestCongestionLowerBound(t *testing.T) {
+	prob := Problem{{0, 1}, {0, 2}, {3, 0}, {4, 5}}
+	if lb := CongestionLowerBound(6, prob); lb != 3 {
+		t.Fatalf("lower bound %d, want 3", lb)
+	}
+	if lb := CongestionLowerBound(6, Problem{{0, 1}, {2, 3}}); lb != 1 {
+		t.Fatalf("matching lower bound %d, want 1", lb)
+	}
+}
+
+// Property: MinCongestion always returns a valid routing whose congestion
+// is at least the endpoint lower bound and at most the BFS routing's.
+func TestPropertyMinCongestionSandwich(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 16 + 2*r.Intn(20)
+		g := gen.MustRandomRegular(n, 4, r)
+		if !g.Connected() {
+			return true
+		}
+		prob := RandomProblem(n, 1+r.Intn(2*n), r)
+		mc, err := MinCongestion(g, prob, MinCongestionOptions{Seed: seed, Passes: 4})
+		if err != nil {
+			return false
+		}
+		if mc.Validate(g) != nil {
+			return false
+		}
+		sp, err := ShortestPaths(g, prob)
+		if err != nil {
+			return false
+		}
+		c := mc.NodeCongestion(n)
+		return c >= CongestionLowerBound(n, prob) && c <= sp.NodeCongestion(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMinCongestion(b *testing.B) {
+	r := rng.New(7)
+	g := gen.MustRandomRegular(128, 8, r)
+	prob := RandomProblem(128, 128, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinCongestion(g, prob, MinCongestionOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

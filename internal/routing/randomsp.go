@@ -1,0 +1,180 @@
+package routing
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// SPSampler draws uniformly random shortest paths between vertex pairs.
+// It materializes the BFS shortest-path DAG from the source, counts the
+// number of shortest paths into every vertex, and walks backward from the
+// destination choosing predecessors proportionally to their path counts —
+// so every shortest path is returned with equal probability.
+//
+// Randomizing over shortest paths is the natural way to spread congestion
+// without sacrificing any distance (it generalizes Theorem 2's "choose a
+// replacement path uniformly at random" rule from 3-hop detours to
+// arbitrary pairs), and the ablation experiments use it as a router
+// variant.
+type SPSampler struct {
+	g       *graph.Graph
+	dist    []int32
+	count   []float64 // number of shortest paths from src (float to avoid overflow)
+	stamp   []int32
+	gen     int32
+	queue   []int32
+	lastSrc int32
+}
+
+// NewSPSampler creates a sampler for g.
+func NewSPSampler(g *graph.Graph) *SPSampler {
+	n := g.N()
+	return &SPSampler{
+		g:       g,
+		dist:    make([]int32, n),
+		count:   make([]float64, n),
+		stamp:   make([]int32, n),
+		lastSrc: -1,
+	}
+}
+
+// prepare runs counting-BFS from src unless already cached.
+func (s *SPSampler) prepare(src int32) {
+	if s.lastSrc == src {
+		return
+	}
+	s.lastSrc = src
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, src)
+	s.dist[src] = 0
+	s.count[src] = 1
+	s.stamp[src] = s.gen
+	for head := 0; head < len(s.queue); head++ {
+		v := s.queue[head]
+		dv := s.dist[v]
+		cv := s.count[v]
+		for _, w := range s.g.Neighbors(v) {
+			if s.stamp[w] != s.gen {
+				s.stamp[w] = s.gen
+				s.dist[w] = dv + 1
+				s.count[w] = cv
+				s.queue = append(s.queue, w)
+			} else if s.dist[w] == dv+1 {
+				s.count[w] += cv
+			}
+		}
+	}
+}
+
+// NumShortestPaths returns the number of distinct shortest src–dst paths
+// (as a float64; exact for counts below 2⁵³) and the distance. Returns
+// (0, Unreachable) for disconnected pairs.
+func (s *SPSampler) NumShortestPaths(src, dst int32) (float64, int32) {
+	s.prepare(src)
+	if s.stamp[dst] != s.gen {
+		return 0, graph.Unreachable
+	}
+	return s.count[dst], s.dist[dst]
+}
+
+// Sample returns a uniformly random shortest path from src to dst, or nil
+// if dst is unreachable.
+func (s *SPSampler) Sample(src, dst int32, r *rng.RNG) Path {
+	s.prepare(src)
+	if s.stamp[dst] != s.gen {
+		return nil
+	}
+	// Walk backward: from v, choose predecessor u (dist[u] = dist[v]−1,
+	// edge (u,v)) with probability count[u] / Σ count of predecessors.
+	length := s.dist[dst]
+	path := make(Path, length+1)
+	path[length] = dst
+	v := dst
+	for d := length; d > 0; d-- {
+		total := 0.0
+		for _, u := range s.g.Neighbors(v) {
+			if s.stamp[u] == s.gen && s.dist[u] == d-1 {
+				total += s.count[u]
+			}
+		}
+		pick := r.Float64() * total
+		var chosen int32 = -1
+		for _, u := range s.g.Neighbors(v) {
+			if s.stamp[u] == s.gen && s.dist[u] == d-1 {
+				pick -= s.count[u]
+				if pick <= 0 {
+					chosen = u
+					break
+				}
+			}
+		}
+		if chosen == -1 {
+			// Numerical corner: take the last valid predecessor.
+			for _, u := range s.g.Neighbors(v) {
+				if s.stamp[u] == s.gen && s.dist[u] == d-1 {
+					chosen = u
+				}
+			}
+		}
+		path[d-1] = chosen
+		v = chosen
+	}
+	return path
+}
+
+// RandomShortestPaths routes every pair along an independently sampled
+// uniformly random shortest path. Pairs are grouped by source so the
+// counting BFS is reused.
+func RandomShortestPaths(g *graph.Graph, prob Problem, r *rng.RNG) (*Routing, error) {
+	paths := make([]Path, len(prob))
+	bySrc := make(map[int32][]int)
+	for i, p := range prob {
+		bySrc[p.Src] = append(bySrc[p.Src], i)
+	}
+	s := NewSPSampler(g)
+	// Deterministic iteration order over sources.
+	srcs := make([]int32, 0, len(bySrc))
+	for src := range bySrc {
+		srcs = append(srcs, src)
+	}
+	sortInt32s(srcs)
+	for _, src := range srcs {
+		for _, i := range bySrc[src] {
+			p := s.Sample(src, prob[i].Dst, r)
+			if p == nil {
+				return nil, errDisconnected(prob[i])
+			}
+			paths[i] = p
+		}
+	}
+	return &Routing{Problem: prob, Paths: paths}, nil
+}
+
+func errDisconnected(p Pair) error {
+	return &disconnectedError{p}
+}
+
+type disconnectedError struct{ p Pair }
+
+func (e *disconnectedError) Error() string {
+	return "routing: pair disconnected"
+}
+
+func sortInt32s(xs []int32) {
+	// Insertion sort: source sets are small in practice; avoids pulling
+	// in sort with closures on the hot path.
+	for i := 1; i < len(xs); i++ {
+		j := i
+		for j > 0 && xs[j] < xs[j-1] {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+			j--
+		}
+	}
+}

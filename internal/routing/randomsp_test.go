@@ -1,0 +1,219 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestNumShortestPathsGrid(t *testing.T) {
+	// 2×2 "diamond": 0-1, 0-2, 1-3, 2-3: two shortest 0→3 paths.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	s := NewSPSampler(g)
+	cnt, d := s.NumShortestPaths(0, 3)
+	if d != 2 || cnt != 2 {
+		t.Fatalf("count=%v dist=%d, want 2, 2", cnt, d)
+	}
+}
+
+func TestNumShortestPathsHypercube(t *testing.T) {
+	// Antipodal pair in Q_d has d! shortest paths.
+	g := gen.Hypercube(4)
+	s := NewSPSampler(g)
+	cnt, d := s.NumShortestPaths(0, 15)
+	if d != 4 || cnt != 24 {
+		t.Fatalf("count=%v dist=%d, want 24, 4", cnt, d)
+	}
+}
+
+func TestSampleIsShortestAndValid(t *testing.T) {
+	r := rng.New(1)
+	g := gen.MustRandomRegular(80, 6, r)
+	s := NewSPSampler(g)
+	for trial := 0; trial < 200; trial++ {
+		u := int32(r.Intn(80))
+		v := int32(r.Intn(80))
+		if u == v {
+			continue
+		}
+		p := s.Sample(u, v, r)
+		if p == nil {
+			t.Fatalf("no path %d->%d", u, v)
+		}
+		if !Path(p).Valid(g, u, v) {
+			t.Fatalf("invalid path %v", p)
+		}
+		if int32(Path(p).Len()) != g.Dist(u, v) {
+			t.Fatalf("path %v not shortest", p)
+		}
+	}
+}
+
+func TestSampleUniformOnDiamond(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	s := NewSPSampler(g)
+	r := rng.New(2)
+	via1 := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		p := s.Sample(0, 3, r)
+		if p[1] == 1 {
+			via1++
+		}
+	}
+	if via1 < trials*45/100 || via1 > trials*55/100 {
+		t.Fatalf("path via 1 chosen %d/%d — not uniform", via1, trials)
+	}
+}
+
+func TestSampleUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	s := NewSPSampler(g)
+	if p := s.Sample(0, 3, rng.New(3)); p != nil {
+		t.Fatalf("sampled across components: %v", p)
+	}
+	if _, d := s.NumShortestPaths(0, 3); d != graph.Unreachable {
+		t.Fatal("unreachable pair reported reachable")
+	}
+}
+
+func TestRandomShortestPathsRouting(t *testing.T) {
+	r := rng.New(4)
+	g := gen.MustRandomRegular(60, 8, r)
+	prob := RandomProblem(60, 100, r)
+	rt, err := RandomShortestPaths(g, prob, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range rt.Paths {
+		if int32(p.Len()) != g.Dist(prob[i].Src, prob[i].Dst) {
+			t.Fatalf("pair %d routed non-shortest", i)
+		}
+	}
+}
+
+func TestRandomShortestPathsSpreadsCongestion(t *testing.T) {
+	// On the hypercube, deterministic BFS routing of many antipodal pairs
+	// funnels through lexicographically-first paths; randomized shortest
+	// paths spread them. Compare the same heavy single-pair multiset.
+	g := gen.Hypercube(6)
+	var prob Problem
+	for i := 0; i < 32; i++ {
+		prob = append(prob, Pair{Src: 0, Dst: 63})
+	}
+	det, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomShortestPaths(g, prob, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints are shared by all paths (congestion 32 there); compare
+	// interior congestion instead.
+	interior := func(rt *Routing) int {
+		prof := rt.NodeCongestionProfile(g.N())
+		max := 0
+		for v, c := range prof {
+			if v != 0 && v != 63 && c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if interior(rnd) >= interior(det) {
+		t.Fatalf("random SP interior congestion %d not better than deterministic %d",
+			interior(rnd), interior(det))
+	}
+}
+
+// Property: sampled paths are always shortest, valid, and the path count
+// matches a brute-force enumeration on small graphs.
+func TestPropertySPSamplerCounts(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(8)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.BuildDedup()
+		s := NewSPSampler(g)
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			return true
+		}
+		cnt, d := s.NumShortestPaths(u, v)
+		want, wd := bruteCountShortest(g, u, v)
+		if wd != d {
+			return false
+		}
+		if d == graph.Unreachable {
+			return true
+		}
+		return cnt == float64(want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteCountShortest enumerates all simple paths up to the BFS distance.
+func bruteCountShortest(g *graph.Graph, u, v int32) (int, int32) {
+	d := g.Dist(u, v)
+	if d == graph.Unreachable {
+		return 0, d
+	}
+	count := 0
+	var dfs func(x int32, depth int32, visited map[int32]bool)
+	dfs = func(x int32, depth int32, visited map[int32]bool) {
+		if depth == d {
+			if x == v {
+				count++
+			}
+			return
+		}
+		for _, w := range g.Neighbors(x) {
+			if !visited[w] {
+				visited[w] = true
+				dfs(w, depth+1, visited)
+				delete(visited, w)
+			}
+		}
+	}
+	dfs(u, 0, map[int32]bool{u: true})
+	return count, d
+}
+
+func BenchmarkSPSample(b *testing.B) {
+	r := rng.New(6)
+	g := gen.MustRandomRegular(500, 10, r)
+	s := NewSPSampler(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(0, int32(1+i%499), r)
+	}
+}

@@ -1,0 +1,490 @@
+package routing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestProblemValidate(t *testing.T) {
+	if err := (Problem{{0, 1}, {2, 3}}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Problem{{1, 1}}).Validate(4); err == nil {
+		t.Fatal("accepted equal endpoints")
+	}
+	if err := (Problem{{0, 9}}).Validate(4); err == nil {
+		t.Fatal("accepted out-of-range")
+	}
+}
+
+func TestIsMatching(t *testing.T) {
+	if !(Problem{{0, 1}, {2, 3}}).IsMatching() {
+		t.Fatal("disjoint pairs rejected")
+	}
+	if (Problem{{0, 1}, {1, 2}}).IsMatching() {
+		t.Fatal("shared node accepted")
+	}
+}
+
+func TestPathBasics(t *testing.T) {
+	g := gen.Path(5)
+	p := Path{0, 1, 2, 3}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if !p.Valid(g, 0, 3) {
+		t.Fatal("valid path rejected")
+	}
+	if p.Valid(g, 0, 2) {
+		t.Fatal("wrong destination accepted")
+	}
+	if (Path{0, 2}).Valid(g, 0, 2) {
+		t.Fatal("non-edge accepted")
+	}
+	rev := p.Reversed()
+	if rev[0] != 3 || rev[3] != 0 {
+		t.Fatalf("Reversed = %v", rev)
+	}
+}
+
+func TestNodeCongestion(t *testing.T) {
+	r := &Routing{
+		Problem: Problem{{0, 2}, {1, 3}},
+		Paths:   []Path{{0, 1, 2}, {1, 2, 3}},
+	}
+	prof := r.NodeCongestionProfile(4)
+	want := []int{1, 2, 2, 1}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile[%d] = %d, want %d", i, prof[i], want[i])
+		}
+	}
+	if c := r.NodeCongestion(4); c != 2 {
+		t.Fatalf("C(P) = %d, want 2", c)
+	}
+}
+
+func TestNodeCongestionCountsWalkOnce(t *testing.T) {
+	// A non-simple walk visiting node 1 twice contributes 1 to C(P, 1).
+	r := &Routing{
+		Problem: Problem{{0, 3}},
+		Paths:   []Path{{0, 1, 2, 1, 3}},
+	}
+	prof := r.NodeCongestionProfile(4)
+	if prof[1] != 1 {
+		t.Fatalf("walk counted twice: %d", prof[1])
+	}
+}
+
+func TestEdgeCongestion(t *testing.T) {
+	g := gen.Path(4)
+	r := &Routing{
+		Problem: Problem{{0, 3}, {1, 2}},
+		Paths:   []Path{{0, 1, 2, 3}, {1, 2}},
+	}
+	if c := r.EdgeCongestion(g); c != 2 {
+		t.Fatalf("edge congestion = %d, want 2", c)
+	}
+}
+
+func TestShortestPathsRouting(t *testing.T) {
+	g := gen.Cycle(10)
+	prob := Problem{{0, 5}, {2, 7}, {9, 4}}
+	r, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range r.Paths {
+		want := g.Dist(prob[i].Src, prob[i].Dst)
+		if int32(p.Len()) != want {
+			t.Fatalf("pair %d: length %d, want %d", i, p.Len(), want)
+		}
+	}
+}
+
+func TestShortestPathsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if _, err := ShortestPaths(g, Problem{{0, 3}}); err == nil {
+		t.Fatal("expected error for disconnected pair")
+	}
+}
+
+func TestValiantRoutingValid(t *testing.T) {
+	r := rng.New(3)
+	g := gen.MustRandomRegular(100, 6, r)
+	prob := RandomPermutationProblem(100, r)
+	rt, err := Valiant(g, prob, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Paths should be simple after walk simplification.
+	for _, p := range rt.Paths {
+		seen := make(map[int32]bool)
+		for _, v := range p {
+			if seen[v] {
+				t.Fatalf("non-simple path %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestValiantCongestionOnExpander(t *testing.T) {
+	r := rng.New(4)
+	n := 200
+	g := gen.MustRandomRegular(n, 8, r)
+	prob := RandomPermutationProblem(n, r)
+	rt, err := Valiant(g, prob, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rt.NodeCongestion(n)
+	// Valiant routing on an expander should give polylog congestion; allow
+	// a generous constant times log²n ≈ 58.
+	limit := int(10 * math.Pow(math.Log2(float64(n)), 2))
+	if c > limit {
+		t.Fatalf("Valiant congestion %d exceeds %d", c, limit)
+	}
+	// And path lengths O(log n).
+	if ml := rt.MaxLength(); ml > 6*int(math.Log2(float64(n))) {
+		t.Fatalf("Valiant max length %d too large", ml)
+	}
+}
+
+func TestSimplifyWalk(t *testing.T) {
+	w := Path{0, 1, 2, 1, 3}
+	s := simplifyWalk(w)
+	want := Path{0, 1, 3}
+	if len(s) != len(want) {
+		t.Fatalf("simplify = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("simplify = %v, want %v", s, want)
+		}
+	}
+	// Idempotent on simple paths.
+	s2 := simplifyWalk(s)
+	if len(s2) != len(s) {
+		t.Fatalf("simplify not idempotent: %v", s2)
+	}
+}
+
+func TestRandomProblemGenerators(t *testing.T) {
+	r := rng.New(5)
+	p1 := RandomProblem(50, 20, r)
+	if err := p1.Validate(50); err != nil {
+		t.Fatal(err)
+	}
+	p2 := RandomMatchingProblem(50, 10, r)
+	if err := p2.Validate(50); err != nil {
+		t.Fatal(err)
+	}
+	if !p2.IsMatching() {
+		t.Fatal("RandomMatchingProblem not a matching")
+	}
+	p3 := RandomPermutationProblem(50, r)
+	if err := p3.Validate(50); err != nil {
+		t.Fatal(err)
+	}
+	srcSeen := make(map[int32]bool)
+	dstSeen := make(map[int32]bool)
+	for _, pr := range p3 {
+		if srcSeen[pr.Src] || dstSeen[pr.Dst] {
+			t.Fatal("permutation reuses a source or destination")
+		}
+		srcSeen[pr.Src] = true
+		dstSeen[pr.Dst] = true
+	}
+}
+
+// identityRouter routes each matching edge as itself — valid when the
+// spanner contains the matching (used to test decomposition plumbing).
+type identityRouter struct{}
+
+func (identityRouter) RouteMatching(edges []graph.Edge) ([]Path, error) {
+	out := make([]Path, len(edges))
+	for i, e := range edges {
+		out[i] = Path{e.U, e.V}
+	}
+	return out, nil
+}
+
+func TestDecomposeLevelsAreMatchingPartition(t *testing.T) {
+	r := rng.New(6)
+	g := gen.MustRandomRegular(60, 6, r)
+	prob := RandomProblem(60, 30, r)
+	rt, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(g.N(), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every matching is node-disjoint.
+	for _, level := range d.Levels {
+		for _, m := range level.Matchings {
+			used := make(map[int32]bool)
+			for _, e := range m {
+				if used[e.U] || used[e.V] {
+					t.Fatal("level matching not node-disjoint")
+				}
+				used[e.U] = true
+				used[e.V] = true
+			}
+		}
+	}
+	// Total matching edges across levels = total edge occurrences in P.
+	occ := 0
+	for _, p := range rt.Paths {
+		occ += p.Len()
+	}
+	got := 0
+	for _, level := range d.Levels {
+		got += len(level.Edges)
+	}
+	if got != occ {
+		t.Fatalf("levels hold %d edge occurrences, want %d", got, occ)
+	}
+}
+
+func TestDecomposeLemma21Bound(t *testing.T) {
+	r := rng.New(7)
+	g := gen.MustRandomRegular(80, 8, r)
+	prob := RandomProblem(80, 60, r)
+	rt, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(g.N(), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bound := float64(d.DegreePlusOneSum()), d.Lemma21Bound(); got > bound {
+		t.Fatalf("Σ(d_k+1) = %v exceeds Lemma 21 bound %v", got, bound)
+	}
+}
+
+func TestSubstituteIdentityRoundTrips(t *testing.T) {
+	r := rng.New(8)
+	g := gen.MustRandomRegular(50, 6, r)
+	prob := RandomProblem(50, 25, r)
+	rt, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, d, err := SubstituteViaMatchings(g.N(), rt, identityRouter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMatchings() == 0 {
+		t.Fatal("no matchings produced")
+	}
+	// Identity routing must reproduce the original paths exactly.
+	for i, p := range sub.Paths {
+		orig := rt.Paths[i]
+		if len(p) != len(orig) {
+			t.Fatalf("path %d length changed: %v vs %v", i, p, orig)
+		}
+		for j := range p {
+			if p[j] != orig[j] {
+				t.Fatalf("path %d differs: %v vs %v", i, p, orig)
+			}
+		}
+	}
+}
+
+// detourRouter replaces each edge (u,v) with a fixed-length detour if one
+// exists in its spanner; used to test orientation handling.
+type detourRouter struct {
+	h *graph.Graph
+}
+
+func (d detourRouter) RouteMatching(edges []graph.Edge) ([]Path, error) {
+	out := make([]Path, len(edges))
+	for i, e := range edges {
+		p := d.h.ShortestPath(e.U, e.V)
+		if p == nil {
+			return nil, errUnreachable
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+var errUnreachable = errorString("unreachable pair")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestSubstituteOnSpannerIsValid(t *testing.T) {
+	r := rng.New(9)
+	g := gen.MustRandomRegular(60, 10, r)
+	// Spanner: drop ~half the edges but keep connectivity by retrying.
+	var h *graph.Graph
+	for {
+		h = g.FilterEdges(func(e graph.Edge) bool { return r.Bernoulli(0.6) })
+		if h.Connected() {
+			break
+		}
+	}
+	prob := RandomProblem(60, 40, r)
+	rt, err := ShortestPaths(g, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := SubstituteViaMatchings(g.N(), rt, detourRouter{h: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The substitute routing must be valid in H and answer the problem.
+	if err := sub.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decomposition is lossless — splicing identity paths back
+// reproduces any valid routing.
+func TestPropertyDecomposeSubstituteIdentity(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + 2*r.Intn(20)
+		g := gen.MustRandomRegular(n, 4, r)
+		if !g.Connected() {
+			return true // skip rare disconnected instance
+		}
+		prob := RandomProblem(n, 1+r.Intn(2*n), r)
+		rt, err := ShortestPaths(g, prob)
+		if err != nil {
+			return false
+		}
+		sub, _, err := SubstituteViaMatchings(n, rt, identityRouter{})
+		if err != nil {
+			return false
+		}
+		for i := range sub.Paths {
+			if len(sub.Paths[i]) != len(rt.Paths[i]) {
+				return false
+			}
+			for j := range sub.Paths[i] {
+				if sub.Paths[i][j] != rt.Paths[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lemma 21 — Σ(d_k+1) ≤ 12·C(P)·log₂ n on random shortest-path
+// routings.
+func TestPropertyLemma21(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 16 + 2*r.Intn(30)
+		g := gen.MustRandomRegular(n, 6, r)
+		if !g.Connected() {
+			return true
+		}
+		prob := RandomProblem(n, 1+r.Intn(3*n), r)
+		rt, err := ShortestPaths(g, prob)
+		if err != nil {
+			return false
+		}
+		d, err := Decompose(n, rt)
+		if err != nil {
+			return false
+		}
+		return float64(d.DegreePlusOneSum()) <= d.Lemma21Bound()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	r := rng.New(10)
+	g := gen.MustRandomRegular(200, 10, r)
+	prob := RandomProblem(200, 200, r)
+	rt, err := ShortestPaths(g, prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(g.N(), rt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestPaths(b *testing.B) {
+	r := rng.New(11)
+	g := gen.MustRandomRegular(500, 10, r)
+	prob := RandomProblem(500, 500, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShortestPaths(g, prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestValiantDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if _, err := Valiant(g, Problem{{Src: 0, Dst: 1}}, rng.New(1)); err == nil {
+		t.Fatal("Valiant accepted a disconnected graph (random intermediate unreachable)")
+	}
+}
+
+func TestRoutingStretchAgainstBase(t *testing.T) {
+	base := &Routing{
+		Problem: Problem{{Src: 0, Dst: 2}},
+		Paths:   []Path{{0, 1, 2}},
+	}
+	longer := &Routing{
+		Problem: base.Problem,
+		Paths:   []Path{{0, 3, 4, 5, 2}},
+	}
+	if s := longer.Stretch(base); s != 2 {
+		t.Fatalf("stretch = %v, want 2", s)
+	}
+	if s := base.Stretch(base); s != 1 {
+		t.Fatalf("self stretch = %v, want 1", s)
+	}
+}
+
+func TestTotalLengthAndMaxLength(t *testing.T) {
+	r := &Routing{
+		Problem: Problem{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}},
+		Paths:   []Path{{0, 1, 2}, {1, 2, 3, 4}},
+	}
+	if r.TotalLength() != 5 {
+		t.Fatalf("total length %d, want 5", r.TotalLength())
+	}
+	if r.MaxLength() != 3 {
+		t.Fatalf("max length %d, want 3", r.MaxLength())
+	}
+}

@@ -1,0 +1,144 @@
+// Package routing implements the routing-problem machinery of the paper:
+// routing problems and routings (Section 2), node and edge congestion
+// (Definition 2), shortest-path and Valiant-style routing, and the
+// decomposition of an arbitrary routing into matchings (Algorithm 2,
+// Section 6) together with the reassembly of the substitute routing on a
+// spanner (Theorem 1, Lemmas 20–23).
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Pair is a source–destination request of a routing problem.
+type Pair struct {
+	Src, Dst int32
+}
+
+// Problem is a routing problem R: a set of source–destination pairs with
+// Src ≠ Dst for each pair (Section 2).
+type Problem []Pair
+
+// Validate checks the structural constraints of a routing problem on an
+// n-vertex graph.
+func (r Problem) Validate(n int) error {
+	for i, p := range r {
+		if p.Src == p.Dst {
+			return fmt.Errorf("routing: pair %d has equal endpoints %d", i, p.Src)
+		}
+		if p.Src < 0 || int(p.Src) >= n || p.Dst < 0 || int(p.Dst) >= n {
+			return fmt.Errorf("routing: pair %d out of range", i)
+		}
+	}
+	return nil
+}
+
+// IsMatching reports whether the problem is a matching routing problem:
+// every node occurs at most once among all sources and destinations.
+func (r Problem) IsMatching() bool {
+	seen := make(map[int32]bool, 2*len(r))
+	for _, p := range r {
+		if seen[p.Src] || seen[p.Dst] {
+			return false
+		}
+		seen[p.Src] = true
+		seen[p.Dst] = true
+	}
+	return true
+}
+
+// MatchingProblem converts a set of edges (a matching in some graph) into
+// the routing problem R_M: each edge contributes its endpoints as a pair,
+// oriented U → V.
+func MatchingProblem(m []graph.Edge) Problem {
+	out := make(Problem, len(m))
+	for i, e := range m {
+		out[i] = Pair{Src: e.U, Dst: e.V}
+	}
+	return out
+}
+
+// Path is a vertex sequence; consecutive vertices must be adjacent in the
+// graph the path lives in. A path of l(p) edges has l(p)+1 vertices.
+type Path []int32
+
+// Len returns the number of edges of the path.
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Reversed returns a new path traversed in the opposite direction.
+func (p Path) Reversed() Path {
+	out := make(Path, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// Valid reports whether p is a walk in g from src to dst.
+func (p Path) Valid(g *graph.Graph, src, dst int32) bool {
+	if len(p) == 0 {
+		return false
+	}
+	if p[0] != src || p[len(p)-1] != dst {
+		return false
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Routing is a set of paths answering a routing problem: Paths[i] serves
+// Problem[i].
+type Routing struct {
+	Problem Problem
+	Paths   []Path
+}
+
+// Validate checks that every path is a valid walk in g serving its pair.
+func (r *Routing) Validate(g *graph.Graph) error {
+	if len(r.Paths) != len(r.Problem) {
+		return fmt.Errorf("routing: %d paths for %d pairs", len(r.Paths), len(r.Problem))
+	}
+	for i, p := range r.Paths {
+		pr := r.Problem[i]
+		if !p.Valid(g, pr.Src, pr.Dst) {
+			return fmt.Errorf("routing: path %d invalid for pair (%d,%d): %v", i, pr.Src, pr.Dst, p)
+		}
+	}
+	return nil
+}
+
+// MaxLength returns the maximum path length (edges) in the routing.
+func (r *Routing) MaxLength() int {
+	max := 0
+	for _, p := range r.Paths {
+		if p.Len() > max {
+			max = p.Len()
+		}
+	}
+	return max
+}
+
+// Stretch returns the maximum per-path length ratio of r versus base. The
+// two routings must answer the same problem, pair by pair. Paths of equal
+// endpoints never occur (Src ≠ Dst), so base lengths are >= 1.
+func (r *Routing) Stretch(base *Routing) float64 {
+	worst := 0.0
+	for i, p := range r.Paths {
+		ratio := float64(p.Len()) / float64(base.Paths[i].Len())
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}

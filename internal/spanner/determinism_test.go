@@ -1,0 +1,61 @@
+package spanner
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// The README and DESIGN.md promise that sampling results are identical
+// regardless of GOMAXPROCS (chunked per-stream randomness). Pin it.
+func TestSamplingDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := gen.MustRandomRegular(300, 20, rng.New(7))
+	build := func() *Spanner {
+		sp, err := BuildExpander(g, ExpanderOptions{SampleProb: 0.4, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	old := runtime.GOMAXPROCS(1)
+	a := build()
+	runtime.GOMAXPROCS(8)
+	b := build()
+	runtime.GOMAXPROCS(old)
+
+	if a.H.M() != b.H.M() {
+		t.Fatalf("edge counts differ across GOMAXPROCS: %d vs %d", a.H.M(), b.H.M())
+	}
+	for i, e := range a.H.Edges() {
+		if b.H.Edges()[i] != e {
+			t.Fatalf("edge %d differs across GOMAXPROCS", i)
+		}
+	}
+}
+
+// BuildRegular end-to-end determinism: same seed, different worker counts.
+func TestRegularDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := gen.MustRandomRegular(216, 40, rng.New(8))
+	build := func() *RegularResult {
+		res, err := BuildRegular(g, DefaultRegularOptions(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	old := runtime.GOMAXPROCS(1)
+	a := build()
+	runtime.GOMAXPROCS(4)
+	b := build()
+	runtime.GOMAXPROCS(old)
+	if a.Spanner.H.M() != b.Spanner.H.M() || !a.Spanner.H.IsSubgraphOf(b.Spanner.H) {
+		t.Fatalf("Algorithm 1 output differs across GOMAXPROCS: %d vs %d edges",
+			a.Spanner.H.M(), b.Spanner.H.M())
+	}
+	if a.ReinsertedNoDetour != b.ReinsertedNoDetour {
+		t.Fatalf("reinsertion accounting differs: %d vs %d",
+			a.ReinsertedNoDetour, b.ReinsertedNoDetour)
+	}
+}

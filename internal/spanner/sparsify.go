@@ -1,0 +1,92 @@
+package spanner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// SparsifyUniform keeps each edge with probability p = c·ln(n)/Δ, the
+// uniform-sampling sparsifier that preserves spectral expansion of regular
+// expanders w.h.p. (expander mixing + Chernoff). It is the repository's
+// stand-in for the Koutis–Xu [16] row of Table 1: output size O(n log n)
+// edges on Δ-regular inputs, still an expander, hence O(log n) diameter →
+// O(log n) distance stretch, with matching routing solved by Valiant
+// routing at polylog congestion. See DESIGN.md (substitutions).
+func SparsifyUniform(g *graph.Graph, c float64, seed uint64) (*Spanner, error) {
+	n := g.N()
+	delta := g.MaxDegree()
+	if delta == 0 {
+		return nil, fmt.Errorf("spanner: edgeless graph")
+	}
+	p := c * math.Log(float64(n)) / float64(delta)
+	if p > 1 {
+		p = 1
+	}
+	r := rng.New(seed)
+	for try := 0; try < 16; try++ {
+		h := sampleEdges(g, p, r)
+		if h.Connected() {
+			return &Spanner{Base: g, H: h, Primary: h, Algorithm: "sparsify-uniform"}, nil
+		}
+	}
+	return nil, fmt.Errorf("spanner: uniform sparsifier disconnected at p=%v; increase c", p)
+}
+
+// ExtractBoundedDegree emulates the Becchetti et al. [5] row of Table 1:
+// from a dense expander (Δ = Ω(n)) extract a bounded-degree subgraph with
+// O(n) edges that is still an expander. Each vertex nominates d incident
+// edges uniformly at random; the union is kept, so degrees are at most 2d
+// and the edge count at most n·d. For dense expanders the nomination graph
+// is an expander w.h.p. (it contains a union of near-uniform random
+// matchings); the harness certifies the output spectrally rather than
+// assuming it.
+func ExtractBoundedDegree(g *graph.Graph, d int, seed uint64) (*Spanner, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("spanner: ExtractBoundedDegree needs d >= 1")
+	}
+	n := g.N()
+	r := rng.New(seed)
+	for try := 0; try < 16; try++ {
+		// Each vertex nominates d incident edges; the receiving endpoint
+		// accepts at most d incoming nominations (in random arrival
+		// order), so every vertex ends with ≤ d outgoing + ≤ d accepted
+		// incoming edges: degree ≤ 2d by construction.
+		type nomination struct{ from, to int32 }
+		noms := make([]nomination, 0, n*d)
+		for v := int32(0); v < int32(n); v++ {
+			nbrs := g.Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			k := d
+			if k > len(nbrs) {
+				k = len(nbrs)
+			}
+			for _, idx := range r.Sample(len(nbrs), k) {
+				noms = append(noms, nomination{from: v, to: nbrs[idx]})
+			}
+		}
+		r.Shuffle(len(noms), func(i, j int) { noms[i], noms[j] = noms[j], noms[i] })
+		incoming := make([]int, n)
+		chosen := make(map[graph.Edge]bool, n*d)
+		for _, nm := range noms {
+			e := graph.Edge{U: nm.from, V: nm.to}.Normalize()
+			if chosen[e] {
+				continue // mutual nomination: already kept
+			}
+			if incoming[nm.to] >= d {
+				continue
+			}
+			incoming[nm.to]++
+			chosen[e] = true
+		}
+		h := g.FilterEdges(func(e graph.Edge) bool { return chosen[e] })
+		if h.Connected() {
+			return &Spanner{Base: g, H: h, Primary: h, Algorithm: "extract-bounded-degree"}, nil
+		}
+	}
+	return nil, fmt.Errorf("spanner: bounded-degree extraction stayed disconnected; increase d")
+}

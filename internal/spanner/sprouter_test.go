@@ -1,0 +1,119 @@
+package spanner
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSPRouterRoutesShortest(t *testing.T) {
+	r := rng.New(1)
+	g := gen.MustRandomRegular(80, 8, r)
+	var h *graph.Graph
+	for {
+		h = g.FilterEdges(func(graph.Edge) bool { return r.Bernoulli(0.5) })
+		if h.Connected() {
+			break
+		}
+	}
+	router := NewSPRouter(h, 2)
+	var m []graph.Edge
+	used := make(map[int32]bool)
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			m = append(m, e)
+		}
+	}
+	paths, err := router.RouteMatching(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		if !p.Valid(h, m[i].U, m[i].V) {
+			t.Fatalf("path %d invalid: %v", i, p)
+		}
+		if int32(p.Len()) != h.Dist(m[i].U, m[i].V) {
+			t.Fatalf("path %d not shortest", i)
+		}
+	}
+}
+
+func TestSPRouterMaxLen(t *testing.T) {
+	g := gen.Cycle(12)
+	h := g.FilterEdges(func(e graph.Edge) bool { return !(e.U == 0 && e.V == 1) })
+	router := NewSPRouter(h, 3)
+	router.MaxLen = 3
+	if _, err := router.RouteMatching([]graph.Edge{{U: 0, V: 1}}); err == nil {
+		t.Fatal("11-hop detour accepted under MaxLen=3")
+	}
+	router2 := NewSPRouter(h, 3)
+	paths, err := router2.RouteMatching([]graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0].Len() != 11 {
+		t.Fatalf("detour length %d, want 11", paths[0].Len())
+	}
+}
+
+func TestSPRouterDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	h := b.MustBuild()
+	router := NewSPRouter(h, 4)
+	if _, err := router.RouteMatching([]graph.Edge{{U: 0, V: 3}}); err == nil {
+		t.Fatal("accepted disconnected pair")
+	}
+}
+
+func TestBuildExpanderK(t *testing.T) {
+	r := rng.New(5)
+	g := gen.MustRandomRegular(216, 60, r)
+	sp, err := BuildExpanderK(g, 0.2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.H.Connected() {
+		t.Fatal("disconnected output")
+	}
+	ratio := sp.EdgeRatio()
+	if ratio < 0.12 || ratio > 0.28 {
+		t.Fatalf("edge ratio %v far from p=0.2", ratio)
+	}
+	if _, err := BuildExpanderK(g, 0, 1); err == nil {
+		t.Fatal("accepted p=0")
+	}
+	if _, err := BuildExpanderK(g, 1.5, 1); err == nil {
+		t.Fatal("accepted p>1")
+	}
+}
+
+func TestSPRouterSpreadsAcrossEquivalentPaths(t *testing.T) {
+	// Diamond-rich graph: complete bipartite K_{2,8} gives many 2-hop
+	// paths between the two left vertices; the router should not always
+	// pick the same middle.
+	g := gen.CompleteBipartite(2, 8)
+	router := NewSPRouter(g, 7)
+	middles := make(map[int32]bool)
+	for i := 0; i < 200; i++ {
+		paths, err := router.RouteMatching([]graph.Edge{{U: 0, V: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths[0]) != 3 {
+			t.Fatalf("expected 2-hop path, got %v", paths[0])
+		}
+		middles[paths[0][1]] = true
+	}
+	if len(middles) < 6 {
+		t.Fatalf("router used only %d of 8 middles", len(middles))
+	}
+}

@@ -1,0 +1,136 @@
+package spanner
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/routing"
+)
+
+// Spanner bundles a spanner subgraph H of a base graph G together with
+// the replacement-path router that realizes the paper's congestion
+// guarantees. It implements routing.MatchingRouter via Router().
+type Spanner struct {
+	Base *graph.Graph // G
+	H    *graph.Graph // the spanner: V(H) = V(G), E(H) ⊆ E(G)
+
+	// Primary is the subgraph used for sampling 3-detours; for Algorithm 1
+	// this is G' (the sampled graph), whose bounded degree is what caps
+	// matching congestion (Lemma 17). For constructions without a separate
+	// sampled graph it equals H.
+	Primary *graph.Graph
+
+	Algorithm string // human-readable construction name
+}
+
+// Validate checks the spanner invariants: same vertex set and E(H) ⊆ E(G).
+func (s *Spanner) Validate() error {
+	if s.H.N() != s.Base.N() {
+		return fmt.Errorf("spanner: vertex count %d != base %d", s.H.N(), s.Base.N())
+	}
+	if !s.H.IsSubgraphOf(s.Base) {
+		return fmt.Errorf("spanner: H is not a subgraph of G")
+	}
+	if s.Primary != nil && !s.Primary.IsSubgraphOf(s.H) {
+		return fmt.Errorf("spanner: primary graph is not a subgraph of H")
+	}
+	return nil
+}
+
+// EdgeRatio returns |E(H)| / |E(G)|.
+func (s *Spanner) EdgeRatio() float64 {
+	if s.Base.M() == 0 {
+		return 0
+	}
+	return float64(s.H.M()) / float64(s.Base.M())
+}
+
+// Router returns a fresh matching router over this spanner seeded from
+// seed. Routers are stateful (they count fallbacks and consume randomness)
+// and not safe for concurrent use; create one per goroutine.
+func (s *Spanner) Router(seed uint64) *DetourRouter {
+	primary := s.Primary
+	if primary == nil {
+		primary = s.H
+	}
+	return &DetourRouter{H: s.H, Primary: primary, RNG: rng.New(seed)}
+}
+
+// DetourRouter routes matching edges on a spanner following the paper's
+// replacement-path rule: an edge surviving in H routes as itself; a
+// removed edge routes over a uniformly random 3-hop detour in the primary
+// (sampled) graph, preferring shorter detours when available. If no
+// bounded detour exists the router falls back to a shortest path in H and
+// counts the event — experiments report Fallbacks so constant-regime
+// artifacts are visible rather than silent.
+type DetourRouter struct {
+	H       *graph.Graph
+	Primary *graph.Graph
+	RNG     *rng.RNG
+
+	// Stats, accumulated across RouteMatching calls.
+	Identity  int // edges present in H, routed as themselves
+	Detour3   int // removed edges routed over sampled 3-detours
+	Detour2   int // removed edges routed over a common neighbor (2-hop)
+	Fallbacks int // removed edges needing a general shortest path in H
+
+	scratch *graph.BFSScratch
+	parent  []int32
+}
+
+// RouteMatching implements routing.MatchingRouter.
+func (d *DetourRouter) RouteMatching(edges []graph.Edge) ([]routing.Path, error) {
+	out := make([]routing.Path, len(edges))
+	for i, e := range edges {
+		p, err := d.RouteEdge(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// RouteEdge routes a single source–destination pair that is an edge of the
+// base graph, returning a path in H from e.U to e.V.
+func (d *DetourRouter) RouteEdge(e graph.Edge) (routing.Path, error) {
+	u, v := e.U, e.V
+	if d.H.HasEdge(u, v) {
+		d.Identity++
+		return routing.Path{u, v}, nil
+	}
+	if det, ok := SampleThreeDetour(d.Primary, u, v, d.RNG); ok {
+		d.Detour3++
+		return routing.Path{u, det.X, det.Y, v}, nil
+	}
+	if mids := twoHopMiddles(d.Primary, u, v); len(mids) > 0 {
+		d.Detour2++
+		w := mids[d.RNG.Intn(len(mids))]
+		return routing.Path{u, w, v}, nil
+	}
+	// Try the wider graph H before the general fallback.
+	if d.Primary != d.H {
+		if det, ok := SampleThreeDetour(d.H, u, v, d.RNG); ok {
+			d.Detour3++
+			return routing.Path{u, det.X, det.Y, v}, nil
+		}
+		if mids := twoHopMiddles(d.H, u, v); len(mids) > 0 {
+			d.Detour2++
+			w := mids[d.RNG.Intn(len(mids))]
+			return routing.Path{u, w, v}, nil
+		}
+	}
+	if d.scratch == nil {
+		d.scratch = graph.NewBFSScratch(d.H.N())
+		d.parent = make([]int32, d.H.N())
+	}
+	p := d.scratch.PathWithin(d.H, u, v, -1, d.parent)
+	if p == nil {
+		return nil, fmt.Errorf("spanner: pair (%d,%d) disconnected in H", u, v)
+	}
+	d.Fallbacks++
+	return routing.Path(p), nil
+}
+
+var _ routing.MatchingRouter = (*DetourRouter)(nil)

@@ -1,0 +1,113 @@
+package spanner
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// StretchReport summarizes a distance-stretch verification.
+type StretchReport struct {
+	Checked     int
+	MaxStretch  float64
+	Violations  int // pairs exceeding the asserted bound
+	MeanStretch float64
+}
+
+// VerifyEdgeStretch checks the per-edge distance stretch of h versus g:
+// for every edge (u,v) of G, dist_H(u,v) must be at most alpha. Because
+// replacing each edge of any path by its detour multiplies lengths by at
+// most the per-edge stretch (Lemma 1's argument), this certifies h as an
+// alpha-distance spanner. The sweep runs in parallel over edges.
+func VerifyEdgeStretch(g, h *graph.Graph, alpha int) StretchReport {
+	m := g.M()
+	edges := g.Edges()
+	// Compute per-edge stretch into a shared slice in parallel, reduce after.
+	stretch := make([]float64, m)
+	graph.ParallelRange(m, func(lo, hi int) {
+		scratch := graph.NewBFSScratch(g.N())
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			d := scratch.DistWithin(h, e.U, e.V, int32(alpha))
+			if d == graph.Unreachable {
+				// Beyond alpha (or disconnected): measure the real distance
+				// for reporting.
+				full := scratch.DistWithin(h, e.U, e.V, -1)
+				if full == graph.Unreachable {
+					stretch[i] = math.Inf(1)
+				} else {
+					stretch[i] = float64(full)
+				}
+			} else {
+				stretch[i] = float64(d)
+			}
+		}
+	})
+	var rep StretchReport
+	rep.Checked = m
+	total := 0.0
+	for _, s := range stretch {
+		if s > rep.MaxStretch {
+			rep.MaxStretch = s
+		}
+		if s > float64(alpha) {
+			rep.Violations++
+		}
+		total += s
+	}
+	if m > 0 {
+		rep.MeanStretch = total / float64(m)
+	}
+	return rep
+}
+
+// VerifyPairStretch samples `pairs` random vertex pairs and measures
+// dist_H / dist_G, certifying the end-to-end distance stretch on sampled
+// pairs (full all-pairs verification is quadratic; edges are the binding
+// case anyway by Lemma 1).
+func VerifyPairStretch(g, h *graph.Graph, pairs int, r *rng.RNG) StretchReport {
+	n := g.N()
+	type pair struct{ u, v int32 }
+	ps := make([]pair, pairs)
+	for i := range ps {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		for v == u {
+			v = int32(r.Intn(n))
+		}
+		ps[i] = pair{u, v}
+	}
+	stretch := make([]float64, pairs)
+	graph.ParallelRange(pairs, func(lo, hi int) {
+		sg := graph.NewBFSScratch(n)
+		sh := graph.NewBFSScratch(n)
+		for i := lo; i < hi; i++ {
+			dg := sg.DistWithin(g, ps[i].u, ps[i].v, -1)
+			dh := sh.DistWithin(h, ps[i].u, ps[i].v, -1)
+			switch {
+			case dg == graph.Unreachable && dh == graph.Unreachable:
+				stretch[i] = 1
+			case dh == graph.Unreachable:
+				stretch[i] = math.Inf(1)
+			case dg == 0:
+				stretch[i] = 1
+			default:
+				stretch[i] = float64(dh) / float64(dg)
+			}
+		}
+	})
+	var rep StretchReport
+	rep.Checked = pairs
+	total := 0.0
+	for _, s := range stretch {
+		if s > rep.MaxStretch {
+			rep.MaxStretch = s
+		}
+		total += s
+	}
+	if pairs > 0 {
+		rep.MeanStretch = total / float64(pairs)
+	}
+	return rep
+}

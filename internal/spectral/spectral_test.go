@@ -1,0 +1,191 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestTopEigenClique(t *testing.T) {
+	g := gen.Clique(10)
+	l1, vec := TopEigen(g, 200, rng.New(1))
+	if math.Abs(l1-9) > 1e-6 {
+		t.Fatalf("λ1(K10) = %v, want 9", l1)
+	}
+	// Eigenvector should be (close to) uniform.
+	for i := 1; i < len(vec); i++ {
+		if math.Abs(vec[i]-vec[0]) > 1e-6 {
+			t.Fatalf("top eigenvector not uniform: %v vs %v", vec[i], vec[0])
+		}
+	}
+}
+
+func TestExpansionClique(t *testing.T) {
+	// K_n has λ2 = … = λn = −1.
+	g := gen.Clique(12)
+	lam, l1 := Expansion(g, 300, rng.New(2))
+	if math.Abs(l1-11) > 1e-6 {
+		t.Fatalf("λ1 = %v", l1)
+	}
+	if math.Abs(lam-1) > 1e-4 {
+		t.Fatalf("λ(K12) = %v, want 1", lam)
+	}
+}
+
+func TestExpansionCompleteBipartite(t *testing.T) {
+	// K_{a,a} has eigenvalues ±a (bipartite), so λ = |λ_n| = a.
+	g := gen.CompleteBipartite(6, 6)
+	lam, l1 := Expansion(g, 400, rng.New(3))
+	if math.Abs(l1-6) > 1e-3 {
+		t.Fatalf("λ1 = %v, want 6", l1)
+	}
+	if math.Abs(lam-6) > 1e-3 {
+		t.Fatalf("λ = %v, want 6 (bipartite bottom eigenvalue)", lam)
+	}
+}
+
+func TestExpansionCycle(t *testing.T) {
+	// Odd cycle C_n: eigenvalues 2cos(2πk/n); the largest magnitude below
+	// λ1 = 2 is |λ_n| = 2cos(π/n). Cycles are poor expanders: λ → 2.
+	n := 41
+	g := gen.Cycle(n)
+	lam, _ := Expansion(g, 3000, rng.New(4))
+	want := 2 * math.Cos(math.Pi/float64(n))
+	if math.Abs(lam-want) > 0.01 {
+		t.Fatalf("λ(C%d) = %v, want %v", n, lam, want)
+	}
+}
+
+func TestRandomRegularIsNearRamanujan(t *testing.T) {
+	// Random d-regular graphs have λ ≈ 2√(d−1) w.h.p. Allow generous slack.
+	r := rng.New(7)
+	d := 8
+	g := gen.MustRandomRegular(300, d, r)
+	lam, l1 := Expansion(g, 400, r)
+	if math.Abs(l1-float64(d)) > 1e-3 {
+		t.Fatalf("λ1 = %v, want %d", l1, d)
+	}
+	ramanujan := 2 * math.Sqrt(float64(d-1))
+	if lam > 1.5*ramanujan {
+		t.Fatalf("λ = %v far above Ramanujan bound %v", lam, ramanujan)
+	}
+	if lam >= float64(d) {
+		t.Fatalf("λ = %v not separated from d = %d", lam, d)
+	}
+}
+
+func TestMargulisExpands(t *testing.T) {
+	g := gen.Margulis(12)
+	lam, l1 := Expansion(g, 500, rng.New(8))
+	if lam >= l1 {
+		t.Fatalf("Margulis: λ = %v >= λ1 = %v", lam, l1)
+	}
+	// The classical bound for the 8-regular multigraph is λ ≤ 5√2 ≈ 7.07;
+	// the simple skeleton stays comfortably below its own top eigenvalue.
+	if lam > 0.95*l1 {
+		t.Fatalf("Margulis skeleton barely expands: λ/λ1 = %v", lam/l1)
+	}
+}
+
+func TestIsExpander(t *testing.T) {
+	r := rng.New(10)
+	good := gen.MustRandomRegular(200, 10, r)
+	if ok, lam := IsExpander(good, 9.0, r); !ok {
+		t.Fatalf("random 10-regular rejected, λ = %v", lam)
+	}
+	bad := gen.Cycle(200)
+	if ok, lam := IsExpander(bad, 1.0, r); ok {
+		t.Fatalf("cycle accepted as expander with λ = %v", lam)
+	}
+}
+
+func TestMixingCheckHoldsOnExpander(t *testing.T) {
+	r := rng.New(11)
+	g := gen.MustRandomRegular(200, 12, r)
+	lam, _ := Expansion(g, 400, r)
+	// Use measured λ with 25% slack for finite-size noise.
+	rep := MixingCheck(g, 1.25*lam, 200, r)
+	if rep.Violations != 0 {
+		t.Fatalf("%d/%d mixing violations at λ = %v (max ratio %v)",
+			rep.Violations, rep.Trials, lam, rep.MaxRatio)
+	}
+	if rep.MaxRatio <= 0 {
+		t.Fatal("mixing check measured nothing")
+	}
+}
+
+func TestMixingRatioLowerBoundsLambda(t *testing.T) {
+	// The empirical max ratio can never exceed the true λ by much; on a
+	// poor expander (cycle) the ratio should be large relative to degree.
+	r := rng.New(12)
+	g := gen.Cycle(100)
+	rep := MixingCheck(g, 0.1, 100, r)
+	if rep.Violations == 0 {
+		t.Fatal("cycle should violate a λ=0.1 mixing bound")
+	}
+}
+
+func TestConductanceSweep(t *testing.T) {
+	r := rng.New(13)
+	exp := gen.MustRandomRegular(128, 8, r)
+	phiExp := ConductanceSweep(exp, 300, r)
+	cyc := gen.Cycle(128)
+	phiCyc := ConductanceSweep(cyc, 800, r)
+	if phiCyc >= phiExp {
+		t.Fatalf("cycle conductance %v >= expander conductance %v", phiCyc, phiExp)
+	}
+	if phiExp <= 0 {
+		t.Fatalf("expander conductance %v <= 0", phiExp)
+	}
+}
+
+func TestMatVecMatchesNaive(t *testing.T) {
+	r := rng.New(14)
+	g := gen.MustRandomRegular(60, 6, r)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	y := make([]float64, g.N())
+	MatVec(g, x, y)
+	for v := 0; v < g.N(); v++ {
+		want := 0.0
+		for _, w := range g.Neighbors(int32(v)) {
+			want += x[w]
+		}
+		if math.Abs(y[v]-want) > 1e-12 {
+			t.Fatalf("MatVec[%d] = %v, want %v", v, y[v], want)
+		}
+	}
+}
+
+func BenchmarkExpansion(b *testing.B) {
+	r := rng.New(15)
+	g := gen.MustRandomRegular(1000, 16, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Expansion(g, 100, rng.New(uint64(i)))
+	}
+}
+
+func TestPaleySpectrumExact(t *testing.T) {
+	// Paley graphs have eigenvalues (q-1)/2 and (−1 ± √q)/2 exactly, so
+	// λ = (√q+1)/2 — a closed-form check of the whole estimation stack.
+	for _, q := range []int{13, 17, 29, 37} {
+		g, err := gen.Paley(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam, l1 := Expansion(g, 600, rng.New(uint64(q)))
+		wantTop := float64(q-1) / 2
+		wantLam := (math.Sqrt(float64(q)) + 1) / 2
+		if math.Abs(l1-wantTop) > 1e-6 {
+			t.Fatalf("Paley(%d): λ1 = %v, want %v", q, l1, wantTop)
+		}
+		if math.Abs(lam-wantLam) > 1e-4 {
+			t.Fatalf("Paley(%d): λ = %v, want %v", q, lam, wantLam)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("sd = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.String() != "n=0" {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 0); p != 10 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(sorted, 100); p != 40 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(sorted, 50); p != 25 {
+		t.Fatalf("p50 = %v", p)
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if s.Mean != 4 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3)
+	tb.AddRow("beta", 12.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "3") {
+		t.Fatalf("row line: %q", lines[2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		12.5:     "12.500",
+		0.001234: "0.00123",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(math.Inf(1)); got != "inf" {
+		t.Errorf("inf = %q", got)
+	}
+	if got := formatFloat(math.NaN()); got != "nan" {
+		t.Errorf("nan = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Fatal("zero denominator not handled")
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max.
+func TestPropertySummaryOrdering(t *testing.T) {
+	check := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Exclude non-finite values and magnitudes whose sum would
+			// overflow float64 (the summary contract assumes finite sums).
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
