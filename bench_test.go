@@ -223,6 +223,100 @@ func BenchmarkCorollary3Local(b *testing.B) {
 	b.ReportMetric(float64(rounds), "rounds")
 }
 
+// benchOracle builds the standard demo spanner (512-node Δ=96 expander)
+// and an oracle over it for the serving benchmarks.
+func benchOracle(b *testing.B, cacheSize int) *Oracle {
+	b.Helper()
+	g := gen.MustRandomRegular(512, 96, rng.New(1))
+	dc, err := Build(g, Options{
+		Algorithm: AlgoExpander, Seed: 1,
+		Expander: ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := NewOracle(dc, OracleOptions{CacheSize: cacheSize, SampleEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkOracleDist measures single-query latency: cold = every query a
+// distinct pair (cache disabled), warm = queries drawn from a small pool
+// with the LRU cache on.
+func BenchmarkOracleDist(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		o := benchOracle(b, -1)
+		r := rng.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Dist(int32(r.Intn(512)), int32(r.Intn(512))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		o := benchOracle(b, 1<<16)
+		pool := make([]OracleQuery, 256)
+		r := rng.New(3)
+		for i := range pool {
+			pool[i] = OracleQuery{U: int32(r.Intn(512)), V: int32(r.Intn(512))}
+		}
+		for _, q := range pool { // prefill the cache
+			if _, err := o.Dist(q.U, q.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := pool[i%len(pool)]
+			if _, err := o.Dist(q.U, q.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOracleBatch measures AnswerBatch throughput over all cores,
+// cold cache vs warm cache; the metric is queries per second.
+func BenchmarkOracleBatch(b *testing.B) {
+	const batch = 4096
+	run := func(b *testing.B, o *Oracle, qs []OracleQuery) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.AnswerBatch(qs)
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("cold", func(b *testing.B) {
+		o := benchOracle(b, -1)
+		r := rng.New(4)
+		qs := make([]OracleQuery, batch)
+		for i := range qs {
+			qs[i] = OracleQuery{U: int32(r.Intn(512)), V: int32(r.Intn(512))}
+		}
+		run(b, o, qs)
+	})
+	b.Run("warm", func(b *testing.B) {
+		o := benchOracle(b, 1<<16)
+		r := rng.New(5)
+		pool := make([]OracleQuery, 256)
+		for i := range pool {
+			pool[i] = OracleQuery{U: int32(r.Intn(512)), V: int32(r.Intn(512))}
+		}
+		qs := make([]OracleQuery, batch)
+		for i := range qs {
+			qs[i] = pool[r.Intn(len(pool))]
+		}
+		o.AnswerBatch(qs) // prefill
+		run(b, o, qs)
+	})
+}
+
 // BenchmarkExperimentSuite runs every registered experiment end to end in
 // quick mode — the full evaluation as a single benchmark.
 func BenchmarkExperimentSuite(b *testing.B) {

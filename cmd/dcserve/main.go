@@ -1,0 +1,236 @@
+// Command dcserve builds a DC-spanner of a generated or loaded graph and
+// serves point-to-point distance/route queries against it through the
+// internal/oracle engine — the repository's "many queries against one
+// precomputed spanner" serving path.
+//
+// Usage:
+//
+//	dcserve -demo                      # 512-node Δ=96 expander, 10k mixed queries, latency report
+//	dcserve -listen :7070              # TCP line protocol, one goroutine per connection
+//	dcserve < queries.txt              # same protocol on stdin/stdout
+//
+// Protocol (one request per line, one response line per request):
+//
+//	dist <u> <v>   ->  dist <u> <v> = <d> exact=<t|f> bound=<b> us=<latency>
+//	route <u> <v>  ->  route <u> <v> = <d> path=<v0>-<v1>-...-<vk>
+//	stats          ->  stats <key=value report>
+//	quit           ->  closes the connection (stdin mode: exits)
+//
+// Errors answer "err <message>" and keep the connection open.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+func main() {
+	cfg := cliutil.RegisterGraphFlags(flag.CommandLine, "regular", 512, 96, 1)
+	algo := flag.String("algo", "expander", "spanner: expander|regular|baswana-sen|greedy|sparsify-uniform|bounded-degree")
+	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
+	alpha := flag.Int("alpha", 3, "greedy spanner stretch")
+	landmarks := flag.Int("landmarks", 16, "landmark BFS trees precomputed on the spanner")
+	cacheSize := flag.Int("cache", 1<<16, "LRU result-cache entries (negative disables)")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	maxDist := flag.Int("maxdist", 0, "exact-search depth bound; deeper answers fall back to the landmark bound (0 = unbounded)")
+	sample := flag.Int("sample", 64, "verify every k-th query against exact BFS on G for realized stretch (negative disables)")
+	listen := flag.String("listen", "", "serve the line protocol on this TCP address instead of stdin")
+	demo := flag.Bool("demo", false, "answer -queries mixed random queries, print the latency report, and exit")
+	queries := flag.Int("queries", 10000, "demo query count")
+	flag.Parse()
+
+	g := cfg.MustBuild()
+	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
+
+	dc, err := core.Build(g, core.Options{
+		Algorithm: core.Algorithm(*algo),
+		Seed:      cfg.Seed,
+		K:         *k,
+		Alpha:     *alpha,
+		Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h := dc.Graph()
+	fmt.Printf("H (%s): m=%d (%.1f%% of G), certified alpha=%d\n",
+		*algo, h.M(), 100*float64(h.M())/float64(g.M()), dc.CertifiedAlpha())
+
+	t0 := time.Now()
+	o, err := oracle.New(dc, oracle.Options{
+		Landmarks:   *landmarks,
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		MaxDist:     *maxDist,
+		SampleEvery: *sample,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("oracle: %d landmarks precomputed in %v\n", len(o.Landmarks()), time.Since(t0).Round(time.Microsecond))
+
+	switch {
+	case *demo:
+		runDemo(o, g.N(), *queries, cfg.Seed)
+	case *listen != "":
+		serveTCP(o, *listen)
+	default:
+		serve(o, os.Stdin, os.Stdout)
+	}
+}
+
+// runDemo answers a mixed random workload — 90% dist (batched), 10%
+// route — drawn from a pair pool a quarter the workload size, so the
+// cache sees realistic re-hits, then prints the serving report.
+func runDemo(o *oracle.Oracle, n, total int, seed uint64) {
+	if total < 1 {
+		total = 1
+	}
+	r := rng.New(seed ^ 0xdeadbeefcafef00d)
+	poolSize := total / 4
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	pool := make([]oracle.Query, poolSize)
+	for i := range pool {
+		pool[i] = oracle.Query{U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+	}
+	nRoutes := total / 10
+	nDist := total - nRoutes
+	qs := make([]oracle.Query, nDist)
+	for i := range qs {
+		qs[i] = pool[r.Intn(poolSize)]
+	}
+
+	start := time.Now()
+	_ = o.AnswerBatch(qs)
+	for i := 0; i < nRoutes; i++ {
+		q := pool[r.Intn(poolSize)]
+		if _, _, err := o.Route(q.U, q.V); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	s := o.Stats()
+	fmt.Printf("demo: %d queries (%d dist batched, %d route) in %v\n",
+		total, nDist, nRoutes, elapsed.Round(time.Millisecond))
+	fmt.Printf("latency: p50=%s p95=%s p99=%s mean=%s\n",
+		usec(s.LatencyP50), usec(s.LatencyP95), usec(s.LatencyP99), usec(s.LatencyMean))
+	fmt.Printf("throughput: %.0f qps   cache: hits=%d misses=%d hitRate=%.3f\n",
+		float64(total)/elapsed.Seconds(), s.CacheHits, s.CacheMisses, s.HitRate)
+	fmt.Printf("stretch: realized alpha=%.3f mean=%.3f over %d samples (certified %d)   maxRouteCong=%d\n",
+		s.RealizedAlpha, s.MeanStretch, s.StretchSamples, s.CertifiedAlpha, s.MaxCongestion)
+	if s.CertifiedAlpha > 0 && s.RealizedAlpha > float64(s.CertifiedAlpha) {
+		fmt.Fprintln(os.Stderr, "realized stretch exceeds certified alpha")
+		os.Exit(1)
+	}
+}
+
+func usec(sec float64) string { return fmt.Sprintf("%.1fµs", sec*1e6) }
+
+func serveTCP(o *oracle.Oracle, addr string) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving on %s\n", l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		go func() {
+			defer conn.Close()
+			serve(o, conn, conn)
+		}()
+	}
+}
+
+// serve runs the line protocol until EOF or "quit". Safe to run on many
+// connections at once: the oracle is fully concurrent.
+func serve(o *oracle.Oracle, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			return
+		}
+		fmt.Fprintln(w, handle(o, line))
+		w.Flush()
+	}
+}
+
+func handle(o *oracle.Oracle, line string) string {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "stats":
+		return "stats " + o.Stats().String()
+	case "dist":
+		u, v, err := parsePair(fields)
+		if err != nil {
+			return "err " + err.Error()
+		}
+		t0 := time.Now()
+		ans, err := o.Dist(u, v)
+		if err != nil {
+			return "err " + err.Error()
+		}
+		return fmt.Sprintf("dist %d %d = %d exact=%t bound=%d us=%.1f",
+			u, v, ans.Dist, ans.Exact, ans.Bound, time.Since(t0).Seconds()*1e6)
+	case "route":
+		u, v, err := parsePair(fields)
+		if err != nil {
+			return "err " + err.Error()
+		}
+		p, ans, err := o.Route(u, v)
+		if err != nil {
+			return "err " + err.Error()
+		}
+		if p == nil {
+			return fmt.Sprintf("route %d %d = unreachable", u, v)
+		}
+		parts := make([]string, len(p))
+		for i, x := range p {
+			parts[i] = strconv.Itoa(int(x))
+		}
+		return fmt.Sprintf("route %d %d = %d path=%s", u, v, ans.Dist, strings.Join(parts, "-"))
+	default:
+		return fmt.Sprintf("err unknown command %q (want dist|route|stats|quit)", fields[0])
+	}
+}
+
+func parsePair(fields []string) (int32, int32, error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("want %q", fields[0]+" <u> <v>")
+	}
+	u, err1 := strconv.Atoi(fields[1])
+	v, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad vertex in %v", fields[1:])
+	}
+	return int32(u), int32(v), nil
+}

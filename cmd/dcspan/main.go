@@ -10,11 +10,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/rng"
@@ -23,78 +22,18 @@ import (
 	"repro/internal/spectral"
 )
 
-func buildGraph(kind string, n, d int, seed uint64, inPath string) (*graph.Graph, error) {
-	if inPath != "" {
-		f, err := os.Open(inPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graphio.ReadEdgeList(f)
-	}
-	r := rng.New(seed)
-	switch kind {
-	case "regular":
-		return gen.RandomRegular(n, d, r)
-	case "paley":
-		q := n
-		for q > 2 && !(isPrimeInt(q) && q%4 == 1) {
-			q--
-		}
-		return gen.Paley(q)
-	case "margulis":
-		m := int(math.Round(math.Sqrt(float64(n))))
-		return gen.Margulis(m), nil
-	case "clique":
-		return gen.Clique(n), nil
-	case "hypercube":
-		dim := 0
-		for 1<<dim < n {
-			dim++
-		}
-		return gen.Hypercube(dim), nil
-	case "torus":
-		side := int(math.Round(math.Sqrt(float64(n))))
-		return gen.Torus(side, side), nil
-	case "erdosrenyi":
-		p := float64(d) / float64(n-1)
-		return gen.ErdosRenyi(n, p, r), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", kind)
-	}
-}
-
-func isPrimeInt(q int) bool {
-	if q < 2 {
-		return false
-	}
-	for d := 2; d*d <= q; d++ {
-		if q%d == 0 {
-			return false
-		}
-	}
-	return true
-}
-
 func main() {
-	kind := flag.String("gen", "regular", "graph family: regular|margulis|paley|clique|hypercube|torus|erdosrenyi")
-	in := flag.String("in", "", "read the base graph from an edge-list file instead of generating")
-	n := flag.Int("n", 512, "vertex count (approximate for margulis/torus)")
-	d := flag.Int("d", 96, "degree (regular/erdosrenyi)")
+	cfg := cliutil.RegisterGraphFlags(flag.CommandLine, "regular", 512, 96, 1)
 	algo := flag.String("algo", "expander", "spanner: expander|regular|baswana-sen|greedy|sparsify-uniform|bounded-degree")
 	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
 	alpha := flag.Int("alpha", 3, "greedy spanner stretch / verification stretch")
-	seed := flag.Uint64("seed", 1, "random seed")
 	certify := flag.Bool("certify", false, "measure spectral expansion of G and H")
 	out := flag.String("out", "", "write the spanner to this file")
 	format := flag.String("format", "edgelist", "output format: edgelist|dot|spannerdot")
 	flag.Parse()
+	seed := &cfg.Seed
 
-	g, err := buildGraph(*kind, *n, *d, *seed, *in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	g := cfg.MustBuild()
 	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
 
 	dc, err := core.Build(g, core.Options{

@@ -12,24 +12,18 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/gen"
+	"repro/internal/cliutil"
 	"repro/internal/local"
-	"repro/internal/rng"
 	"repro/internal/spanner"
 )
 
 func main() {
-	n := flag.Int("n", 216, "vertex count")
-	d := flag.Int("d", 40, "degree (must keep n·d even)")
-	seed := flag.Uint64("seed", 7, "random seed")
+	cfg := cliutil.RegisterGraphFlags(flag.CommandLine, "regular", 216, 40, 7)
 	flag.Parse()
 
-	g, err := gen.RandomRegular(*n, *d, rng.New(*seed))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	opts := spanner.DefaultRegularOptions(*seed)
+	g := cfg.MustBuild()
+	d := &cfg.D
+	opts := spanner.DefaultRegularOptions(cfg.Seed)
 
 	dist := local.DistributedRegularSpanner(g, opts)
 	seq := local.SequentialReference(g, opts)

@@ -15,12 +15,13 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
 func main() {
 	out := flag.String("out", "", "directory for CSV files (default: stdout)")
-	seed := flag.Uint64("seed", 42, "random seed")
+	seed := cliutil.RegisterSeedFlag(flag.CommandLine, 42)
 	quick := flag.Bool("quick", false, "reduced sweep")
 	flag.Parse()
 

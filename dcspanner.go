@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/packetsim"
 	"repro/internal/rng"
 	"repro/internal/routing"
@@ -148,6 +149,32 @@ func VerifyEdgeStretch(g, h *Graph, alpha int) StretchReport {
 // exponential-potential rerouting.
 func MinCongestion(g *Graph, prob Problem, seed uint64) (*Routing, error) {
 	return routing.MinCongestion(g, prob, routing.MinCongestionOptions{Seed: seed})
+}
+
+// Oracle re-exports: the concurrent DC-spanner query engine (landmark
+// tables + bounded bidirectional BFS + sharded LRU cache) serving
+// point-to-point Dist/Route queries with realized-stretch accounting.
+type (
+	// Oracle answers distance and route queries over a DC-spanner.
+	Oracle = oracle.Oracle
+	// OracleOptions configures NewOracle.
+	OracleOptions = oracle.Options
+	// OracleQuery is one point-to-point distance request.
+	OracleQuery = oracle.Query
+	// OracleAnswer is the oracle's reply to a query.
+	OracleAnswer = oracle.Answer
+	// OracleStats snapshots the oracle's serving metrics.
+	OracleStats = oracle.Stats
+)
+
+// NewOracle builds a concurrent query oracle over a built DC-spanner:
+//
+//	o, err := dcspanner.NewOracle(dc, dcspanner.OracleOptions{})
+//	ans, err := o.Dist(3, 77)            // exact-on-spanner distance
+//	answers := o.AnswerBatch(queries)    // all cores, scheduling-independent
+//	path, ans, err := o.Route(3, 77)     // substitute path + congestion accounting
+func NewOracle(dc *DCSpanner, opts OracleOptions) (*Oracle, error) {
+	return oracle.New(dc, opts)
 }
 
 // SimulatePackets runs the store-and-forward packet schedule (one packet

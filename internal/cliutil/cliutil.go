@@ -1,0 +1,117 @@
+// Package cliutil centralizes the flag surface shared by the cmd/*
+// binaries: every tool takes a seed, and every tool that operates on a
+// graph takes the same generate-or-load flags (-gen/-in/-n/-d). Before
+// this package each command re-declared the flags and re-implemented the
+// generator dispatch; dcspan, localsim, scaling, and dcserve now share
+// one copy.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/rng"
+)
+
+// GraphConfig is the shared generate-or-load parameter block. Fields are
+// bound to flags by RegisterGraphFlags and consumed by Build.
+type GraphConfig struct {
+	Gen  string // graph family to generate
+	In   string // edge-list file; overrides Gen when set
+	N    int    // vertex count (approximate for margulis/torus)
+	D    int    // degree (regular/erdosrenyi)
+	Seed uint64
+}
+
+// GenKinds documents the families Build accepts, for flag usage strings.
+const GenKinds = "regular|margulis|paley|clique|hypercube|torus|erdosrenyi"
+
+// RegisterGraphFlags binds the shared -gen/-in/-n/-d/-seed flags on fs
+// with per-tool defaults and returns the config they populate. Call
+// fs.Parse (or flag.Parse when fs is flag.CommandLine) before reading it.
+func RegisterGraphFlags(fs *flag.FlagSet, defGen string, defN, defD int, defSeed uint64) *GraphConfig {
+	c := &GraphConfig{}
+	fs.StringVar(&c.Gen, "gen", defGen, "graph family: "+GenKinds)
+	fs.StringVar(&c.In, "in", "", "read the base graph from an edge-list file instead of generating")
+	fs.IntVar(&c.N, "n", defN, "vertex count (approximate for margulis/torus)")
+	fs.IntVar(&c.D, "d", defD, "degree (regular/erdosrenyi)")
+	fs.Uint64Var(&c.Seed, "seed", defSeed, "random seed")
+	return c
+}
+
+// RegisterSeedFlag binds only the shared -seed flag, for tools without a
+// graph parameter block (e.g. scaling).
+func RegisterSeedFlag(fs *flag.FlagSet, def uint64) *uint64 {
+	return fs.Uint64("seed", def, "random seed")
+}
+
+// Build materializes the configured graph: loads c.In when set, otherwise
+// dispatches on c.Gen.
+func (c *GraphConfig) Build() (*graph.Graph, error) {
+	if c.In != "" {
+		f, err := os.Open(c.In)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graphio.ReadEdgeList(f)
+	}
+	r := rng.New(c.Seed)
+	switch c.Gen {
+	case "regular":
+		return gen.RandomRegular(c.N, c.D, r)
+	case "paley":
+		q := c.N
+		for q > 2 && !(isPrime(q) && q%4 == 1) {
+			q--
+		}
+		return gen.Paley(q)
+	case "margulis":
+		m := int(math.Round(math.Sqrt(float64(c.N))))
+		return gen.Margulis(m), nil
+	case "clique":
+		return gen.Clique(c.N), nil
+	case "hypercube":
+		dim := 0
+		for 1<<dim < c.N {
+			dim++
+		}
+		return gen.Hypercube(dim), nil
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(c.N))))
+		return gen.Torus(side, side), nil
+	case "erdosrenyi":
+		p := float64(c.D) / float64(c.N-1)
+		return gen.ErdosRenyi(c.N, p, r), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want %s)", c.Gen, GenKinds)
+	}
+}
+
+// MustBuild is Build that prints the error and exits — the standard CLI
+// prologue.
+func (c *GraphConfig) MustBuild() *graph.Graph {
+	g, err := c.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return g
+}
+
+func isPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graphio"
+)
+
+func parse(t *testing.T, args []string) *GraphConfig {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterGraphFlags(fs, "regular", 64, 8, 1)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegisterGraphFlagsDefaultsAndOverrides(t *testing.T) {
+	c := parse(t, nil)
+	if c.Gen != "regular" || c.N != 64 || c.D != 8 || c.Seed != 1 || c.In != "" {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	c = parse(t, []string{"-gen", "hypercube", "-n", "32", "-seed", "9"})
+	if c.Gen != "hypercube" || c.N != 32 || c.Seed != 9 {
+		t.Fatalf("overrides wrong: %+v", c)
+	}
+}
+
+func TestBuildGenerators(t *testing.T) {
+	cases := []struct {
+		cfg   GraphConfig
+		wantN int // 0 = just require non-empty
+	}{
+		{GraphConfig{Gen: "regular", N: 32, D: 4, Seed: 1}, 32},
+		{GraphConfig{Gen: "hypercube", N: 16}, 16},
+		{GraphConfig{Gen: "clique", N: 6}, 6},
+		{GraphConfig{Gen: "margulis", N: 16}, 16},
+		{GraphConfig{Gen: "torus", N: 16}, 16},
+		{GraphConfig{Gen: "erdosrenyi", N: 40, D: 6, Seed: 2}, 40},
+		{GraphConfig{Gen: "paley", N: 13}, 13},
+	}
+	for _, c := range cases {
+		g, err := c.cfg.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg.Gen, err)
+		}
+		if c.wantN > 0 && g.N() != c.wantN {
+			t.Fatalf("%s: n = %d, want %d", c.cfg.Gen, g.N(), c.wantN)
+		}
+	}
+	if _, err := (&GraphConfig{Gen: "nope"}).Build(); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestBuildFromFile(t *testing.T) {
+	g, err := (&GraphConfig{Gen: "clique", N: 5}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graphio.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -in overrides the generator entirely.
+	g2, err := (&GraphConfig{Gen: "hypercube", N: 1024, In: path}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 5 || g2.M() != g.M() {
+		t.Fatalf("loaded %v, want clique on 5", g2)
+	}
+}
+
+func TestRegisterSeedFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	seed := RegisterSeedFlag(fs, 42)
+	if err := fs.Parse([]string{"-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 7 {
+		t.Fatalf("seed = %d, want 7", *seed)
+	}
+}

@@ -155,6 +155,36 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 // Base returns the original graph G.
 func (d *DCSpanner) Base() *graph.Graph { return d.sp.Base }
 
+// Seed returns the seed the spanner was built with, so derived structures
+// (e.g. a query oracle's landmark table) can key their own deterministic
+// randomness off it.
+func (d *DCSpanner) Seed() uint64 { return d.opts.Seed }
+
+// CertifiedAlpha returns the distance stretch the construction certifies:
+// 3 for the paper's Theorem 2 / Algorithm 1 spanners and the greedy
+// default, 2k−1 for Baswana–Sen, and 0 for constructions whose stretch is
+// only asymptotic (uniform sparsification, bounded-degree extraction) —
+// callers treating 0 as "uncertified" should skip stretch assertions.
+func (d *DCSpanner) CertifiedAlpha() int {
+	switch d.opts.Algorithm {
+	case AlgoExpander, AlgoRegular, "":
+		return 3
+	case AlgoGreedy:
+		if d.opts.Alpha > 0 {
+			return d.opts.Alpha
+		}
+		return 3
+	case AlgoBaswanaSen:
+		k := d.opts.K
+		if k <= 0 {
+			k = 2
+		}
+		return 2*k - 1
+	default:
+		return 0
+	}
+}
+
 // Graph returns the spanner graph H.
 func (d *DCSpanner) Graph() *graph.Graph { return d.sp.H }
 

@@ -15,6 +15,14 @@ import (
 	"repro/internal/graph"
 )
 
+// MaxVertices caps the vertex count ReadEdgeList will accept. The CSR
+// representation allocates two int32 arrays of length n+1 and 2m up
+// front, so a hostile or corrupt header like "n 99999999999" would
+// otherwise turn into a multi-gigabyte allocation (or an int32 overflow
+// in the builder) long before any edge is parsed. 1<<27 vertices ≈ 0.5 GB
+// of offsets — beyond any practical instance for this repository.
+const MaxVertices = 1 << 27
+
 // WriteEdgeList writes the graph in the format:
 //
 //	# comment lines allowed
@@ -54,6 +62,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
+			}
+			if n > MaxVertices {
+				return nil, fmt.Errorf("graphio: line %d: vertex count %d exceeds MaxVertices %d (refusing pre-allocation)", line, n, MaxVertices)
 			}
 			b = graph.NewBuilder(n)
 			continue

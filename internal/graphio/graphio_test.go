@@ -100,13 +100,42 @@ func TestWriteSpannerDOTMismatch(t *testing.T) {
 	}
 }
 
-// Property: round trip preserves arbitrary random graphs.
+// deepEqualGraphs compares vertex count, edge list, and the full
+// per-vertex adjacency structure (not just the edge slice, so a CSR
+// construction bug would also be caught).
+func deepEqualGraphs(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			return false
+		}
+	}
+	for v := int32(0); v < int32(a.N()); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: write→read→deep-equal holds for arbitrary random graphs
+// across the density spectrum, including edgeless and near-complete ones.
 func TestPropertyRoundTrip(t *testing.T) {
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
-		n := 1 + r.Intn(30)
+		n := 1 + r.Intn(40)
 		b := graph.NewBuilder(n)
-		for i := 0; i < 2*n; i++ {
+		// Density varies from 0 to ~n² proposals across seeds.
+		proposals := r.Intn(n*n + 1)
+		for i := 0; i < proposals; i++ {
 			u, v := int32(r.Intn(n)), int32(r.Intn(n))
 			if u != v {
 				b.AddEdge(u, v)
@@ -121,17 +150,62 @@ func TestPropertyRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if g2.N() != g.N() || g2.M() != g.M() {
-			return false
-		}
-		for i, e := range g.Edges() {
-			if g2.Edges()[i] != e {
-				return false
-			}
-		}
-		return true
+		return deepEqualGraphs(g, g2)
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPropertyRoundTripGenerators round-trips structured instances from
+// the generator package (the graphs the CLIs actually exchange).
+func TestPropertyRoundTripGenerators(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.MustRandomRegular(60, 8, rng.New(2)),
+		gen.Margulis(6),
+		gen.Hypercube(5),
+		gen.Clique(12),
+		gen.Cycle(17),
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if !deepEqualGraphs(g, g2) {
+			t.Fatalf("graph %d: round trip not deep-equal", i)
+		}
+	}
+}
+
+// TestReadEdgeListRejectsHugeHeader: a header vertex count beyond
+// MaxVertices must fail fast with a clear error instead of attempting the
+// pre-allocation (or overflowing int32 vertex ids downstream).
+func TestReadEdgeListRejectsHugeHeader(t *testing.T) {
+	for _, in := range []string{
+		"n 99999999999\n0 1\n", // would overflow int32 ids
+		"n 134217729\n",        // MaxVertices + 1
+	} {
+		_, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("header %q accepted", strings.SplitN(in, "\n", 2)[0])
+		}
+		if !strings.Contains(err.Error(), "MaxVertices") {
+			t.Fatalf("header rejection should name MaxVertices, got: %v", err)
+		}
+	}
+	// A count at the cap itself is in-contract (not asserted here: parsing
+	// it allocates the full half-gigabyte CSR arrays, too heavy for the
+	// unit suite); a modest header stays readable.
+	g, err := ReadEdgeList(strings.NewReader("n 1000000\n"))
+	if err != nil {
+		t.Fatalf("large-but-legal header rejected: %v", err)
+	}
+	if g.N() != 1000000 || g.M() != 0 {
+		t.Fatalf("header-only graph parsed as %v", g)
 	}
 }

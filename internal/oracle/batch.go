@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AnswerBatch answers a batch of distance queries on the oracle's worker
+// pool and returns one Answer per query, index-aligned with qs. Invalid
+// queries (vertices out of range) yield an Answer with Dist and Bound set
+// to graph.Unreachable rather than an error, so one bad query does not
+// poison a batch.
+//
+// Answers are identical to answering the queries sequentially: the exact
+// search is deterministic and the cache stores only exact values, so a
+// cache hit and a recomputation cannot disagree regardless of how workers
+// interleave.
+func (o *Oracle) AnswerBatch(qs []Query) []Answer {
+	out := make([]Answer, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	w := o.workers
+	if w > len(qs) {
+		w = len(qs)
+	}
+	if w <= 1 {
+		for i, q := range qs {
+			out[i] = o.answerTimed(q)
+		}
+		return out
+	}
+	// Work-stealing by chunked atomic counter: cheap, and per-answer cost
+	// varies enough (cache hit vs full search) that static chunking would
+	// straggle.
+	const chunk = 16
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(qs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(qs) {
+					hi = len(qs)
+				}
+				for j := lo; j < hi; j++ {
+					out[j] = o.answerTimed(qs[j])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// answerTimed is one batch element: answer with latency accounting,
+// swallowing the out-of-range error into the Answer sentinel.
+func (o *Oracle) answerTimed(q Query) Answer {
+	t0 := time.Now()
+	a, err := o.answer(q.U, q.V)
+	if err == nil {
+		o.latency.Observe(time.Since(t0).Seconds())
+	}
+	return a
+}

@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardedCache is a fixed-capacity LRU result cache split into
+// power-of-two shards so concurrent query workers contend on different
+// locks. Keys are packed (u, v) pairs with u ≤ v (queries are symmetric
+// on an undirected graph); values are the cached distance.
+type shardedCache struct {
+	shards []cacheShard
+	mask   uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheShard is one mutex-guarded LRU: a map from key to slot index over
+// an intrusive doubly-linked freelist stored in parallel slices, avoiding
+// per-entry allocations on the hot path.
+type cacheShard struct {
+	mu   sync.Mutex
+	m    map[uint64]int32
+	keys []uint64
+	vals []int32
+	prev []int32
+	next []int32
+	head int32 // most recently used; -1 when empty
+	tail int32 // least recently used; -1 when empty
+	used int32
+}
+
+func packKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// mixKey scrambles the packed key (SplitMix64 finalizer) so shard
+// selection isn't correlated with vertex ids.
+func mixKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// newShardedCache builds a cache with roughly `capacity` total entries
+// spread over `shards` shards (rounded up to a power of two). A zero or
+// negative capacity returns nil — the oracle treats a nil cache as
+// disabled.
+func newShardedCache(capacity, shards int) *shardedCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	per := (capacity + pow - 1) / pow
+	if per < 1 {
+		per = 1
+	}
+	c := &shardedCache{shards: make([]cacheShard, pow), mask: uint64(pow - 1)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[uint64]int32, per)
+		s.keys = make([]uint64, per)
+		s.vals = make([]int32, per)
+		s.prev = make([]int32, per)
+		s.next = make([]int32, per)
+		s.head, s.tail = -1, -1
+	}
+	return c
+}
+
+func (c *shardedCache) shard(key uint64) *cacheShard {
+	return &c.shards[mixKey(key)&c.mask]
+}
+
+// get returns the cached distance for key and whether it was present,
+// promoting the entry to most-recently-used.
+func (c *shardedCache) get(key uint64) (int32, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	slot, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return 0, false
+	}
+	s.promote(slot)
+	v := s.vals[slot]
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// put inserts or refreshes key → val, evicting the LRU entry when the
+// shard is full.
+func (c *shardedCache) put(key uint64, val int32) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if slot, ok := s.m[key]; ok {
+		s.vals[slot] = val
+		s.promote(slot)
+		s.mu.Unlock()
+		return
+	}
+	var slot int32
+	if int(s.used) < len(s.keys) {
+		slot = s.used
+		s.used++
+	} else {
+		// Evict the tail (least recently used).
+		slot = s.tail
+		delete(s.m, s.keys[slot])
+		s.unlink(slot)
+	}
+	s.keys[slot] = key
+	s.vals[slot] = val
+	s.m[key] = slot
+	s.pushFront(slot)
+	s.mu.Unlock()
+}
+
+// promote moves slot to the front of the recency list.
+func (s *cacheShard) promote(slot int32) {
+	if s.head == slot {
+		return
+	}
+	s.unlink(slot)
+	s.pushFront(slot)
+}
+
+func (s *cacheShard) unlink(slot int32) {
+	p, n := s.prev[slot], s.next[slot]
+	if p != -1 {
+		s.next[p] = n
+	} else {
+		s.head = n
+	}
+	if n != -1 {
+		s.prev[n] = p
+	} else {
+		s.tail = p
+	}
+}
+
+func (s *cacheShard) pushFront(slot int32) {
+	s.prev[slot] = -1
+	s.next[slot] = s.head
+	if s.head != -1 {
+		s.prev[s.head] = slot
+	}
+	s.head = slot
+	if s.tail == -1 {
+		s.tail = slot
+	}
+}
+
+// counters returns (hits, misses) since construction.
+func (c *shardedCache) counters() (int64, int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,108 @@
+package oracle
+
+import (
+	"encoding/binary"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// landmarkTable holds k full BFS trees rooted at deterministically chosen
+// landmarks of the spanner graph H. For any pair (u, v) the table answers
+// an upper bound min_l d(u,l) + d(l,v) in O(k), which both serves fast
+// approximate queries and prunes the exact bidirectional search.
+type landmarkTable struct {
+	roots []int32   // sorted landmark vertex ids
+	dist  [][]int32 // dist[i][v] = d_H(roots[i], v); graph.Unreachable if disconnected
+}
+
+// buildLandmarkTable selects k landmarks on h and BFS-labels the graph
+// from each. Selection is deterministic in (seed, h): the highest-degree
+// vertex (lowest id on ties) is always a landmark — hub coverage matters
+// most for the bound's quality — and the remaining k−1 are a uniform
+// sample from the rest of the vertex set drawn from a seed-keyed stream.
+// The k BFS runs execute on the parallel worker pool; each tree is
+// independent, so the table is identical regardless of worker count.
+func buildLandmarkTable(h *graph.Graph, k int, seed uint64) *landmarkTable {
+	n := h.N()
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	hub := int32(0)
+	for v := int32(1); v < int32(n); v++ {
+		if h.Degree(v) > h.Degree(hub) {
+			hub = v
+		}
+	}
+	roots := make([]int32, 0, k)
+	roots = append(roots, hub)
+	if k > 1 {
+		r := rng.New(seed ^ 0x0a11c0de0a11c0de)
+		for _, v := range r.Sample(n-1, k-1) {
+			// Sample over [0, n−1) skipping the hub's slot.
+			id := int32(v)
+			if id >= hub {
+				id++
+			}
+			roots = append(roots, id)
+		}
+	}
+	sortInt32(roots)
+	return &landmarkTable{roots: roots, dist: h.ParallelAllDistancesFrom(roots)}
+}
+
+// upperBound returns min over landmarks of d(u,l)+d(l,v), or
+// graph.Unreachable if no landmark reaches both endpoints.
+func (t *landmarkTable) upperBound(u, v int32) int32 {
+	best := graph.Unreachable
+	for _, d := range t.dist {
+		du, dv := d[u], d[v]
+		if du == graph.Unreachable || dv == graph.Unreachable {
+			continue
+		}
+		if s := du + dv; best == graph.Unreachable || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Bytes serializes the table (roots then row-major distances,
+// little-endian int32) — the determinism contract checked in tests: two
+// oracles built from the same seed and spanner must produce byte-identical
+// tables.
+func (t *landmarkTable) Bytes() []byte {
+	n := 0
+	if len(t.dist) > 0 {
+		n = len(t.dist[0])
+	}
+	out := make([]byte, 0, 8+4*len(t.roots)+4*len(t.roots)*n)
+	var buf [4]byte
+	put := func(x int32) {
+		binary.LittleEndian.PutUint32(buf[:], uint32(x))
+		out = append(out, buf[:]...)
+	}
+	put(int32(len(t.roots)))
+	put(int32(n))
+	for _, r := range t.roots {
+		put(r)
+	}
+	for _, row := range t.dist {
+		for _, d := range row {
+			put(d)
+		}
+	}
+	return out
+}
+
+func sortInt32(xs []int32) {
+	// Insertion sort: k is small (tens of landmarks).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package oracle is the serving layer over a built DC-spanner: a
+// concurrent point-to-point query engine answering approximate distance
+// and routing queries on the spanner graph H while accounting realized
+// stretch against the base graph G.
+//
+// The engine layers three mechanisms, fastest first:
+//
+//  1. a sharded LRU result cache keyed by the (unordered) query pair;
+//  2. a landmark table — k BFS trees on H rooted at deterministically
+//     selected landmarks — answering an upper bound
+//     min_l d(u,l) + d(l,v) in O(k);
+//  3. a bounded bidirectional BFS on H for the exact-on-spanner distance,
+//     pruned by the landmark bound.
+//
+// Because H is an (α, β)-DC-spanner, the exact-on-H distance is within
+// the certified α of the true distance on G; the oracle verifies this
+// empirically by re-answering a deterministic sample of queries with an
+// exact BFS on G and tracking the realized stretch. All structures are
+// safe for concurrent use and AnswerBatch fans queries out over a worker
+// pool; answers are independent of scheduling (the cache stores only
+// exact values, so a hit and a recomputation agree).
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// Options configures New.
+type Options struct {
+	// Landmarks is the number of BFS trees precomputed on H (clamped to
+	// [1, n]); 0 means the default 16.
+	Landmarks int
+	// Seed keys landmark selection; 0 inherits the spanner's build seed
+	// (so oracle determinism follows spanner determinism).
+	Seed uint64
+	// CacheSize is the total LRU capacity across shards; 0 means the
+	// default 1<<16 entries, negative disables caching.
+	CacheSize int
+	// Shards is the shard count (rounded up to a power of two); 0 means
+	// 4× the parallel worker count.
+	Shards int
+	// Workers bounds AnswerBatch's worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// SampleEvery verifies every k-th Dist query against an exact BFS on
+	// the base graph and records the realized stretch; 0 means the default
+	// 64, negative disables sampling.
+	SampleEvery int
+	// MaxDist bounds the exact bidirectional search depth: queries whose
+	// spanner distance exceeds it fall back to the landmark upper bound
+	// (Answer.Exact reports false). Negative (the default 0 maps to -1)
+	// means unbounded — every answer is exact on H.
+	MaxDist int
+}
+
+// Query is one point-to-point distance request.
+type Query struct {
+	U, V int32
+}
+
+// Answer is the oracle's reply to a Query.
+type Answer struct {
+	U, V int32
+	// Dist is the hop distance on the spanner H — exact when Exact is
+	// true, the landmark upper bound otherwise; graph.Unreachable for
+	// disconnected pairs and invalid queries.
+	Dist int32
+	// Bound is the O(k) landmark upper bound (graph.Unreachable when no
+	// landmark reaches both endpoints).
+	Bound int32
+	// Exact reports whether Dist is the exact spanner distance.
+	Exact bool
+}
+
+// Stats is a point-in-time snapshot of the oracle's serving metrics.
+type Stats struct {
+	Queries     int64
+	Routes      int64
+	CacheHits   int64
+	CacheMisses int64
+	HitRate     float64 // hits / (hits+misses); 0 when cache disabled or idle
+
+	LatencyMean float64 // seconds, Dist queries
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
+	QPS         float64 // queries per second of wall time since New
+
+	// Realized-stretch accounting: dist_H / dist_G over the sampled
+	// queries (the Chimani–Stutzenstein "realized stretch" viewpoint).
+	StretchSamples int
+	RealizedAlpha  float64 // max sampled ratio
+	MeanStretch    float64 // mean sampled ratio
+	CertifiedAlpha int     // 0 when the construction certifies no constant α
+
+	// MaxCongestion is the highest per-node count of served Route paths
+	// crossing a vertex (C(P, v) over the routes answered so far).
+	MaxCongestion int64
+	Landmarks     int
+}
+
+// Oracle answers distance and route queries over a DC-spanner.
+type Oracle struct {
+	g     *graph.Graph // base graph G (realized-stretch reference)
+	h     *graph.Graph // spanner H (the serving graph)
+	alpha int          // certified distance stretch; 0 = uncertified
+
+	lm      *landmarkTable
+	cache   *shardedCache
+	workers int
+
+	sampleEvery int64
+	maxDist     int32
+
+	latency    *stats.Histogram
+	queries    atomic.Int64
+	routes     atomic.Int64
+	congestion []int64 // per-node route-path counts, atomic adds
+	start      time.Time
+
+	stretchMu  sync.Mutex
+	stretchN   int
+	stretchSum float64
+	stretchMax float64
+
+	searchPool sync.Pool // *biScratch
+	routePool  sync.Pool // *routeScratch
+}
+
+type routeScratch struct {
+	bfs    *graph.BFSScratch
+	parent []int32
+}
+
+// New builds an oracle over a DC-spanner built by core.Build, inheriting
+// its certified stretch and (by default) its seed.
+func New(dc *core.DCSpanner, opts Options) (*Oracle, error) {
+	if opts.Seed == 0 {
+		opts.Seed = dc.Seed()
+	}
+	return NewFromGraphs(dc.Base(), dc.Graph(), dc.CertifiedAlpha(), opts)
+}
+
+// NewFromGraphs builds an oracle from an explicit base graph and spanner.
+// alpha is the certified distance stretch (0 if uncertified). h must be a
+// spanning subgraph of g.
+func NewFromGraphs(g, h *graph.Graph, alpha int, opts Options) (*Oracle, error) {
+	if g == nil || h == nil || g.N() == 0 {
+		return nil, fmt.Errorf("oracle: empty graph")
+	}
+	if g.N() != h.N() {
+		return nil, fmt.Errorf("oracle: spanner has %d vertices, base has %d", h.N(), g.N())
+	}
+	k := opts.Landmarks
+	if k == 0 {
+		k = 16
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = graph.Workers()
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 1 << 16
+	}
+	sampleEvery := int64(opts.SampleEvery)
+	if sampleEvery == 0 {
+		sampleEvery = 64
+	}
+	maxDist := int32(opts.MaxDist)
+	if maxDist <= 0 {
+		maxDist = -1
+	}
+	o := &Oracle{
+		g:           g,
+		h:           h,
+		alpha:       alpha,
+		lm:          buildLandmarkTable(h, k, opts.Seed),
+		cache:       newShardedCache(cacheSize, shards),
+		workers:     workers,
+		sampleEvery: sampleEvery,
+		maxDist:     maxDist,
+		latency:     stats.NewLatencyHistogram(),
+		congestion:  make([]int64, g.N()),
+		start:       time.Now(),
+	}
+	o.searchPool.New = func() any { return newBiScratch(h.N()) }
+	o.routePool.New = func() any {
+		return &routeScratch{bfs: graph.NewBFSScratch(h.N()), parent: make([]int32, h.N())}
+	}
+	return o, nil
+}
+
+// Landmarks returns the sorted landmark vertex ids.
+func (o *Oracle) Landmarks() []int32 {
+	return append([]int32(nil), o.lm.roots...)
+}
+
+// LandmarkBytes serializes the landmark table; two oracles over the same
+// spanner and seed produce identical bytes (the determinism contract).
+func (o *Oracle) LandmarkBytes() []byte { return o.lm.Bytes() }
+
+// Dist answers a single distance query. Safe for concurrent use.
+func (o *Oracle) Dist(u, v int32) (Answer, error) {
+	t0 := time.Now()
+	a, err := o.answer(u, v)
+	if err == nil {
+		o.latency.Observe(time.Since(t0).Seconds())
+	}
+	return a, err
+}
+
+// answer is Dist without latency accounting (shared with AnswerBatch).
+func (o *Oracle) answer(u, v int32) (Answer, error) {
+	n := int32(o.h.N())
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return Answer{U: u, V: v, Dist: graph.Unreachable, Bound: graph.Unreachable},
+			fmt.Errorf("oracle: query (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	seq := o.queries.Add(1)
+	ans := Answer{U: u, V: v, Exact: true}
+	if u == v {
+		return ans, nil
+	}
+	ans.Bound = o.lm.upperBound(u, v)
+	key := packKey(u, v)
+	if o.cache != nil {
+		if d, ok := o.cache.get(key); ok {
+			ans.Dist = d
+			o.maybeSampleStretch(seq, u, v, d)
+			return ans, nil
+		}
+	}
+	sc := o.searchPool.Get().(*biScratch)
+	d, exact := sc.distance(o.h, u, v, o.maxDist, ans.Bound)
+	o.searchPool.Put(sc)
+	if !exact {
+		// Depth budget exhausted: serve the landmark bound, uncached.
+		ans.Dist = ans.Bound
+		ans.Exact = false
+		return ans, nil
+	}
+	ans.Dist = d
+	if o.cache != nil {
+		o.cache.put(key, d)
+	}
+	o.maybeSampleStretch(seq, u, v, d)
+	return ans, nil
+}
+
+// maybeSampleStretch re-answers every sampleEvery-th query exactly on G
+// and records the realized stretch dist_H / dist_G.
+func (o *Oracle) maybeSampleStretch(seq int64, u, v, dh int32) {
+	if o.sampleEvery <= 0 || seq%o.sampleEvery != 0 || dh == graph.Unreachable {
+		return
+	}
+	dg := o.g.Dist(u, v)
+	if dg <= 0 {
+		return
+	}
+	ratio := float64(dh) / float64(dg)
+	o.stretchMu.Lock()
+	o.stretchN++
+	o.stretchSum += ratio
+	if ratio > o.stretchMax {
+		o.stretchMax = ratio
+	}
+	o.stretchMu.Unlock()
+}
+
+// Route answers a routing query: one shortest path on H realizing the
+// exact spanner distance, plus the distance answer. The path's nodes are
+// added to the oracle's congestion accounting (C(P, v) over served
+// routes). Returns a nil path for disconnected pairs.
+func (o *Oracle) Route(u, v int32) (routing.Path, Answer, error) {
+	ans, err := o.Dist(u, v)
+	if err != nil {
+		return nil, ans, err
+	}
+	if ans.Dist == graph.Unreachable {
+		return nil, ans, nil
+	}
+	rs := o.routePool.Get().(*routeScratch)
+	limit := ans.Dist
+	if !ans.Exact {
+		limit = ans.Bound
+	}
+	p := rs.bfs.PathWithin(o.h, u, v, limit, rs.parent)
+	o.routePool.Put(rs)
+	if p == nil {
+		return nil, ans, fmt.Errorf("oracle: inconsistent state: dist=%d but no path within it", ans.Dist)
+	}
+	o.routes.Add(1)
+	for _, x := range p {
+		atomic.AddInt64(&o.congestion[x], 1)
+	}
+	return routing.Path(p), ans, nil
+}
+
+// Stats snapshots the serving metrics.
+func (o *Oracle) Stats() Stats {
+	s := Stats{
+		Queries:        o.queries.Load(),
+		Routes:         o.routes.Load(),
+		LatencyMean:    o.latency.Mean(),
+		LatencyP50:     o.latency.Quantile(0.50),
+		LatencyP95:     o.latency.Quantile(0.95),
+		LatencyP99:     o.latency.Quantile(0.99),
+		CertifiedAlpha: o.alpha,
+		Landmarks:      len(o.lm.roots),
+	}
+	if o.cache != nil {
+		s.CacheHits, s.CacheMisses = o.cache.counters()
+		if t := s.CacheHits + s.CacheMisses; t > 0 {
+			s.HitRate = float64(s.CacheHits) / float64(t)
+		}
+	}
+	if el := time.Since(o.start).Seconds(); el > 0 {
+		s.QPS = float64(s.Queries) / el
+	}
+	o.stretchMu.Lock()
+	s.StretchSamples = o.stretchN
+	s.RealizedAlpha = o.stretchMax
+	if o.stretchN > 0 {
+		s.MeanStretch = o.stretchSum / float64(o.stretchN)
+	}
+	o.stretchMu.Unlock()
+	for i := range o.congestion {
+		if c := atomic.LoadInt64(&o.congestion[i]); c > s.MaxCongestion {
+			s.MaxCongestion = c
+		}
+	}
+	return s
+}
+
+// String renders the snapshot as a single report line.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"queries=%d routes=%d hitRate=%.3f p50=%.3gs p95=%.3gs p99=%.3gs qps=%.0f realizedAlpha=%.3f (certified %d, %d samples) maxCong=%d landmarks=%d",
+		s.Queries, s.Routes, s.HitRate, s.LatencyP50, s.LatencyP95, s.LatencyP99,
+		s.QPS, s.RealizedAlpha, s.CertifiedAlpha, s.StretchSamples, s.MaxCongestion, s.Landmarks)
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe calls.
+// Buckets are defined by their upper bounds; a value v lands in the first
+// bucket whose bound is >= v, and values above every bound land in an
+// implicit overflow bucket. Quantiles are answered by linear interpolation
+// inside the owning bucket, which is exact enough for latency reporting
+// (the intended use: the oracle's per-query latency and packetsim's
+// per-packet delivery steps) while keeping Observe lock-free.
+type Histogram struct {
+	bounds []float64      // sorted ascending, len B
+	counts []atomic.Int64 // len B+1; counts[B] is the overflow bucket
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	maxObs atomic.Uint64 // float64 bits of the maximum observed value
+}
+
+// NewHistogram builds a histogram from sorted ascending bucket upper
+// bounds. It panics on empty or unsorted bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.maxObs.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// ExpBuckets returns n strictly increasing bounds start, start·factor,
+// start·factor², … — the usual latency bucket layout. It panics unless
+// start > 0, factor > 1, and n >= 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("stats: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// NewLatencyHistogram returns a histogram sized for query latencies in
+// seconds: 60 exponential buckets from 100 ns to ~3.5 s.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(ExpBuckets(100e-9, 1.34, 60))
+}
+
+// bucketFor returns the index of the bucket owning v (binary search).
+func (h *Histogram) bucketFor(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo // == len(bounds) for overflow
+}
+
+// Observe records one value. Safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketFor(v)].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.maxObs.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxObs.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Max returns the maximum observed value (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxObs.Load())
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]) by
+// interpolating inside the bucket holding the rank-⌈q·n⌉ observation. An
+// empty histogram reports 0. Values in the overflow bucket report the
+// maximum observed value. Concurrent Observe calls during Quantile yield a
+// best-effort snapshot.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c < rank {
+			seen += c
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.Max() // overflow bucket
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		// Position of the requested rank inside this bucket, in (0, 1].
+		frac := float64(rank-seen) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return h.Max() // racing observers removed counts; fall back to max
+}
+
+// Snapshot renders the headline quantiles, convenient for logs.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}

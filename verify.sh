@@ -1,0 +1,20 @@
+#!/bin/sh
+# Extended tier-1 gate: build everything, vet, run the full test suite
+# under the race detector, and smoke-test the dcserve demo path.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== dcserve demo (512-node expander, 10k mixed queries)"
+go run ./cmd/dcserve -demo -queries 10000
+
+echo "verify: OK"
