@@ -1,39 +1,42 @@
 // Command dcserve builds a DC-spanner of a generated or loaded graph and
 // serves point-to-point distance/route queries against it through the
 // internal/oracle engine — the repository's "many queries against one
-// precomputed spanner" serving path.
+// precomputed spanner" serving path. The connection lifecycle and the
+// line protocol live in internal/server; this command is flag parsing and
+// wiring.
 //
 // Usage:
 //
 //	dcserve -demo                      # 512-node Δ=96 expander, 10k mixed queries, latency report
-//	dcserve -listen :7070              # TCP line protocol, one goroutine per connection
+//	dcserve -listen :7070              # TCP line protocol; SIGINT/SIGTERM drains gracefully
 //	dcserve < queries.txt              # same protocol on stdin/stdout
 //
-// Protocol (one request per line, one response line per request):
+// Protocol (one request per line; see internal/server for the full spec):
 //
 //	dist <u> <v>   ->  dist <u> <v> = <d> exact=<t|f> bound=<b> us=<latency>
 //	route <u> <v>  ->  route <u> <v> = <d> path=<v0>-<v1>-...-<vk>
-//	stats          ->  stats <key=value report>
+//	batch <n>      ->  n dist lines in, n index-aligned answers out
+//	stats          ->  stats <oracle report> | server <counter report>
 //	quit           ->  closes the connection (stdin mode: exits)
 //
 // Errors answer "err <message>" and keep the connection open.
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/oracle"
 	"repro/internal/rng"
+	"repro/internal/server"
 	"repro/internal/spanner"
 )
 
@@ -50,6 +53,12 @@ func main() {
 	listen := flag.String("listen", "", "serve the line protocol on this TCP address instead of stdin")
 	demo := flag.Bool("demo", false, "answer -queries mixed random queries, print the latency report, and exit")
 	queries := flag.Int("queries", 10000, "demo query count")
+	maxConns := flag.Int("maxconns", server.DefaultMaxConns, "concurrent connection limit (excess answered 'err server busy')")
+	maxLine := flag.Int("maxline", server.DefaultMaxLineBytes, "request line length limit in bytes")
+	maxBatch := flag.Int("maxbatch", server.DefaultMaxBatch, "largest accepted 'batch <n>'")
+	idle := flag.Duration("idle", server.DefaultIdleTimeout, "per-connection idle read deadline (negative disables)")
+	writeTO := flag.Duration("writetimeout", server.DefaultWriteTimeout, "per-response write deadline (negative disables)")
+	drain := flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown budget before force-closing connections")
 	flag.Parse()
 
 	g := cfg.MustBuild()
@@ -84,13 +93,39 @@ func main() {
 	}
 	fmt.Printf("oracle: %d landmarks precomputed in %v\n", len(o.Landmarks()), time.Since(t0).Round(time.Microsecond))
 
+	o.MarkServingStart()
+	srvCfg := server.Config{
+		MaxConns:     *maxConns,
+		MaxLineBytes: *maxLine,
+		MaxBatch:     *maxBatch,
+		IdleTimeout:  *idle,
+		WriteTimeout: *writeTO,
+		DrainTimeout: *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
 	switch {
 	case *demo:
 		runDemo(o, g.N(), *queries, cfg.Seed)
 	case *listen != "":
-		serveTCP(o, *listen)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving on %s (maxconns=%d maxline=%d idle=%v)\n", l.Addr(), *maxConns, *maxLine, *idle)
+		if err := server.New(o, srvCfg).Serve(ctx, l); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("drained, exiting")
 	default:
-		serve(o, os.Stdin, os.Stdout)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		server.New(o, srvCfg).ServeStream(ctx, os.Stdin, os.Stdout)
 	}
 }
 
@@ -131,8 +166,9 @@ func runDemo(o *oracle.Oracle, n, total int, seed uint64) {
 	s := o.Stats()
 	fmt.Printf("demo: %d queries (%d dist batched, %d route) in %v\n",
 		total, nDist, nRoutes, elapsed.Round(time.Millisecond))
-	fmt.Printf("latency: p50=%s p95=%s p99=%s mean=%s\n",
-		usec(s.LatencyP50), usec(s.LatencyP95), usec(s.LatencyP99), usec(s.LatencyMean))
+	fmt.Printf("latency: p50=%s p95=%s p99=%s mean=%s   route p50=%s p99=%s\n",
+		usec(s.LatencyP50), usec(s.LatencyP95), usec(s.LatencyP99), usec(s.LatencyMean),
+		usec(s.RouteLatencyP50), usec(s.RouteLatencyP99))
 	fmt.Printf("throughput: %.0f qps   cache: hits=%d misses=%d hitRate=%.3f\n",
 		float64(total)/elapsed.Seconds(), s.CacheHits, s.CacheMisses, s.HitRate)
 	fmt.Printf("stretch: realized alpha=%.3f mean=%.3f over %d samples (certified %d)   maxRouteCong=%d\n",
@@ -144,93 +180,3 @@ func runDemo(o *oracle.Oracle, n, total int, seed uint64) {
 }
 
 func usec(sec float64) string { return fmt.Sprintf("%.1fµs", sec*1e6) }
-
-func serveTCP(o *oracle.Oracle, addr string) {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("serving on %s\n", l.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			continue
-		}
-		go func() {
-			defer conn.Close()
-			serve(o, conn, conn)
-		}()
-	}
-}
-
-// serve runs the line protocol until EOF or "quit". Safe to run on many
-// connections at once: the oracle is fully concurrent.
-func serve(o *oracle.Oracle, in io.Reader, out io.Writer) {
-	sc := bufio.NewScanner(in)
-	w := bufio.NewWriter(out)
-	defer w.Flush()
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if line == "quit" {
-			return
-		}
-		fmt.Fprintln(w, handle(o, line))
-		w.Flush()
-	}
-}
-
-func handle(o *oracle.Oracle, line string) string {
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case "stats":
-		return "stats " + o.Stats().String()
-	case "dist":
-		u, v, err := parsePair(fields)
-		if err != nil {
-			return "err " + err.Error()
-		}
-		t0 := time.Now()
-		ans, err := o.Dist(u, v)
-		if err != nil {
-			return "err " + err.Error()
-		}
-		return fmt.Sprintf("dist %d %d = %d exact=%t bound=%d us=%.1f",
-			u, v, ans.Dist, ans.Exact, ans.Bound, time.Since(t0).Seconds()*1e6)
-	case "route":
-		u, v, err := parsePair(fields)
-		if err != nil {
-			return "err " + err.Error()
-		}
-		p, ans, err := o.Route(u, v)
-		if err != nil {
-			return "err " + err.Error()
-		}
-		if p == nil {
-			return fmt.Sprintf("route %d %d = unreachable", u, v)
-		}
-		parts := make([]string, len(p))
-		for i, x := range p {
-			parts[i] = strconv.Itoa(int(x))
-		}
-		return fmt.Sprintf("route %d %d = %d path=%s", u, v, ans.Dist, strings.Join(parts, "-"))
-	default:
-		return fmt.Sprintf("err unknown command %q (want dist|route|stats|quit)", fields[0])
-	}
-}
-
-func parsePair(fields []string) (int32, int32, error) {
-	if len(fields) != 3 {
-		return 0, 0, fmt.Errorf("want %q", fields[0]+" <u> <v>")
-	}
-	u, err1 := strconv.Atoi(fields[1])
-	v, err2 := strconv.Atoi(fields[2])
-	if err1 != nil || err2 != nil {
-		return 0, 0, fmt.Errorf("bad vertex in %v", fields[1:])
-	}
-	return int32(u), int32(v), nil
-}

@@ -48,10 +48,13 @@ func mixKey(k uint64) uint64 {
 	return k ^ (k >> 31)
 }
 
-// newShardedCache builds a cache with roughly `capacity` total entries
-// spread over `shards` shards (rounded up to a power of two). A zero or
-// negative capacity returns nil — the oracle treats a nil cache as
-// disabled.
+// newShardedCache builds a cache with exactly `capacity` total entries
+// spread over `shards` shards (rounded up to a power of two, then clamped
+// down so no shard has fewer than one slot). The remainder of the division
+// is distributed one slot at a time over the leading shards, so the
+// realized capacity equals the request for every capacity, not just
+// multiples of the shard count. A zero or negative capacity returns nil —
+// the oracle treats a nil cache as disabled.
 func newShardedCache(capacity, shards int) *shardedCache {
 	if capacity <= 0 {
 		return nil
@@ -63,12 +66,18 @@ func newShardedCache(capacity, shards int) *shardedCache {
 	for pow < shards {
 		pow <<= 1
 	}
-	per := (capacity + pow - 1) / pow
-	if per < 1 {
-		per = 1
+	// Never more shards than slots: with pow <= capacity every shard keeps
+	// at least one slot, so eviction always has a tail to reclaim.
+	for pow > capacity {
+		pow >>= 1
 	}
+	base, rem := capacity/pow, capacity%pow
 	c := &shardedCache{shards: make([]cacheShard, pow), mask: uint64(pow - 1)}
 	for i := range c.shards {
+		per := base
+		if i < rem {
+			per++
+		}
 		s := &c.shards[i]
 		s.m = make(map[uint64]int32, per)
 		s.keys = make([]uint64, per)
@@ -78,6 +87,15 @@ func newShardedCache(capacity, shards int) *shardedCache {
 		s.head, s.tail = -1, -1
 	}
 	return c
+}
+
+// slots returns the total entry capacity across shards (test hook).
+func (c *shardedCache) slots() int {
+	total := 0
+	for i := range c.shards {
+		total += len(c.shards[i].keys)
+	}
+	return total
 }
 
 func (c *shardedCache) shard(key uint64) *cacheShard {

@@ -1,0 +1,108 @@
+package oracle
+
+import "testing"
+
+// TestCacheCapacityExact pins the realized slot total to the requested
+// capacity: the old code gave every shard ceil(capacity/shards) slots, so
+// e.g. capacity 100 over 16 shards materialized 112 entries. The remainder
+// must be distributed, never rounded up per shard.
+func TestCacheCapacityExact(t *testing.T) {
+	cases := []struct {
+		capacity, shards int
+	}{
+		{100, 16},   // non-multiple: old code realized 112
+		{1000, 12},  // shards rounds to 16; 1000 = 16*62 + 8
+		{7, 16},     // fewer slots than shards: shard count must clamp
+		{5, 4},      // 5 = 4*1 + 1
+		{1, 8},      // degenerate: one slot, one shard
+		{1 << 16, 64}, // power-of-two happy path stays exact
+		{3, 1},
+	}
+	for _, tc := range cases {
+		c := newShardedCache(tc.capacity, tc.shards)
+		if c == nil {
+			t.Fatalf("newShardedCache(%d, %d) = nil", tc.capacity, tc.shards)
+		}
+		if got := c.slots(); got != tc.capacity {
+			t.Errorf("newShardedCache(%d, %d) realized %d slots, want exactly %d",
+				tc.capacity, tc.shards, got, tc.capacity)
+		}
+		for i := range c.shards {
+			if len(c.shards[i].keys) < 1 {
+				t.Errorf("newShardedCache(%d, %d): shard %d has zero slots",
+					tc.capacity, tc.shards, i)
+			}
+		}
+	}
+	if c := newShardedCache(0, 4); c != nil {
+		t.Error("capacity 0 must disable the cache")
+	}
+	if c := newShardedCache(-5, 4); c != nil {
+		t.Error("negative capacity must disable the cache")
+	}
+}
+
+// TestCacheOneSlotPerShardEviction exercises LRU eviction in the tightest
+// legal configuration — every shard holds exactly one slot — where any
+// off-by-one in the intrusive list (head/tail maintenance on a
+// single-element list) would corrupt state or panic.
+func TestCacheOneSlotPerShardEviction(t *testing.T) {
+	c := newShardedCache(4, 4)
+	if got := c.slots(); got != 4 {
+		t.Fatalf("slots = %d, want 4", got)
+	}
+	// Hammer one shard's single slot through many evictions.
+	target := c.shard(packKey(0, 1))
+	var keys []uint64
+	for u := int32(0); u < 64 && len(keys) < 8; u++ {
+		k := packKey(u, u+1)
+		if c.shard(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < 2 {
+		t.Fatalf("found only %d keys for the target shard", len(keys))
+	}
+	for i, k := range keys {
+		c.put(k, int32(i))
+	}
+	// Only the most recent insert survives in a 1-slot shard.
+	last := keys[len(keys)-1]
+	if v, ok := c.get(last); !ok || v != int32(len(keys)-1) {
+		t.Fatalf("get(last) = %d, %v; want %d, true", v, ok, len(keys)-1)
+	}
+	for _, k := range keys[:len(keys)-1] {
+		if _, ok := c.get(k); ok {
+			t.Fatalf("evicted key %#x still present in 1-slot shard", k)
+		}
+	}
+	if n := len(target.m); n != 1 {
+		t.Fatalf("1-slot shard holds %d entries", n)
+	}
+	// Overwriting the surviving key must refresh, not grow.
+	c.put(last, 99)
+	if v, ok := c.get(last); !ok || v != 99 {
+		t.Fatalf("refresh lost: got %d, %v", v, ok)
+	}
+	if n := len(target.m); n != 1 {
+		t.Fatalf("refresh grew the shard to %d entries", n)
+	}
+}
+
+// TestCacheSingleSlotTotal drives the capacity-1 cache (one shard, one
+// slot) through put/evict/get cycles.
+func TestCacheSingleSlotTotal(t *testing.T) {
+	c := newShardedCache(1, 8)
+	a, b := packKey(1, 2), packKey(3, 4)
+	c.put(a, 10)
+	if v, ok := c.get(a); !ok || v != 10 {
+		t.Fatalf("get(a) = %d, %v", v, ok)
+	}
+	c.put(b, 20)
+	if _, ok := c.get(a); ok {
+		t.Fatal("capacity-1 cache retained two entries")
+	}
+	if v, ok := c.get(b); !ok || v != 20 {
+		t.Fatalf("get(b) = %d, %v", v, ok)
+	}
+}

@@ -81,7 +81,7 @@ type Answer struct {
 
 // Stats is a point-in-time snapshot of the oracle's serving metrics.
 type Stats struct {
-	Queries     int64
+	Queries     int64 // Dist queries (Route lookups are counted in Routes only)
 	Routes      int64
 	CacheHits   int64
 	CacheMisses int64
@@ -91,7 +91,19 @@ type Stats struct {
 	LatencyP50  float64
 	LatencyP95  float64
 	LatencyP99  float64
-	QPS         float64 // queries per second of wall time since New
+
+	// Route latencies live in their own histogram so route service time
+	// (distance resolution + path reconstruction) never skews the Dist
+	// quantiles above.
+	RouteLatencyMean float64
+	RouteLatencyP50  float64
+	RouteLatencyP95  float64
+	RouteLatencyP99  float64
+
+	// QPS is (Queries+Routes) per second of wall time since the serving
+	// clock started — MarkServingStart resets it when traffic actually
+	// begins; until then it runs from New.
+	QPS float64
 
 	// Realized-stretch accounting: dist_H / dist_G over the sampled
 	// queries (the Chimani–Stutzenstein "realized stretch" viewpoint).
@@ -119,11 +131,12 @@ type Oracle struct {
 	sampleEvery int64
 	maxDist     int32
 
-	latency    *stats.Histogram
-	queries    atomic.Int64
-	routes     atomic.Int64
-	congestion []int64 // per-node route-path counts, atomic adds
-	start      time.Time
+	latency      *stats.Histogram
+	routeLatency *stats.Histogram
+	queries      atomic.Int64
+	routes       atomic.Int64
+	congestion   []int64                   // per-node route-path counts, atomic adds
+	start        atomic.Pointer[time.Time] // serving-clock origin, see MarkServingStart
 
 	stretchMu  sync.Mutex
 	stretchN   int
@@ -183,23 +196,38 @@ func NewFromGraphs(g, h *graph.Graph, alpha int, opts Options) (*Oracle, error) 
 		maxDist = -1
 	}
 	o := &Oracle{
-		g:           g,
-		h:           h,
-		alpha:       alpha,
-		lm:          buildLandmarkTable(h, k, opts.Seed),
-		cache:       newShardedCache(cacheSize, shards),
-		workers:     workers,
-		sampleEvery: sampleEvery,
-		maxDist:     maxDist,
-		latency:     stats.NewLatencyHistogram(),
-		congestion:  make([]int64, g.N()),
-		start:       time.Now(),
+		g:            g,
+		h:            h,
+		alpha:        alpha,
+		lm:           buildLandmarkTable(h, k, opts.Seed),
+		cache:        newShardedCache(cacheSize, shards),
+		workers:      workers,
+		sampleEvery:  sampleEvery,
+		maxDist:      maxDist,
+		latency:      stats.NewLatencyHistogram(),
+		routeLatency: stats.NewLatencyHistogram(),
+		congestion:   make([]int64, g.N()),
 	}
+	o.MarkServingStart()
 	o.searchPool.New = func() any { return newBiScratch(h.N()) }
 	o.routePool.New = func() any {
 		return &routeScratch{bfs: graph.NewBFSScratch(h.N()), parent: make([]int32, h.N())}
 	}
 	return o, nil
+}
+
+// N returns the number of vertices the oracle serves — queries must have
+// both endpoints in [0, N).
+func (o *Oracle) N() int { return o.h.N() }
+
+// MarkServingStart resets the serving clock that Stats.QPS is measured
+// against. New arms it at construction time, which charges the idle gap
+// between precomputation and the first query to the throughput figure;
+// callers that serve traffic (dcserve's demo and server paths) call this
+// once when serving actually begins. Safe for concurrent use with Stats.
+func (o *Oracle) MarkServingStart() {
+	now := time.Now()
+	o.start.Store(&now)
 }
 
 // Landmarks returns the sorted landmark vertex ids.
@@ -221,14 +249,30 @@ func (o *Oracle) Dist(u, v int32) (Answer, error) {
 	return a, err
 }
 
-// answer is Dist without latency accounting (shared with AnswerBatch).
+// answer is Dist without latency accounting (shared with AnswerBatch): it
+// resolves the distance and charges the query to the Dist counters and the
+// stretch sampler.
 func (o *Oracle) answer(u, v int32) (Answer, error) {
+	ans, err := o.resolve(u, v)
+	if err != nil {
+		return ans, err
+	}
+	seq := o.queries.Add(1)
+	if ans.Exact && u != v {
+		o.maybeSampleStretch(seq, u, v, ans.Dist)
+	}
+	return ans, nil
+}
+
+// resolve computes the distance answer with no serving accounting beyond
+// the cache's own hit/miss counters — Route rides on it so route lookups
+// do not inflate Stats.Queries or the Dist latency histogram.
+func (o *Oracle) resolve(u, v int32) (Answer, error) {
 	n := int32(o.h.N())
 	if u < 0 || v < 0 || u >= n || v >= n {
 		return Answer{U: u, V: v, Dist: graph.Unreachable, Bound: graph.Unreachable},
 			fmt.Errorf("oracle: query (%d,%d) out of range [0,%d)", u, v, n)
 	}
-	seq := o.queries.Add(1)
 	ans := Answer{U: u, V: v, Exact: true}
 	if u == v {
 		return ans, nil
@@ -238,7 +282,6 @@ func (o *Oracle) answer(u, v int32) (Answer, error) {
 	if o.cache != nil {
 		if d, ok := o.cache.get(key); ok {
 			ans.Dist = d
-			o.maybeSampleStretch(seq, u, v, d)
 			return ans, nil
 		}
 	}
@@ -255,7 +298,6 @@ func (o *Oracle) answer(u, v int32) (Answer, error) {
 	if o.cache != nil {
 		o.cache.put(key, d)
 	}
-	o.maybeSampleStretch(seq, u, v, d)
 	return ans, nil
 }
 
@@ -283,12 +325,20 @@ func (o *Oracle) maybeSampleStretch(seq int64, u, v, dh int32) {
 // exact spanner distance, plus the distance answer. The path's nodes are
 // added to the oracle's congestion accounting (C(P, v) over served
 // routes). Returns a nil path for disconnected pairs.
+//
+// Routes are accounted separately from Dist queries: the distance lookup
+// inside Route increments neither Stats.Queries nor the Dist latency
+// histogram (so route traffic cannot double-count against a caller's own
+// query totals); the full route service time lands in the route latency
+// histogram instead.
 func (o *Oracle) Route(u, v int32) (routing.Path, Answer, error) {
-	ans, err := o.Dist(u, v)
+	t0 := time.Now()
+	ans, err := o.resolve(u, v)
 	if err != nil {
 		return nil, ans, err
 	}
 	if ans.Dist == graph.Unreachable {
+		o.finishRoute(t0)
 		return nil, ans, nil
 	}
 	rs := o.routePool.Get().(*routeScratch)
@@ -301,24 +351,34 @@ func (o *Oracle) Route(u, v int32) (routing.Path, Answer, error) {
 	if p == nil {
 		return nil, ans, fmt.Errorf("oracle: inconsistent state: dist=%d but no path within it", ans.Dist)
 	}
-	o.routes.Add(1)
 	for _, x := range p {
 		atomic.AddInt64(&o.congestion[x], 1)
 	}
+	o.finishRoute(t0)
 	return routing.Path(p), ans, nil
+}
+
+// finishRoute records one served route against the route counters.
+func (o *Oracle) finishRoute(t0 time.Time) {
+	o.routes.Add(1)
+	o.routeLatency.Observe(time.Since(t0).Seconds())
 }
 
 // Stats snapshots the serving metrics.
 func (o *Oracle) Stats() Stats {
 	s := Stats{
-		Queries:        o.queries.Load(),
-		Routes:         o.routes.Load(),
-		LatencyMean:    o.latency.Mean(),
-		LatencyP50:     o.latency.Quantile(0.50),
-		LatencyP95:     o.latency.Quantile(0.95),
-		LatencyP99:     o.latency.Quantile(0.99),
-		CertifiedAlpha: o.alpha,
-		Landmarks:      len(o.lm.roots),
+		Queries:          o.queries.Load(),
+		Routes:           o.routes.Load(),
+		LatencyMean:      o.latency.Mean(),
+		LatencyP50:       o.latency.Quantile(0.50),
+		LatencyP95:       o.latency.Quantile(0.95),
+		LatencyP99:       o.latency.Quantile(0.99),
+		RouteLatencyMean: o.routeLatency.Mean(),
+		RouteLatencyP50:  o.routeLatency.Quantile(0.50),
+		RouteLatencyP95:  o.routeLatency.Quantile(0.95),
+		RouteLatencyP99:  o.routeLatency.Quantile(0.99),
+		CertifiedAlpha:   o.alpha,
+		Landmarks:        len(o.lm.roots),
 	}
 	if o.cache != nil {
 		s.CacheHits, s.CacheMisses = o.cache.counters()
@@ -326,8 +386,8 @@ func (o *Oracle) Stats() Stats {
 			s.HitRate = float64(s.CacheHits) / float64(t)
 		}
 	}
-	if el := time.Since(o.start).Seconds(); el > 0 {
-		s.QPS = float64(s.Queries) / el
+	if el := time.Since(*o.start.Load()).Seconds(); el > 0 {
+		s.QPS = float64(s.Queries+s.Routes) / el
 	}
 	o.stretchMu.Lock()
 	s.StretchSamples = o.stretchN
@@ -347,7 +407,8 @@ func (o *Oracle) Stats() Stats {
 // String renders the snapshot as a single report line.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"queries=%d routes=%d hitRate=%.3f p50=%.3gs p95=%.3gs p99=%.3gs qps=%.0f realizedAlpha=%.3f (certified %d, %d samples) maxCong=%d landmarks=%d",
+		"queries=%d routes=%d hitRate=%.3f p50=%.3gs p95=%.3gs p99=%.3gs routeP50=%.3gs routeP99=%.3gs qps=%.0f realizedAlpha=%.3f (certified %d, %d samples) maxCong=%d landmarks=%d",
 		s.Queries, s.Routes, s.HitRate, s.LatencyP50, s.LatencyP95, s.LatencyP99,
+		s.RouteLatencyP50, s.RouteLatencyP99,
 		s.QPS, s.RealizedAlpha, s.CertifiedAlpha, s.StretchSamples, s.MaxCongestion, s.Landmarks)
 }

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// deadliner is the part of net.Conn the session needs for idle/write
+// deadlines; a nil deadliner (stdin mode) disables them.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// session is one connection's protocol state.
+type session struct {
+	srv *Server
+	rd  *lineReader
+	w   *bufio.Writer
+	dl  deadliner
+}
+
+// runSession speaks the protocol on in/out until EOF, "quit", a dead
+// connection, an idle timeout, or a server drain. Every exit flushes any
+// pending response first, so an in-flight request is answered before the
+// connection closes.
+func (s *Server) runSession(in io.Reader, out io.Writer, dl deadliner) {
+	sess := &session{srv: s, rd: newLineReader(in, s.cfg.MaxLineBytes), w: bufio.NewWriter(out), dl: dl}
+	defer sess.flush()
+	for {
+		if s.draining.Load() {
+			return
+		}
+		sess.armReadDeadline()
+		line, tooLong, err := sess.rd.readLine()
+		if tooLong {
+			s.counters.Add("toolong", 1)
+			if sess.respondErrf("line too long (max %d bytes)", s.cfg.MaxLineBytes) != nil || err != nil {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			// EOF and mid-line disconnects close silently (there is no one
+			// left to answer); an idle timeout tells the slow client why it
+			// is being dropped — unless the deadline fired because the
+			// server is draining.
+			if isTimeout(err) && !s.draining.Load() {
+				s.counters.Add("timeouts", 1)
+				sess.respondErrf("idle timeout, closing connection")
+			}
+			return
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			return
+		}
+		s.counters.Add("requests", 1)
+		if sess.handle(line) != nil {
+			return
+		}
+	}
+}
+
+// armReadDeadline starts the idle clock for the next read.
+func (sess *session) armReadDeadline() {
+	if sess.dl != nil && sess.srv.cfg.IdleTimeout > 0 {
+		sess.dl.SetReadDeadline(time.Now().Add(sess.srv.cfg.IdleTimeout))
+	}
+}
+
+// writeLine queues one response line; write errors surface on flush.
+func (sess *session) writeLine(line string) {
+	sess.w.WriteString(line)
+	sess.w.WriteByte('\n')
+}
+
+// flush pushes queued response lines under the write deadline.
+func (sess *session) flush() error {
+	if sess.dl != nil && sess.srv.cfg.WriteTimeout > 0 {
+		sess.dl.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
+	}
+	return sess.w.Flush()
+}
+
+// respond writes and flushes a single response line; a non-nil error means
+// the connection is unusable.
+func (sess *session) respond(line string) error {
+	sess.writeLine(line)
+	return sess.flush()
+}
+
+// respondErrf answers "err <message>" and counts it.
+func (sess *session) respondErrf(format string, args ...any) error {
+	sess.srv.counters.Add("errs", 1)
+	if len(args) == 0 {
+		return sess.respond("err " + format)
+	}
+	return sess.respond("err " + fmt.Sprintf(format, args...))
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+)
+
+// discardLimit bounds how much of an oversized line the reader will eat
+// while resyncing to the next newline; a client still streaming a single
+// line past this is disconnected rather than serviced.
+const discardLimit = 16 << 20
+
+// lineReader reads newline-terminated request lines with a hard length
+// bound. The old serving path used bufio.Scanner and never checked
+// sc.Err(), so a line over the scanner's 64KB default silently killed the
+// connection with no response; this reader instead reports oversized lines
+// to the caller (which answers "err line too long") and resyncs past them
+// so the protocol stays usable.
+type lineReader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+}
+
+func newLineReader(r io.Reader, max int) *lineReader {
+	return &lineReader{r: bufio.NewReaderSize(r, 4096), max: max}
+}
+
+// readLine returns the next line with the trailing '\n' (and an optional
+// '\r') stripped. tooLong reports a line exceeding max bytes; the reader
+// has already discarded through the terminating newline, so the caller can
+// answer an error and keep the connection. A final unterminated line is
+// returned like bufio.Scanner would return it, with the EOF surfacing on
+// the next call. A non-nil err means the stream is done (EOF, disconnect,
+// read deadline); when tooLong and err are both set, the resync itself
+// failed and the connection must close.
+func (lr *lineReader) readLine() (line string, tooLong bool, err error) {
+	lr.buf = lr.buf[:0]
+	for {
+		frag, ferr := lr.r.ReadSlice('\n')
+		lr.buf = append(lr.buf, frag...)
+		switch {
+		case ferr == nil:
+			trimmed := bytes.TrimSuffix(lr.buf[:len(lr.buf)-1], []byte{'\r'})
+			if len(trimmed) > lr.max {
+				return "", true, nil
+			}
+			return string(trimmed), false, nil
+		case errors.Is(ferr, bufio.ErrBufferFull):
+			if len(lr.buf) > lr.max {
+				return "", true, lr.discardToNewline()
+			}
+		case errors.Is(ferr, io.EOF) && len(lr.buf) > 0:
+			trimmed := bytes.TrimSuffix(lr.buf, []byte{'\r'})
+			if len(trimmed) > lr.max {
+				return "", true, io.EOF
+			}
+			return string(trimmed), false, nil
+		default:
+			return "", false, ferr
+		}
+	}
+}
+
+// discardToNewline eats the rest of an oversized line (up to discardLimit)
+// so the next readLine starts at a fresh request.
+func (lr *lineReader) discardToNewline() error {
+	discarded := 0
+	for {
+		frag, err := lr.r.ReadSlice('\n')
+		discarded += len(frag)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			if discarded > discardLimit {
+				return errors.New("server: oversized line exceeded resync limit")
+			}
+		default:
+			return err
+		}
+	}
+}

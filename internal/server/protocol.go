@@ -1,0 +1,167 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+// handle dispatches one request line, writing one response line — or, for
+// batch, one per batched query. A non-nil return means the connection is
+// unusable and the session must end; protocol-level problems answer
+// "err <message>" and return nil.
+func (sess *session) handle(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return sess.respondErrf("empty command")
+	}
+	o := sess.srv.o
+	switch fields[0] {
+	case "stats":
+		return sess.respond("stats " + sess.srv.statsLine())
+	case "dist":
+		u, v, err := parsePair(fields)
+		if err != nil {
+			return sess.respondErrf("%s", err)
+		}
+		t0 := time.Now()
+		ans, err := o.Dist(u, v)
+		if err != nil {
+			return sess.respondErrf("%s", err)
+		}
+		return sess.respond(formatDist(ans, time.Since(t0)))
+	case "route":
+		u, v, err := parsePair(fields)
+		if err != nil {
+			return sess.respondErrf("%s", err)
+		}
+		p, ans, err := o.Route(u, v)
+		if err != nil {
+			return sess.respondErrf("%s", err)
+		}
+		if p == nil {
+			return sess.respond(fmt.Sprintf("route %d %d = unreachable", u, v))
+		}
+		parts := make([]string, len(p))
+		for i, x := range p {
+			parts[i] = strconv.Itoa(int(x))
+		}
+		return sess.respond(fmt.Sprintf("route %d %d = %d path=%s", u, v, ans.Dist, strings.Join(parts, "-")))
+	case "batch":
+		return sess.handleBatch(fields)
+	default:
+		return sess.respondErrf("unknown command %q (want dist|route|batch|stats|quit)", fields[0])
+	}
+}
+
+// handleBatch reads n subsequent "dist <u> <v>" lines and answers them
+// through the oracle's worker pool: n response lines, index-aligned with
+// the input, each in the dist format without the us= field. A malformed
+// batch line consumes its slot and answers "err ..." at its index without
+// poisoning the rest of the batch; a dead connection mid-batch aborts
+// (index alignment is unrecoverable).
+func (sess *session) handleBatch(fields []string) error {
+	srv := sess.srv
+	if len(fields) != 2 {
+		return sess.respondErrf(`want "batch <n>"`)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 1 || n > srv.cfg.MaxBatch {
+		return sess.respondErrf("batch size must be in [1, %d]", srv.cfg.MaxBatch)
+	}
+	resp := make([]string, n) // pre-rendered errors; "" = answered by the oracle
+	qs := make([]oracle.Query, 0, n)
+	qIdx := make([]int, 0, n)
+	limit := int32(srv.o.N())
+	for i := 0; i < n; i++ {
+		sess.armReadDeadline()
+		line, tooLong, rerr := sess.rd.readLine()
+		if tooLong {
+			srv.counters.Add("toolong", 1)
+			srv.counters.Add("errs", 1)
+			resp[i] = fmt.Sprintf("err line too long (max %d bytes)", srv.cfg.MaxLineBytes)
+			if rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if rerr != nil {
+			if isTimeout(rerr) && !srv.draining.Load() {
+				srv.counters.Add("timeouts", 1)
+				sess.respondErrf("idle timeout inside batch, closing connection")
+			}
+			return rerr
+		}
+		bf := strings.Fields(strings.TrimSpace(line))
+		switch {
+		case len(bf) == 0:
+			resp[i] = `err empty batch line (want "dist <u> <v>")`
+		case bf[0] != "dist":
+			resp[i] = fmt.Sprintf("err batch lines must be dist queries, got %q", bf[0])
+		default:
+			u, v, perr := parsePair(bf)
+			switch {
+			case perr != nil:
+				resp[i] = "err " + perr.Error()
+			case u < 0 || v < 0 || u >= limit || v >= limit:
+				// Mirror the oracle's own out-of-range error text so batch
+				// answers match sequential dist answers index for index.
+				resp[i] = fmt.Sprintf("err oracle: query (%d,%d) out of range [0,%d)", u, v, limit)
+			default:
+				qs = append(qs, oracle.Query{U: u, V: v})
+				qIdx = append(qIdx, i)
+			}
+		}
+		if resp[i] != "" {
+			srv.counters.Add("errs", 1)
+		}
+	}
+	answers := srv.o.AnswerBatch(qs)
+	for j, a := range answers {
+		resp[qIdx[j]] = formatDist(a, -1)
+	}
+	srv.counters.Add("batches", 1)
+	srv.counters.Add("requests", int64(n)) // each batched line is a request
+	for _, r := range resp {
+		sess.writeLine(r)
+	}
+	return sess.flush()
+}
+
+// formatDist renders a dist response. Disconnected pairs answer the
+// protocol word "unreachable" — the raw graph.Unreachable sentinel (-1)
+// must never leak to clients — and a landmark bound that reaches no
+// common landmark renders as "none". A negative elapsed omits the us=
+// latency field (batch answers are timed in aggregate by the oracle).
+func formatDist(a oracle.Answer, elapsed time.Duration) string {
+	if a.Dist == graph.Unreachable {
+		return fmt.Sprintf("dist %d %d = unreachable", a.U, a.V)
+	}
+	bound := strconv.Itoa(int(a.Bound))
+	if a.Bound == graph.Unreachable {
+		bound = "none"
+	}
+	s := fmt.Sprintf("dist %d %d = %d exact=%t bound=%s", a.U, a.V, a.Dist, a.Exact, bound)
+	if elapsed >= 0 {
+		s += fmt.Sprintf(" us=%.1f", elapsed.Seconds()*1e6)
+	}
+	return s
+}
+
+// parsePair parses "<cmd> <u> <v>". Vertices must fit in an int32 — the
+// old strconv.Atoi path silently truncated 64-bit values on conversion.
+func parsePair(fields []string) (int32, int32, error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("want %q", fields[0]+" <u> <v>")
+	}
+	u, err1 := strconv.ParseInt(fields[1], 10, 32)
+	v, err2 := strconv.ParseInt(fields[2], 10, 32)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad vertex in %v", fields[1:])
+	}
+	return int32(u), int32(v), nil
+}

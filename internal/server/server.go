@@ -1,0 +1,266 @@
+// Package server is the hardened serving layer between cmd/dcserve and
+// the query oracle: it owns the connection lifecycle (accept loop,
+// connection-count semaphore, per-connection idle and write deadlines,
+// context-based graceful shutdown that drains in-flight requests) and the
+// line protocol (dist/route/batch/stats/quit), with bounded request-line
+// lengths and per-server request/error counters surfaced through the
+// extended stats response.
+//
+// Protocol (one request per line; responses are one line each unless
+// noted):
+//
+//	dist <u> <v>   ->  dist <u> <v> = <d> exact=<t|f> bound=<b> us=<latency>
+//	                   (disconnected pairs answer "dist <u> <v> = unreachable")
+//	route <u> <v>  ->  route <u> <v> = <d> path=<v0>-<v1>-...-<vk>
+//	batch <n>      ->  reads n following "dist <u> <v>" lines and answers
+//	                   them through the oracle's worker pool: n response
+//	                   lines, index-aligned with the input, each in the
+//	                   dist format without the us= field
+//	stats          ->  stats <oracle report> | server <counter report>
+//	quit           ->  closes the connection
+//
+// Malformed requests answer "err <message>" and keep the connection open;
+// a request line over Config.MaxLineBytes answers "err line too long".
+// Connections beyond Config.MaxConns are rejected with "err server busy".
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/stats"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxConns     = 1024
+	DefaultMaxLineBytes = 256 << 10
+	DefaultMaxBatch     = 1 << 14
+	DefaultIdleTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// Config tunes the serving limits. The zero value means the defaults
+// above; negative durations disable the corresponding deadline.
+type Config struct {
+	// MaxConns bounds concurrent connections; excess connections are
+	// answered "err server busy" and closed.
+	MaxConns int
+	// MaxLineBytes bounds one request line; longer lines answer
+	// "err line too long (max N bytes)" and the connection stays usable.
+	MaxLineBytes int
+	// MaxBatch bounds the n of a "batch <n>" command.
+	MaxBatch int
+	// IdleTimeout is the per-read deadline: a connection that sends no
+	// complete line for this long is answered "err idle timeout" and
+	// closed (the slow-loris guard). Ignored on deadline-less streams.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-response write deadline.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: connections still open this
+	// long after the context is cancelled are force-closed.
+	DrainTimeout time.Duration
+	// Logf, when set, receives serve-loop diagnostics (accept errors).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	return c
+}
+
+// Server serves the line protocol for one oracle. A Server is single-use:
+// once its context is cancelled (draining), it does not serve again.
+type Server struct {
+	o        *oracle.Oracle
+	cfg      Config
+	counters *stats.Counters
+	sem      chan struct{}
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// New builds a Server over o. cfg's zero fields take the package defaults.
+func New(o *oracle.Oracle, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		o:   o,
+		cfg: cfg,
+		counters: stats.NewCounters(
+			"conns", "busy", "requests", "batches", "errs", "toolong", "timeouts"),
+		sem:   make(chan struct{}, cfg.MaxConns),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Counter exposes a named serving counter (see New for the set) — conns,
+// busy, requests, batches, errs, toolong, timeouts.
+func (s *Server) Counter(name string) int64 { return s.counters.Get(name) }
+
+// Active returns the number of currently tracked connections.
+func (s *Server) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until ctx is cancelled, then drains
+// gracefully: the listener closes, blocked reads are woken, every session
+// finishes its in-flight request and flushes its response, and connections
+// still open after DrainTimeout are force-closed. Serve returns nil after
+// a drain; a non-transient accept error (still preceded by a drain of the
+// already-accepted connections) is returned as-is.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	var wg sync.WaitGroup
+	stop := context.AfterFunc(ctx, func() {
+		s.draining.Store(true)
+		l.Close()
+		s.wakeAll()
+	})
+	defer stop()
+
+	var acceptErr error
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() || ctx.Err() != nil {
+				break
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.logf("server: transient accept error: %v", err)
+				continue
+			}
+			acceptErr = err
+			s.draining.Store(true)
+			s.wakeAll()
+			break
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.counters.Add("busy", 1)
+			s.rejectBusy(conn)
+			continue
+		}
+		s.counters.Add("conns", 1)
+		s.track(conn)
+		wg.Add(1)
+		go func() {
+			defer func() {
+				s.untrack(conn)
+				conn.Close()
+				<-s.sem
+				wg.Done()
+			}()
+			s.runSession(conn, conn, conn)
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.logf("server: drain timeout, force-closing %d connections", s.Active())
+		s.closeAll()
+		<-done
+	}
+	return acceptErr
+}
+
+// ServeStream runs the protocol over an arbitrary reader/writer pair —
+// dcserve's stdin mode. No deadlines apply (an interactive stdin session
+// must not idle-timeout); ctx cancellation stops the session at the next
+// request boundary.
+func (s *Server) ServeStream(ctx context.Context, in io.Reader, out io.Writer) {
+	if ctx.Err() != nil {
+		s.draining.Store(true)
+		return
+	}
+	stop := context.AfterFunc(ctx, func() { s.draining.Store(true) })
+	defer stop()
+	s.counters.Add("conns", 1)
+	s.runSession(in, out, nil)
+}
+
+// rejectBusy answers the over-capacity connection with a protocol-level
+// error instead of a silent close.
+func (s *Server) rejectBusy(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	io.WriteString(conn, "err server busy\n")
+	conn.Close()
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// wakeAll expires every tracked connection's read deadline so sessions
+// blocked in a read observe the drain immediately.
+func (s *Server) wakeAll() {
+	now := time.Now()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+}
+
+// closeAll force-closes the connections that outlived the drain budget.
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// statsLine renders the extended stats response: the oracle's serving
+// report plus the server's connection/request/error counters.
+func (s *Server) statsLine() string {
+	return fmt.Sprintf("%s | server %s active=%d", s.o.Stats().String(), s.counters.String(), s.Active())
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPServeBasics: dial, query, stats, quit over a real loopback
+// connection.
+func TestTCPServeBasics(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{})
+	addr, _, _ := startTCP(t, srv)
+
+	c := dialClient(t, addr)
+	c.send("dist 0 1")
+	if got := c.readLine(); !strings.HasPrefix(got, "dist 0 1 = ") {
+		t.Fatalf("dist response %q", got)
+	}
+	c.send("stats")
+	if got := c.readLine(); !strings.Contains(got, "| server conns=1") {
+		t.Fatalf("stats response %q", got)
+	}
+	c.send("quit")
+	if _, err := c.tryReadLine(2 * time.Second); !errors.Is(err, io.EOF) {
+		t.Fatalf("after quit: err=%v, want EOF", err)
+	}
+}
+
+// TestBatchOverTCPMatchesSequential is the acceptance check: batch answers
+// over the wire are index-aligned and identical to sequential dist
+// queries on the same connection.
+func TestBatchOverTCPMatchesSequential(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{})
+	addr, _, _ := startTCP(t, srv)
+	c := dialClient(t, addr)
+
+	const n = 64
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{(i * 13) % 128, (i*29 + 3) % 128}
+	}
+	seq := make([]string, n)
+	for i, p := range pairs {
+		c.send(fmt.Sprintf("dist %d %d", p[0], p[1]))
+		seq[i] = stripLatency(c.readLine())
+	}
+	c.send(fmt.Sprintf("batch %d", n))
+	for _, p := range pairs {
+		c.send(fmt.Sprintf("dist %d %d", p[0], p[1]))
+	}
+	for i := range pairs {
+		if got := c.readLine(); got != seq[i] {
+			t.Fatalf("batch[%d] = %q, sequential %q", i, got, seq[i])
+		}
+	}
+}
+
+// TestBusyRejection: connections over MaxConns get a protocol-level
+// "err server busy", not a silent close; a freed slot serves again.
+func TestBusyRejection(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{MaxConns: 1})
+	addr, _, _ := startTCP(t, srv)
+
+	c1 := dialClient(t, addr)
+	c1.send("dist 0 1")
+	c1.readLine() // c1 is established and served
+
+	c2 := dialClient(t, addr)
+	got, err := c2.tryReadLine(5 * time.Second)
+	if err != nil {
+		t.Fatalf("busy read: %v", err)
+	}
+	if got != "err server busy" {
+		t.Fatalf("second connection got %q, want %q", got, "err server busy")
+	}
+	if _, err := c2.tryReadLine(2 * time.Second); !errors.Is(err, io.EOF) {
+		t.Fatalf("busy connection not closed: %v", err)
+	}
+	if srv.Counter("busy") != 1 {
+		t.Fatalf("busy counter = %d, want 1", srv.Counter("busy"))
+	}
+
+	// Free the slot; the next dial must be served.
+	c1.send("quit")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Active() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	c3 := dialClient(t, addr)
+	c3.send("dist 2 3")
+	if got := c3.readLine(); !strings.HasPrefix(got, "dist 2 3 = ") {
+		t.Fatalf("post-busy connection got %q", got)
+	}
+}
+
+// TestGracefulShutdownDrains: cancelling the serve context closes the
+// listener, answers nothing new, and cleanly closes established
+// connections — and Serve returns well inside the drain budget.
+func TestGracefulShutdownDrains(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{DrainTimeout: 3 * time.Second})
+	addr, cancel, done := startTCP(t, srv)
+
+	c := dialClient(t, addr)
+	c.send("dist 0 1")
+	if got := c.readLine(); !strings.HasPrefix(got, "dist 0 1 = ") {
+		t.Fatalf("pre-shutdown response %q", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	// The established connection was drained (EOF, no partial garbage).
+	if line, err := c.tryReadLine(2 * time.Second); !errors.Is(err, io.EOF) {
+		t.Fatalf("post-shutdown read: line=%q err=%v, want EOF", line, err)
+	}
+	// New dials are refused.
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownWhileServing cancels the context while requests are in
+// flight on several connections: every client either gets its answer or a
+// clean EOF — never a hang or a torn line — and Serve drains in time.
+func TestShutdownWhileServing(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{DrainTimeout: 3 * time.Second})
+	addr, cancel, done := startTCP(t, srv)
+
+	const clients = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		c := dialClient(t, addr)
+		wg.Add(1)
+		go func(c *client, id int) {
+			defer wg.Done()
+			<-start
+			for j := 0; ; j++ {
+				c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				if _, err := c.conn.Write([]byte(fmt.Sprintf("dist %d %d\n", id, (id+j)%128))); err != nil {
+					return // server went away between requests: fine
+				}
+				line, err := c.tryReadLine(2 * time.Second)
+				if err != nil {
+					if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+						return // clean drain
+					}
+					var ne net.Error
+					if errors.As(err, &ne) && ne.Timeout() {
+						t.Errorf("client %d: silent drop (response neither arrived nor EOF)", id)
+					}
+					return
+				}
+				if !strings.HasPrefix(line, "dist ") {
+					t.Errorf("client %d: torn response %q", id, line)
+					return
+				}
+			}
+		}(c, i)
+	}
+	close(start)
+	time.Sleep(50 * time.Millisecond) // let requests overlap the shutdown
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+	wg.Wait()
+}
+
+// TestConcurrentConnectionsHammer runs 8 connections issuing mixed
+// commands against one oracle — the -race workhorse for the serving path.
+func TestConcurrentConnectionsHammer(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{})
+	addr, _, _ := startTCP(t, srv)
+
+	const (
+		clients = 8
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := dialClient(t, addr)
+			for j := 0; j < rounds; j++ {
+				u, v := (id*17+j)%128, (j*11+id)%128
+				switch j % 4 {
+				case 0, 1:
+					c.send(fmt.Sprintf("dist %d %d", u, v))
+					if got := c.readLine(); !strings.HasPrefix(got, fmt.Sprintf("dist %d %d = ", u, v)) {
+						t.Errorf("client %d: %q", id, got)
+						return
+					}
+				case 2:
+					c.send(fmt.Sprintf("route %d %d", u, v))
+					if got := c.readLine(); !strings.HasPrefix(got, fmt.Sprintf("route %d %d = ", u, v)) {
+						t.Errorf("client %d: %q", id, got)
+						return
+					}
+				case 3:
+					c.send("batch 2")
+					c.send(fmt.Sprintf("dist %d %d", u, v))
+					c.send(fmt.Sprintf("dist %d %d", v, u))
+					a, b := c.readLine(), c.readLine()
+					if !strings.HasPrefix(a, fmt.Sprintf("dist %d %d = ", u, v)) ||
+						!strings.HasPrefix(b, fmt.Sprintf("dist %d %d = ", v, u)) {
+						t.Errorf("client %d: batch %q / %q", id, a, b)
+						return
+					}
+				}
+			}
+			c.send("quit")
+		}(i)
+	}
+	wg.Wait()
+	if got := srv.Counter("conns"); got != clients {
+		t.Fatalf("conns counter = %d, want %d", got, clients)
+	}
+	if got := srv.Counter("errs"); got != 0 {
+		t.Fatalf("errs counter = %d on a clean workload", got)
+	}
+}
+
+// TestServeStreamContextStops: a cancelled context ends a stream session
+// at the next request boundary.
+func TestServeStreamContextStops(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	finished := make(chan struct{})
+	go func() {
+		srv.ServeStream(ctx, pr, io.Discard)
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeStream ignored the cancelled context")
+	}
+}

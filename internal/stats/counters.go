@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Counters is a fixed, ordered set of named monotonic counters safe for
+// concurrent use — the serving layer's request/error accounting. The name
+// set is frozen at construction so Add/Get are a slice index away from the
+// atomic (no map lookup under contention on the hot path is necessary via
+// Idx) and String renders the counters in declaration order, giving stats
+// responses a stable shape.
+type Counters struct {
+	names []string
+	vals  []atomic.Int64
+	index map[string]int
+}
+
+// NewCounters declares the counter set. Names must be unique; it panics
+// otherwise (a programming error, not input).
+func NewCounters(names ...string) *Counters {
+	c := &Counters{
+		names: append([]string(nil), names...),
+		vals:  make([]atomic.Int64, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if _, dup := c.index[n]; dup {
+			panic("stats: duplicate counter " + n)
+		}
+		c.index[n] = i
+	}
+	return c
+}
+
+// Idx returns the slot for name, for hot paths that want to resolve the
+// name once. It panics on an undeclared name.
+func (c *Counters) Idx(name string) int {
+	i, ok := c.index[name]
+	if !ok {
+		panic("stats: unknown counter " + name)
+	}
+	return i
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) { c.vals[c.Idx(name)].Add(delta) }
+
+// AddIdx increments the counter at a slot returned by Idx.
+func (c *Counters) AddIdx(i int, delta int64) { c.vals[i].Add(delta) }
+
+// Get returns the named counter's current value.
+func (c *Counters) Get(name string) int64 { return c.vals[c.Idx(name)].Load() }
+
+// String renders "name=value ..." in declaration order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.vals[i].Load())
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters("conns", "busy", "requests")
+	c.Add("conns", 1)
+	c.Add("requests", 5)
+	c.Add("requests", 2)
+	if got := c.Get("requests"); got != 7 {
+		t.Fatalf("requests = %d, want 7", got)
+	}
+	if got := c.Get("busy"); got != 0 {
+		t.Fatalf("busy = %d, want 0", got)
+	}
+	if got := c.String(); got != "conns=1 busy=0 requests=7" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters("a", "b")
+	ai := c.Idx("a")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddIdx(ai, 1)
+				c.Add("b", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("a"); got != 8000 {
+		t.Fatalf("a = %d, want 8000", got)
+	}
+	if got := c.Get("b"); got != 16000 {
+		t.Fatalf("b = %d, want 16000", got)
+	}
+}
+
+func TestCountersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown counter name did not panic")
+		}
+	}()
+	NewCounters("x").Add("y", 1)
+}

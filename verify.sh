@@ -14,6 +14,9 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== server fault-injection suite under -race (oversized lines, slow loris, disconnects, shutdown drain)"
+go test -race -count=1 ./internal/server/
+
 echo "== dcserve demo (512-node expander, 10k mixed queries)"
 go run ./cmd/dcserve -demo -queries 10000
 
