@@ -10,6 +10,9 @@
 //	dcserve -demo                      # 512-node Δ=96 expander, 10k mixed queries, latency report
 //	dcserve -listen :7070              # TCP line protocol; SIGINT/SIGTERM drains gracefully
 //	dcserve < queries.txt              # same protocol on stdin/stdout
+//	dcserve -listen :7070 -debug-addr 127.0.0.1:6060
+//	                                   # adds an HTTP sidecar: /metrics (Prometheus
+//	                                   # text), /healthz, /debug/pprof/*
 //
 // Protocol (one request per line; see internal/server for the full spec):
 //
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rng"
 	"repro/internal/server"
@@ -59,7 +63,25 @@ func main() {
 	idle := flag.Duration("idle", server.DefaultIdleTimeout, "per-connection idle read deadline (negative disables)")
 	writeTO := flag.Duration("writetimeout", server.DefaultWriteTimeout, "per-response write deadline (negative disables)")
 	drain := flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown budget before force-closing connections")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this HTTP address (e.g. 127.0.0.1:0)")
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
+
+	// One process-wide registry: the oracle, the server, and the Go
+	// runtime all register here, so the wire "stats" line, the -demo
+	// report, and /metrics render from the same counters.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug listening on %s\n", ds.Addr())
+	}
 
 	g := cfg.MustBuild()
 	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
@@ -86,6 +108,7 @@ func main() {
 		Workers:     *workers,
 		MaxDist:     *maxDist,
 		SampleEvery: *sample,
+		Registry:    reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,6 +127,7 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+		Registry: reg,
 	}
 	switch {
 	case *demo:
@@ -173,6 +197,10 @@ func runDemo(o *oracle.Oracle, n, total int, seed uint64) {
 		float64(total)/elapsed.Seconds(), s.CacheHits, s.CacheMisses, s.HitRate)
 	fmt.Printf("stretch: realized alpha=%.3f mean=%.3f over %d samples (certified %d)   maxRouteCong=%d\n",
 		s.RealizedAlpha, s.MeanStretch, s.StretchSamples, s.CertifiedAlpha, s.MaxCongestion)
+	if s.StretchSamples < 100 {
+		fmt.Fprintf(os.Stderr, "warning: only %d realized-stretch samples (<100); lower -sample or raise -queries for a statistically meaningful check\n",
+			s.StretchSamples)
+	}
 	if s.CertifiedAlpha > 0 && s.RealizedAlpha > float64(s.CertifiedAlpha) {
 		fmt.Fprintln(os.Stderr, "realized stretch exceeds certified alpha")
 		os.Exit(1)

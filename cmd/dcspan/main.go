@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/spanner"
@@ -30,22 +31,34 @@ func main() {
 	certify := flag.Bool("certify", false, "measure spectral expansion of G and H")
 	out := flag.String("out", "", "write the spanner to this file")
 	format := flag.String("format", "edgelist", "output format: edgelist|dot|spannerdot")
+	trace := flag.Bool("trace", false, "print the construction phase tree (wall clock, allocations, per-phase payloads)")
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
 	seed := &cfg.Seed
 
 	g := cfg.MustBuild()
 	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
 
+	var root *obs.Span
+	if *trace {
+		root = obs.StartSpan("build")
+	}
 	dc, err := core.Build(g, core.Options{
 		Algorithm: core.Algorithm(*algo),
 		Seed:      *seed,
 		K:         *k,
 		Alpha:     *alpha,
 		Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+		Trace:     root,
 	})
+	root.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if root != nil {
+		fmt.Print(root.Tree())
 	}
 	h := dc.Graph()
 	fmt.Printf("H (%s): m=%d (%.1f%% of G), maxDeg=%d\n",

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-seed N] [-quick] [-list]
+//	experiments [-run id[,id...]] [-seed N] [-quick] [-list] [-trace]
 package main
 
 import (
@@ -13,7 +13,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,7 +23,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed for all experiments")
 	quick := flag.Bool("quick", false, "reduced instance sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	trace := flag.Bool("trace", false, "print a per-experiment phase tree to stderr after the results")
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -30,7 +35,11 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var root *obs.Span
+	if *trace {
+		root = obs.StartSpan("experiments")
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trace: root}
 	var results []*experiments.Result
 	if *runIDs == "" {
 		results = experiments.RunAll(cfg)
@@ -42,7 +51,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
 				os.Exit(2)
 			}
-			res, err := run(cfg)
+			ecfg := cfg
+			esp := root.Start(id)
+			ecfg.Trace = esp
+			res, err := run(ecfg)
+			esp.End()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 				os.Exit(1)
@@ -50,10 +63,14 @@ func main() {
 			results = append(results, res)
 		}
 	}
+	root.End()
 	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Print(r.String())
+	}
+	if root != nil {
+		fmt.Fprint(os.Stderr, root.Tree())
 	}
 }

@@ -19,7 +19,9 @@ import (
 
 func main() {
 	cfg := cliutil.RegisterGraphFlags(flag.CommandLine, "regular", 216, 40, 7)
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
 
 	g := cfg.MustBuild()
 	d := &cfg.D

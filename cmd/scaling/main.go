@@ -23,7 +23,9 @@ func main() {
 	out := flag.String("out", "", "directory for CSV files (default: stdout)")
 	seed := cliutil.RegisterSeedFlag(flag.CommandLine, 42)
 	quick := flag.Bool("quick", false, "reduced sweep")
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
 
 	series, err := experiments.AllSeries(experiments.Config{Seed: *seed, Quick: *quick})
 	if err != nil {

@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileConfig is the shared -cpuprofile/-memprofile parameter block.
+// Every cmd/* binary registers it so any run can be profiled without
+// tool-specific plumbing:
+//
+//	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
+//	flag.Parse()
+//	defer prof.MustStart()()
+type ProfileConfig struct {
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// RegisterProfileFlags binds -cpuprofile and -memprofile on fs and
+// returns the config they populate.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileConfig {
+	p := &ProfileConfig{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns a
+// stop function that ends the profile and, when -memprofile was given,
+// writes the heap profile. The stop function is safe to call when neither
+// flag was set (it does nothing), so callers defer it unconditionally.
+func (p *ProfileConfig) Start() (stop func() error, err error) {
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p.stop, nil
+}
+
+func (p *ProfileConfig) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.MemProfile != "" {
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// MustStart is Start for the standard CLI prologue: it exits on setup
+// errors and returns a stop function that reports flush errors to stderr
+// (profiling failures should not change a tool's exit status after its
+// real work succeeded).
+func (p *ProfileConfig) MustStart() func() {
+	stop, err := p.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/spanner"
 )
@@ -57,6 +58,11 @@ type Options struct {
 	// BoundedDegree is the per-node nomination count for AlgoBoundedDegree;
 	// default 4.
 	BoundedDegree int
+
+	// Trace, when non-nil, receives the construction's phase spans —
+	// dcspan -trace and the experiments runner's -trace hang the build
+	// phase tree off it. Nil disables tracing at no cost.
+	Trace *obs.Span
 }
 
 // DCSpanner is a built spanner with its substitute-routing machinery.
@@ -74,6 +80,7 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 		return nil, fmt.Errorf("core: empty graph")
 	}
 	d := &DCSpanner{opts: opts}
+	tr := opts.Trace
 	switch opts.Algorithm {
 	case AlgoExpander, "":
 		eo := opts.Expander
@@ -85,6 +92,9 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 		}
 		if eo.Seed == 0 {
 			eo.Seed = opts.Seed
+		}
+		if eo.Trace == nil {
+			eo.Trace = tr
 		}
 		sp, err := spanner.BuildExpander(g, eo)
 		if err != nil {
@@ -101,6 +111,9 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 			def.DeltaPrime = ro.DeltaPrime
 			ro = def
 		}
+		if ro.Trace == nil {
+			ro.Trace = tr
+		}
 		res, err := spanner.BuildRegular(g, ro)
 		if err != nil {
 			return nil, err
@@ -112,7 +125,7 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 		if k <= 0 {
 			k = 2
 		}
-		sp, err := spanner.BaswanaSen(g, k, seedRNG(opts.Seed))
+		sp, err := spanner.BaswanaSenTraced(g, k, seedRNG(opts.Seed), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -122,13 +135,18 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 		if alpha <= 0 {
 			alpha = 3
 		}
+		gsp := tr.Start("greedy")
 		d.sp = spanner.Greedy(g, alpha)
+		gsp.SetKV("kept", d.sp.H.M())
+		gsp.End()
 	case AlgoSparsifyUniform:
 		c := opts.SparsifyC
 		if c <= 0 {
 			c = 3
 		}
+		ssp := tr.Start("sparsify-uniform")
 		sp, err := spanner.SparsifyUniform(g, c, opts.Seed)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +156,9 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 		if bd <= 0 {
 			bd = 4
 		}
+		bsp := tr.Start("bounded-degree")
 		sp, err := spanner.ExtractBoundedDegree(g, bd, opts.Seed)
+		bsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +166,10 @@ func Build(g *graph.Graph, opts Options) (*DCSpanner, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", opts.Algorithm)
 	}
-	if err := d.sp.Validate(); err != nil {
+	vsp := tr.Start("validate")
+	err := d.sp.Validate()
+	vsp.End()
+	if err != nil {
 		return nil, err
 	}
 	return d, nil

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+// TestBuildPhaseTrace: a traced build yields a span tree whose phases
+// nest under the root and whose per-phase durations sum to approximately
+// the root's total (everything expensive in Build is inside a span).
+func TestBuildPhaseTrace(t *testing.T) {
+	g := gen.MustRandomRegular(216, 60, rng.New(3))
+	root := obs.StartSpan("build")
+	_, err := Build(g, Options{
+		Algorithm: AlgoExpander,
+		Seed:      3,
+		Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+		Trace:     root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "expander" || kids[1].Name() != "validate" {
+		names := make([]string, len(kids))
+		for i, k := range kids {
+			names[i] = k.Name()
+		}
+		t.Fatalf("top-level phases = %v, want [expander validate]", names)
+	}
+	var sum time.Duration
+	for _, k := range kids {
+		if k.Duration() > root.Duration() {
+			t.Errorf("phase %s (%v) exceeds total (%v)", k.Name(), k.Duration(), root.Duration())
+		}
+		sum += k.Duration()
+	}
+	if sum > root.Duration() {
+		t.Errorf("phase sum %v exceeds total %v", sum, root.Duration())
+	}
+	// The phases cover the build: at most 20% of the total is unspanned.
+	if sum < root.Duration()*4/5 {
+		t.Errorf("phase sum %v < 80%% of total %v — a phase is missing a span", sum, root.Duration())
+	}
+	// The expander phase itself decomposes into sample/connectivity spans.
+	sub := kids[0].Children()
+	if len(sub) < 2 || sub[0].Name() != "sample-edges" || sub[1].Name() != "connectivity-check" {
+		t.Fatalf("expander sub-phases wrong: %v", sub)
+	}
+	if sub[0].KVs()["kept"] == "" {
+		t.Error("sample-edges span missing kept KV")
+	}
+}
+
+// TestBuildRegularAndBaswanaSenTraced covers the other constructions'
+// span taxonomies.
+func TestBuildRegularAndBaswanaSenTraced(t *testing.T) {
+	g := gen.MustRandomRegular(216, 60, rng.New(4))
+	root := obs.StartSpan("build")
+	_, err := Build(g, Options{Algorithm: AlgoRegular, Seed: 4, Trace: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	want := map[string]bool{"sample-gprime": false, "supported-edges": false,
+		"partition-edges": false, "detour-check": false}
+	if root.Children()[0].Name() != "regular" {
+		t.Fatalf("root child = %q", root.Children()[0].Name())
+	}
+	for _, c := range root.Children()[0].Children() {
+		if _, ok := want[c.Name()]; ok {
+			want[c.Name()] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("regular build missing phase span %q", name)
+		}
+	}
+
+	root2 := obs.StartSpan("build")
+	_, err = Build(g, Options{Algorithm: AlgoBaswanaSen, K: 3, Seed: 4, Trace: root2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2.End()
+	bs := root2.Children()[0]
+	if bs.Name() != "baswana-sen" {
+		t.Fatalf("child = %q", bs.Name())
+	}
+	names := make([]string, 0)
+	for _, c := range bs.Children() {
+		names = append(names, c.Name())
+	}
+	if len(names) != 3 || names[0] != "cluster-phase-1" || names[1] != "cluster-phase-2" || names[2] != "vertex-cluster-join" {
+		t.Errorf("baswana-sen phases = %v", names)
+	}
+}

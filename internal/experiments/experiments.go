@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Config controls experiment sizes.
@@ -16,6 +18,10 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks instance sizes for CI/benchmark runs.
 	Quick bool
+	// Trace, when non-nil, receives one span per experiment (RunAll) and
+	// the construction phase spans of runners that thread it further down
+	// (e.g. Table1Theorem2's expander builds). Nil disables tracing.
+	Trace *obs.Span
 }
 
 // Result is a rendered experiment report.
@@ -84,14 +90,21 @@ func Lookup(id string) (Runner, bool) {
 
 // RunAll executes every experiment, returning results in order and the
 // first error encountered per experiment inline in its body (so a single
-// failing experiment does not hide the others).
+// failing experiment does not hide the others). With cfg.Trace set, each
+// experiment runs under its own child span (named by its id) so the
+// runner's phase tree shows where a slow sweep spends its time.
 func RunAll(cfg Config) []*Result {
 	out := make([]*Result, 0, len(registry))
 	for _, e := range registry {
-		res, err := e.Runner(cfg)
+		ecfg := cfg
+		esp := cfg.Trace.Start(e.ID)
+		ecfg.Trace = esp
+		res, err := e.Runner(ecfg)
 		if err != nil {
 			res = &Result{ID: e.ID, Title: "FAILED", Body: "error: " + err.Error() + "\n"}
+			esp.SetKV("failed", err.Error())
 		}
+		esp.End()
 		out = append(out, res)
 	}
 	return out

@@ -59,7 +59,8 @@ func Table1Theorem2(cfg Config) (*Result, error) {
 		lam, _ := spectral.Expansion(g, 300, r)
 		eps := spanner.EpsilonForDegree(sz.n, sz.d)
 		sp, err := spanner.BuildExpander(g, spanner.ExpanderOptions{
-			Epsilon: eps, Seed: cfg.Seed + uint64(sz.n), EnsureConnected: true})
+			Epsilon: eps, Seed: cfg.Seed + uint64(sz.n), EnsureConnected: true,
+			Trace: cfg.Trace})
 		if err != nil {
 			return nil, err
 		}

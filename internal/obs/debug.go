@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewDebugMux builds the debug endpoint's handler tree:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       "ok" once the process is serving
+//	/debug/pprof/  the standard net/http/pprof handlers
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already partially written; nothing to do but
+			// drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeDebug listens on addr (":0" picks a free port) and serves the
+// debug mux in a background goroutine. The caller owns the returned
+// server and should Close it on shutdown.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           NewDebugMux(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(lis) //nolint:errcheck // returns ErrServerClosed on Close
+	return &DebugServer{srv: srv, lis: lis}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close shuts the endpoint down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// RegisterProcessMetrics adds the Go runtime gauges/counters every
+// long-running binary wants on /metrics: goroutine count, heap size,
+// cumulative allocation, GC cycles, and GOMAXPROCS.
+func RegisterProcessMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_gomaxprocs", "GOMAXPROCS at scrape time.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("go_alloc_bytes", "Cumulative bytes allocated for heap objects.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.TotalAlloc)
+		})
+	reg.CounterFunc("go_gc_cycles", "Completed GC cycles.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
+}

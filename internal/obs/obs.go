@@ -1,0 +1,274 @@
+// Package obs is the repository's telemetry subsystem: a metrics
+// Registry of named counters, gauges, and histograms with Prometheus
+// text-format exposition (registry.go, this file), nestable build-phase
+// spans (trace.go), and a debug HTTP server wiring /metrics, /healthz,
+// and net/http/pprof together (debug.go). It is stdlib-only and builds on
+// the lock-free primitives of internal/stats, so instrumented hot paths
+// pay one atomic op per event.
+//
+// One Registry is intended to be process-wide: cmd/dcserve creates a
+// single Registry and the oracle, the serving layer, and the Go runtime
+// metrics all register into it, so the wire `stats` response, the
+// /metrics endpoint, and the demo summary render from one consistent
+// snapshot. Libraries take a *Registry (nil means "create a private
+// one") rather than sharing a package-level default, so tests can hold
+// many instances without name collisions.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing metric owned by a Registry.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; negative deltas are a programming error and
+// are ignored to keep the counter monotonic.
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous metric owned by a Registry.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered entry: a read function for scalar kinds, the
+// histogram itself for kindHistogram.
+type metric struct {
+	name, help string
+	kind       metricKind
+	readInt    func() int64
+	readFloat  func() float64
+	hist       *stats.Histogram
+}
+
+// Registry is a named-metric table safe for concurrent registration,
+// observation, and export. Metric names are frozen at registration
+// (duplicates panic — a programming error, matching stats.NewCounters)
+// and exported in sorted order so the Prometheus text rendering is stable.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register validates and stores m; it panics on duplicate or invalid
+// names.
+func (r *Registry) register(m *metric) {
+	if !validMetricName(m.name) {
+		panic("obs: invalid metric name " + strconv.Quote(m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.metrics[m.name] = m
+}
+
+// validMetricName reports whether name matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter creates, registers, and returns a new owned counter. The
+// exported sample name carries the conventional _total suffix, which
+// callers must not include in name.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, readInt: c.Load})
+	return c
+}
+
+// CounterFunc registers a counter whose value is produced by fn at
+// export/snapshot time — the adapter for pre-existing atomics (the
+// oracle's query counters, cache hit counts).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, readInt: fn})
+}
+
+// Gauge creates, registers, and returns a new owned gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, readFloat: g.Load})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at export/snapshot time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, readFloat: fn})
+}
+
+// Histogram creates, registers, and returns a new histogram with the
+// given bucket upper bounds (see stats.NewHistogram).
+func (r *Registry) Histogram(name, help string, bounds []float64) *stats.Histogram {
+	h := stats.NewHistogram(bounds)
+	r.RegisterHistogram(name, help, h)
+	return h
+}
+
+// RegisterHistogram adopts an existing stats.Histogram — the path by
+// which the oracle's latency histograms join the registry without being
+// rebuilt.
+func (r *Registry) RegisterHistogram(name, help string, h *stats.Histogram) {
+	if h == nil {
+		panic("obs: RegisterHistogram with nil histogram")
+	}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+// AttachCounters registers every counter of a stats.Counters set as
+// prefix_<name>, reading through Snapshot order. The serving layer uses
+// this to expose its request/error counters without changing its hot
+// path.
+func (r *Registry) AttachCounters(prefix string, c *stats.Counters) {
+	for _, cv := range c.Snapshot() {
+		name := cv.Name
+		r.CounterFunc(prefix+"_"+name, "Counter "+name+" of the "+prefix+" set.",
+			func() int64 { return c.Get(name) })
+	}
+}
+
+// Snapshot is a point-in-time read of every registered metric: each
+// scalar loaded exactly once, each histogram captured via
+// stats.Histogram.Buckets (itself internally consistent). Derived ratios
+// computed from one Snapshot therefore agree with each other.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]stats.HistogramBuckets
+}
+
+// Snapshot captures all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]stats.HistogramBuckets),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, m := range r.metrics {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[name] = m.readInt()
+		case kindGauge:
+			s.Gauges[name] = m.readFloat()
+		case kindHistogram:
+			s.Histograms[name] = m.hist.Buckets()
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, counters suffixed _total,
+// histograms as cumulative _bucket series with le labels plus _sum and
+// _count, all families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ordered := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ordered = append(ordered, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+
+	var b strings.Builder
+	for _, m := range ordered {
+		switch m.kind {
+		case kindCounter:
+			name := m.name + "_total"
+			writeHeader(&b, name, m.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", name, m.readInt())
+		case kindGauge:
+			writeHeader(&b, m.name, m.help, "gauge")
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatSample(m.readFloat()))
+		case kindHistogram:
+			writeHeader(&b, m.name, m.help, "histogram")
+			bk := m.hist.Buckets()
+			for i, bound := range bk.Bounds {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatSample(bound), bk.Cumulative[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, bk.Count)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatSample(bk.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, bk.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHeader emits the # HELP / # TYPE pair with help-text escaping per
+// the exposition format (backslash and newline).
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatSample renders a float64 the way Prometheus clients expect:
+// shortest round-trip decimal, +Inf/-Inf/NaN spelled out.
+func formatSample(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestPrometheusGolden pins the exposition format: sorted families,
+// HELP escaping, _total suffix on counters, _bucket/_sum/_count on
+// histograms with cumulative le series.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zeta_requests", "Requests with a\nnewline and back\\slash.")
+	c.Add(3)
+	g := reg.Gauge("alpha_temperature", "A gauge.")
+	g.Set(1.5)
+	h := reg.Histogram("mid_latency_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5) // overflow
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_temperature A gauge.
+# TYPE alpha_temperature gauge
+alpha_temperature 1.5
+# HELP mid_latency_seconds A histogram.
+# TYPE mid_latency_seconds histogram
+mid_latency_seconds_bucket{le="0.1"} 1
+mid_latency_seconds_bucket{le="1"} 3
+mid_latency_seconds_bucket{le="+Inf"} 4
+mid_latency_seconds_sum 6.05
+mid_latency_seconds_count 4
+# HELP zeta_requests_total Requests with a\nnewline and back\\slash.
+# TYPE zeta_requests_total counter
+zeta_requests_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	c.Add(5)
+	c.Add(-3) // ignored
+	c.Inc()
+	if got := c.Load(); got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup", "")
+	mustPanic(t, "duplicate", func() { reg.Gauge("dup", "") })
+	mustPanic(t, "invalid name", func() { reg.Counter("bad-name", "") })
+	mustPanic(t, "empty name", func() { reg.Counter("", "") })
+	mustPanic(t, "leading digit", func() { reg.Counter("0abc", "") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestAttachCounters(t *testing.T) {
+	reg := NewRegistry()
+	cs := stats.NewCounters("requests", "errs")
+	cs.Add("requests", 7)
+	reg.AttachCounters("server", cs)
+	cs.Add("errs", 2)
+
+	snap := reg.Snapshot()
+	if snap.Counters["server_requests"] != 7 || snap.Counters["server_errs"] != 2 {
+		t.Errorf("attached counters = %v", snap.Counters)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "server_requests_total 7") {
+		t.Errorf("missing server_requests_total:\n%s", b.String())
+	}
+}
+
+// TestConcurrentRegisterObserveExport hammers a registry from many
+// goroutines — registration, counter/gauge/histogram traffic, snapshots,
+// and exposition all at once — and then checks the final totals. Run
+// under -race this is the registry's thread-safety proof.
+func TestConcurrentRegisterObserveExport(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hot_counter", "")
+	g := reg.Gauge("hot_gauge", "")
+	h := reg.Histogram("hot_hist", "", stats.ExpBuckets(1, 2, 10))
+
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	names := []string{"wa", "wb", "wc", "wd", "we", "wf", "wg_", "wh"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One fresh registration per goroutine, racing the observers.
+			reg.CounterFunc(names[w], "", func() int64 { return 1 })
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 7))
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+					var b strings.Builder
+					if err := reg.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["hot_counter"]; got != workers*perWorker {
+		t.Errorf("hot_counter = %d, want %d", got, workers*perWorker)
+	}
+	hb := snap.Histograms["hot_hist"]
+	if hb.Count != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", hb.Count, workers*perWorker)
+	}
+	if hb.Cumulative[len(hb.Cumulative)-1] != hb.Count {
+		t.Errorf("cumulative tail %d != count %d", hb.Cumulative[len(hb.Cumulative)-1], hb.Count)
+	}
+	for w := range names {
+		if snap.Counters[names[w]] != 1 {
+			t.Errorf("missing concurrent registration %s", names[w])
+		}
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hh", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	hb := snap.Histograms["hh"]
+	wantCum := []int64{1, 2, 3, 4}
+	for i, w := range wantCum {
+		if hb.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, hb.Cumulative[i], w)
+		}
+	}
+	if hb.Sum != 14 || hb.Max != 9 || hb.Count != 4 {
+		t.Errorf("sum/max/count = %v/%v/%v", hb.Sum, hb.Max, hb.Count)
+	}
+	if q := hb.Quantile(1); q != 9 {
+		t.Errorf("p100 = %v, want max 9", q)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	root := StartSpan("build")
+	a := root.Start("phase-a")
+	a1 := a.Start("sub-a1")
+	a1.SetKV("edges", 42)
+	time.Sleep(2 * time.Millisecond)
+	a1.End()
+	a.End()
+	b := root.Start("phase-b")
+	time.Sleep(1 * time.Millisecond)
+	b.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "phase-a" || kids[1].Name() != "phase-b" {
+		t.Fatalf("children = %v", kids)
+	}
+	if len(kids[0].Children()) != 1 || kids[0].Children()[0].Name() != "sub-a1" {
+		t.Fatalf("grandchildren wrong")
+	}
+	if got := kids[0].Children()[0].KVs()["edges"]; got != "42" {
+		t.Errorf("kv edges = %q, want 42", got)
+	}
+}
+
+// TestSpanTimingMonotonicity: a closed parent's duration dominates each
+// child and (for sequential children) approximately their sum.
+func TestSpanTimingMonotonicity(t *testing.T) {
+	root := StartSpan("root")
+	var sum time.Duration
+	for i := 0; i < 3; i++ {
+		c := root.Start("child")
+		time.Sleep(2 * time.Millisecond)
+		c.End()
+		if c.Duration() <= 0 {
+			t.Fatalf("child %d duration %v not positive", i, c.Duration())
+		}
+		sum += c.Duration()
+	}
+	root.End()
+	if root.Duration() < sum {
+		t.Errorf("root %v < sum of children %v", root.Duration(), sum)
+	}
+	for _, c := range root.Children() {
+		if c.Duration() > root.Duration() {
+			t.Errorf("child %v exceeds parent %v", c.Duration(), root.Duration())
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Errorf("second End changed duration: %v -> %v", d, s.Duration())
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Start("child")
+	if c != nil {
+		t.Fatal("nil.Start returned non-nil")
+	}
+	s.SetKV("k", 1)
+	s.End()
+	if s.Duration() != 0 || s.AllocBytes() != 0 || s.Tree() != "" || s.Name() != "" {
+		t.Error("nil span accessors not zero")
+	}
+	if s.Children() != nil || s.KVs() != nil {
+		t.Error("nil span collections not nil")
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	root := StartSpan("build")
+	c := root.Start("sample")
+	c.SetKV("kept", 10)
+	c.SetKV("attempt", 1)
+	c.SetKV("attempt", 2) // overwrite
+	c.End()
+	root.End()
+	out := root.Tree()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tree lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "build") {
+		t.Errorf("root line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  sample") {
+		t.Errorf("child not indented: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "{kept=10, attempt=2}") {
+		t.Errorf("kv payload wrong: %q", lines[1])
+	}
+}

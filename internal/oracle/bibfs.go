@@ -11,6 +11,11 @@ type biScratch struct {
 	gen    int32
 	qu, qv []int32 // current frontiers
 	nq     []int32 // next-frontier scratch
+
+	// maxFrontier is the largest single-side frontier of the last search —
+	// the per-query work figure the oracle's telemetry histograms. Owned
+	// by the goroutine holding the scratch; read before pooling it back.
+	maxFrontier int
 }
 
 func newBiScratch(n int) *biScratch {
@@ -53,6 +58,7 @@ func (s *biScratch) distance(h *graph.Graph, u, v, maxDist, ub int32) (int32, bo
 	s.dv[v], s.sv[v] = 0, gen
 	var depthU, depthV int32
 	best := graph.Unreachable
+	s.maxFrontier = 1
 	_ = ub // the stopping rule already bounds work by 2·dist; ub kept for the API contract
 
 	for len(s.qu) > 0 && len(s.qv) > 0 {
@@ -83,6 +89,9 @@ func (s *biScratch) distance(h *graph.Graph, u, v, maxDist, ub int32) (int32, bo
 			}
 			s.qu, s.nq = s.nq, s.qu
 			depthU++
+			if len(s.qu) > s.maxFrontier {
+				s.maxFrontier = len(s.qu)
+			}
 		} else {
 			s.nq = s.nq[:0]
 			for _, x := range s.qv {
@@ -103,6 +112,9 @@ func (s *biScratch) distance(h *graph.Graph, u, v, maxDist, ub int32) (int32, bo
 			}
 			s.qv, s.nq = s.nq, s.qv
 			depthV++
+			if len(s.qv) > s.maxFrontier {
+				s.maxFrontier = len(s.qv)
+			}
 		}
 	}
 	if best == graph.Unreachable {

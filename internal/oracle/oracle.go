@@ -29,8 +29,30 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/stats"
+)
+
+// Metric names the oracle registers (counters are exposed with the
+// _total suffix on /metrics). One oracle per registry: a second oracle
+// registering into the same registry panics on the duplicate names.
+const (
+	metricDistQueries   = "oracle_dist_queries"
+	metricRouteQueries  = "oracle_route_queries"
+	metricCacheHits     = "oracle_cache_hits"
+	metricCacheMisses   = "oracle_cache_misses"
+	metricPathCacheHit  = "oracle_path_cache_hit"
+	metricPathLandmark  = "oracle_path_landmark"
+	metricPathBiBFS     = "oracle_path_bibfs"
+	metricFrontierMax   = "oracle_bibfs_frontier_max"
+	metricDistLatency   = "oracle_dist_latency_seconds"
+	metricRouteLatency  = "oracle_route_latency_seconds"
+	metricStretchN      = "oracle_stretch_samples"
+	metricRealizedAlpha = "oracle_realized_alpha"
+	metricMeanStretch   = "oracle_mean_stretch"
+	metricMaxCongestion = "oracle_max_route_congestion"
+	metricLandmarks     = "oracle_landmarks"
 )
 
 // Options configures New.
@@ -58,6 +80,15 @@ type Options struct {
 	// (Answer.Exact reports false). Negative (the default 0 maps to -1)
 	// means unbounded — every answer is exact on H.
 	MaxDist int
+	// Registry receives the oracle's serving metrics (query/path counters,
+	// latency and frontier histograms, stretch gauges). Nil means a
+	// private registry, still reachable via Oracle.Registry — passing the
+	// process-wide registry is how dcserve unifies /metrics, the wire
+	// stats response, and the demo summary.
+	Registry *obs.Registry
+	// Trace, when non-nil, receives precomputation phase spans (the
+	// landmark-table build).
+	Trace *obs.Span
 }
 
 // Query is one point-to-point distance request.
@@ -138,6 +169,15 @@ type Oracle struct {
 	congestion   []int64                   // per-node route-path counts, atomic adds
 	start        atomic.Pointer[time.Time] // serving-clock origin, see MarkServingStart
 
+	// Telemetry: the registry all serving metrics live in, the per-query
+	// resolution-path counters (every resolve ends in exactly one of the
+	// three), and the exact-search frontier-size histogram.
+	reg          *obs.Registry
+	pathCacheHit *obs.Counter
+	pathLandmark *obs.Counter
+	pathBiBFS    *obs.Counter
+	frontier     *stats.Histogram
+
 	stretchMu  sync.Mutex
 	stretchN   int
 	stretchSum float64
@@ -195,11 +235,15 @@ func NewFromGraphs(g, h *graph.Graph, alpha int, opts Options) (*Oracle, error) 
 	if maxDist <= 0 {
 		maxDist = -1
 	}
+	lsp := opts.Trace.Start("landmark-table")
+	lm := buildLandmarkTable(h, k, opts.Seed)
+	lsp.SetKV("landmarks", len(lm.roots))
+	lsp.End()
 	o := &Oracle{
 		g:            g,
 		h:            h,
 		alpha:        alpha,
-		lm:           buildLandmarkTable(h, k, opts.Seed),
+		lm:           lm,
 		cache:        newShardedCache(cacheSize, shards),
 		workers:      workers,
 		sampleEvery:  sampleEvery,
@@ -213,8 +257,72 @@ func NewFromGraphs(g, h *graph.Graph, alpha int, opts Options) (*Oracle, error) 
 	o.routePool.New = func() any {
 		return &routeScratch{bfs: graph.NewBFSScratch(h.N()), parent: make([]int32, h.N())}
 	}
+	o.registerMetrics(opts.Registry)
 	return o, nil
 }
+
+// registerMetrics wires the oracle's serving metrics into reg (or a fresh
+// private registry when nil). Stats snapshots and /metrics exposition
+// both read through this registry, so every consumer sees the same
+// numbers.
+func (o *Oracle) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o.reg = reg
+	reg.CounterFunc(metricDistQueries, "Dist queries answered.", o.queries.Load)
+	reg.CounterFunc(metricRouteQueries, "Route queries answered.", o.routes.Load)
+	hits := func() int64 { return 0 }
+	misses := hits
+	if o.cache != nil {
+		hits = func() int64 { h, _ := o.cache.counters(); return h }
+		misses = func() int64 { _, m := o.cache.counters(); return m }
+	}
+	reg.CounterFunc(metricCacheHits, "Result-cache hits.", hits)
+	reg.CounterFunc(metricCacheMisses, "Result-cache misses.", misses)
+	o.pathCacheHit = reg.Counter(metricPathCacheHit, "Resolutions served from the result cache.")
+	o.pathLandmark = reg.Counter(metricPathLandmark, "Resolutions falling back to the landmark upper bound.")
+	o.pathBiBFS = reg.Counter(metricPathBiBFS, "Resolutions answered exactly by bidirectional BFS.")
+	o.frontier = reg.Histogram(metricFrontierMax,
+		"Largest single-side BFS frontier per exact search (vertices).",
+		stats.ExpBuckets(1, 2, 22))
+	reg.RegisterHistogram(metricDistLatency, "Dist query service time.", o.latency)
+	reg.RegisterHistogram(metricRouteLatency, "Route query service time.", o.routeLatency)
+	reg.GaugeFunc(metricStretchN, "Realized-stretch samples taken.", func() float64 {
+		o.stretchMu.Lock()
+		defer o.stretchMu.Unlock()
+		return float64(o.stretchN)
+	})
+	reg.GaugeFunc(metricRealizedAlpha, "Maximum sampled dist_H/dist_G ratio.", func() float64 {
+		o.stretchMu.Lock()
+		defer o.stretchMu.Unlock()
+		return o.stretchMax
+	})
+	reg.GaugeFunc(metricMeanStretch, "Mean sampled dist_H/dist_G ratio.", func() float64 {
+		o.stretchMu.Lock()
+		defer o.stretchMu.Unlock()
+		if o.stretchN == 0 {
+			return 0
+		}
+		return o.stretchSum / float64(o.stretchN)
+	})
+	reg.GaugeFunc(metricMaxCongestion, "Highest per-node count of served route paths.", func() float64 {
+		var max int64
+		for i := range o.congestion {
+			if c := atomic.LoadInt64(&o.congestion[i]); c > max {
+				max = c
+			}
+		}
+		return float64(max)
+	})
+	reg.GaugeFunc(metricLandmarks, "Landmark BFS trees precomputed on H.", func() float64 {
+		return float64(len(o.lm.roots))
+	})
+}
+
+// Registry returns the registry holding the oracle's metrics — the one
+// passed in Options or the private one created in its place.
+func (o *Oracle) Registry() *obs.Registry { return o.reg }
 
 // N returns the number of vertices the oracle serves — queries must have
 // both endpoints in [0, N).
@@ -281,19 +389,23 @@ func (o *Oracle) resolve(u, v int32) (Answer, error) {
 	key := packKey(u, v)
 	if o.cache != nil {
 		if d, ok := o.cache.get(key); ok {
+			o.pathCacheHit.Inc()
 			ans.Dist = d
 			return ans, nil
 		}
 	}
 	sc := o.searchPool.Get().(*biScratch)
 	d, exact := sc.distance(o.h, u, v, o.maxDist, ans.Bound)
+	o.frontier.Observe(float64(sc.maxFrontier))
 	o.searchPool.Put(sc)
 	if !exact {
 		// Depth budget exhausted: serve the landmark bound, uncached.
+		o.pathLandmark.Inc()
 		ans.Dist = ans.Bound
 		ans.Exact = false
 		return ans, nil
 	}
+	o.pathBiBFS.Inc()
 	ans.Dist = d
 	if o.cache != nil {
 		o.cache.put(key, d)
@@ -364,42 +476,49 @@ func (o *Oracle) finishRoute(t0 time.Time) {
 	o.routeLatency.Observe(time.Since(t0).Seconds())
 }
 
-// Stats snapshots the serving metrics.
+// Stats snapshots the serving metrics. The snapshot is taken through the
+// metrics registry in one pass — every atomic is read exactly once and
+// all derived figures (hit rate, QPS, quantiles) come from those same
+// reads, so a snapshot under load is internally consistent. Because a
+// cache lookup precedes its query's counter increment on the hot path, a
+// racing read can still observe marginally more cache operations than
+// finished queries; the hit counters are clamped to the query totals and
+// HitRate to [0, 1] so no consumer sees an impossible figure.
 func (o *Oracle) Stats() Stats {
+	snap := o.reg.Snapshot()
 	s := Stats{
-		Queries:          o.queries.Load(),
-		Routes:           o.routes.Load(),
-		LatencyMean:      o.latency.Mean(),
-		LatencyP50:       o.latency.Quantile(0.50),
-		LatencyP95:       o.latency.Quantile(0.95),
-		LatencyP99:       o.latency.Quantile(0.99),
-		RouteLatencyMean: o.routeLatency.Mean(),
-		RouteLatencyP50:  o.routeLatency.Quantile(0.50),
-		RouteLatencyP95:  o.routeLatency.Quantile(0.95),
-		RouteLatencyP99:  o.routeLatency.Quantile(0.99),
-		CertifiedAlpha:   o.alpha,
-		Landmarks:        len(o.lm.roots),
+		Queries:        snap.Counters[metricDistQueries],
+		Routes:         snap.Counters[metricRouteQueries],
+		CacheHits:      snap.Counters[metricCacheHits],
+		CacheMisses:    snap.Counters[metricCacheMisses],
+		CertifiedAlpha: o.alpha,
+		Landmarks:      len(o.lm.roots),
+		StretchSamples: int(snap.Gauges[metricStretchN]),
+		RealizedAlpha:  snap.Gauges[metricRealizedAlpha],
+		MeanStretch:    snap.Gauges[metricMeanStretch],
+		MaxCongestion:  int64(snap.Gauges[metricMaxCongestion]),
 	}
-	if o.cache != nil {
-		s.CacheHits, s.CacheMisses = o.cache.counters()
-		if t := s.CacheHits + s.CacheMisses; t > 0 {
-			s.HitRate = float64(s.CacheHits) / float64(t)
+	if total := s.Queries + s.Routes; s.CacheHits > total {
+		s.CacheHits = total
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(lookups)
+		if s.HitRate > 1 {
+			s.HitRate = 1
 		}
 	}
+	lat := snap.Histograms[metricDistLatency]
+	s.LatencyMean = lat.Mean()
+	s.LatencyP50 = lat.Quantile(0.50)
+	s.LatencyP95 = lat.Quantile(0.95)
+	s.LatencyP99 = lat.Quantile(0.99)
+	rl := snap.Histograms[metricRouteLatency]
+	s.RouteLatencyMean = rl.Mean()
+	s.RouteLatencyP50 = rl.Quantile(0.50)
+	s.RouteLatencyP95 = rl.Quantile(0.95)
+	s.RouteLatencyP99 = rl.Quantile(0.99)
 	if el := time.Since(*o.start.Load()).Seconds(); el > 0 {
 		s.QPS = float64(s.Queries+s.Routes) / el
-	}
-	o.stretchMu.Lock()
-	s.StretchSamples = o.stretchN
-	s.RealizedAlpha = o.stretchMax
-	if o.stretchN > 0 {
-		s.MeanStretch = o.stretchSum / float64(o.stretchN)
-	}
-	o.stretchMu.Unlock()
-	for i := range o.congestion {
-		if c := atomic.LoadInt64(&o.congestion[i]); c > s.MaxCongestion {
-			s.MaxCongestion = c
-		}
 	}
 	return s
 }

@@ -14,6 +14,7 @@ package packetsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/routing"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// can be received and forwarded by a node at a time"). A transmission
 	// blocked by the receiver's cap stays queued at the sender.
 	ReceiveCap bool
+	// Trace, when non-nil, receives a span per simulation with the
+	// injection and scheduling phases as children and the headline result
+	// figures as payload.
+	Trace *obs.Span
 }
 
 // Result summarizes a simulation.
@@ -72,7 +77,11 @@ func Simulate(n int, rt *routing.Routing, opts Options) (*Result, error) {
 	for i := range res.Latencies {
 		res.Latencies[i] = -1
 	}
+	sim := opts.Trace.Start("packetsim")
+	defer sim.End()
+	sim.SetKV("packets", numPackets)
 
+	inj := sim.Start("inject")
 	queues := make([][]*packet, n)
 	totalLen := 0
 	for i, p := range rt.Paths {
@@ -92,12 +101,14 @@ func Simulate(n int, rt *routing.Routing, opts Options) (*Result, error) {
 		}
 	}
 	res.Congestion = rt.NodeCongestion(n)
+	inj.End()
 
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 16 * (n + totalLen + 1)
 	}
 
+	run := sim.Start("schedule")
 	inFlight := numPackets - res.Delivered
 	step := 0
 	for inFlight > 0 && step < maxSteps {
@@ -167,7 +178,11 @@ func Simulate(n int, rt *routing.Routing, opts Options) (*Result, error) {
 			break
 		}
 	}
+	run.End()
 	res.Makespan = step
+	sim.SetKV("makespan", res.Makespan)
+	sim.SetKV("delivered", res.Delivered)
+	sim.SetKV("maxQueue", res.MaxQueue)
 	if inFlight > 0 {
 		return res, fmt.Errorf("packetsim: %d packets undelivered after %d steps", inFlight, step)
 	}

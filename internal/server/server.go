@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/stats"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Logf, when set, receives serve-loop diagnostics (accept errors).
 	Logf func(format string, args ...any)
+	// Registry, when set, exposes the serving counters as
+	// server_<name>_total metric families plus a server_active_conns
+	// gauge — dcserve points this at the process registry so the wire
+	// "stats" line and the /metrics endpoint render the same numbers.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -110,7 +116,7 @@ type Server struct {
 // New builds a Server over o. cfg's zero fields take the package defaults.
 func New(o *oracle.Oracle, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		o:   o,
 		cfg: cfg,
 		counters: stats.NewCounters(
@@ -118,6 +124,13 @@ func New(o *oracle.Oracle, cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxConns),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if cfg.Registry != nil {
+		cfg.Registry.AttachCounters("server", s.counters)
+		cfg.Registry.GaugeFunc("server_active_conns",
+			"connections currently being served",
+			func() float64 { return float64(s.Active()) })
+	}
+	return s
 }
 
 // Counter exposes a named serving counter (see New for the set) — conns,

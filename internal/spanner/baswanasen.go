@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -16,6 +17,13 @@ import (
 // Phase 1 runs k−1 rounds of cluster sampling with probability n^{−1/k};
 // phase 2 connects every vertex to each adjacent surviving cluster.
 func BaswanaSen(g *graph.Graph, k int, r *rng.RNG) (*Spanner, error) {
+	return BaswanaSenTraced(g, k, r, nil)
+}
+
+// BaswanaSenTraced is BaswanaSen with phase tracing: each clustering
+// round and the vertex–cluster joining phase open spans under parent
+// (nil disables tracing at zero cost).
+func BaswanaSenTraced(g *graph.Graph, k int, r *rng.RNG, parent *obs.Span) (*Spanner, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("spanner: BaswanaSen needs k >= 1")
 	}
@@ -26,6 +34,9 @@ func BaswanaSen(g *graph.Graph, k int, r *rng.RNG) (*Spanner, error) {
 		return &Spanner{Base: g, H: g, Primary: g, Algorithm: "baswana-sen-k1"}, nil
 	}
 	p := math.Pow(float64(n), -1.0/float64(k))
+	bsp := parent.Start("baswana-sen")
+	defer bsp.End()
+	bsp.SetKV("k", k)
 
 	// cluster[v] = id of v's cluster, or −1 once v has been discarded.
 	cluster := make([]int32, n)
@@ -42,6 +53,7 @@ func BaswanaSen(g *graph.Graph, k int, r *rng.RNG) (*Spanner, error) {
 	addEdge := func(u, w int32) { spannerEdges[graph.Edge{U: u, V: w}.Normalize()] = true }
 
 	for phase := 1; phase <= k-1; phase++ {
+		csp := bsp.Start(fmt.Sprintf("cluster-phase-%d", phase))
 		// Sample clusters.
 		sampled := make(map[int32]bool)
 		clusterIDs := make(map[int32]bool)
@@ -94,10 +106,14 @@ func BaswanaSen(g *graph.Graph, k int, r *rng.RNG) (*Spanner, error) {
 			}
 		}
 		cluster = newCluster
+		csp.SetKV("sampledClusters", len(sampled))
+		csp.SetKV("spannerEdges", len(spannerEdges))
+		csp.End()
 	}
 
 	// Phase 2: vertex–cluster joining. Every vertex (including retired
 	// ones) adds one edge to each adjacent surviving cluster.
+	jsp := bsp.Start("vertex-cluster-join")
 	for v := int32(0); v < int32(n); v++ {
 		adjacent := make(map[int32]int32)
 		for _, w := range g.Neighbors(v) {
@@ -115,6 +131,8 @@ func BaswanaSen(g *graph.Graph, k int, r *rng.RNG) (*Spanner, error) {
 	// connecting edge along the way; surviving clusters additionally keep
 	// a spanning star via the edges accumulated during joins. (Vertices
 	// that stayed in their own singleton cluster need no edge.)
+	jsp.SetKV("spannerEdges", len(spannerEdges))
+	jsp.End()
 
 	h := g.FilterEdges(func(e graph.Edge) bool { return spannerEdges[e] })
 	return &Spanner{Base: g, H: h, Primary: h, Algorithm: fmt.Sprintf("baswana-sen-k%d", k)}, nil

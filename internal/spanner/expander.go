@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -26,6 +27,9 @@ type ExpanderOptions struct {
 	// connectivity w.h.p. for the stated parameter regime; for small-n
 	// experiments the retry keeps the harness robust.
 	EnsureConnected bool
+	// Trace, when non-nil, receives the construction's phase spans
+	// (sampling, connectivity checks) as children.
+	Trace *obs.Span
 }
 
 // EpsilonForDegree returns the ε for which a Δ-regular n-vertex graph
@@ -69,10 +73,21 @@ func BuildExpander(g *graph.Graph, opts ExpanderOptions) (*Spanner, error) {
 	if opts.EnsureConnected {
 		attempts = 16
 	}
+	esp := opts.Trace.Start("expander")
+	defer esp.End()
+	esp.SetKV("p", fmt.Sprintf("%.4g", p))
 	var h *graph.Graph
 	for try := 0; try < attempts; try++ {
+		ssp := esp.Start("sample-edges")
+		ssp.SetKV("attempt", try+1)
 		h = sampleEdges(g, p, r)
-		if !opts.EnsureConnected || h.Connected() {
+		ssp.SetKV("kept", h.M())
+		ssp.End()
+		csp := esp.Start("connectivity-check")
+		ok := !opts.EnsureConnected || h.Connected()
+		csp.End()
+		if ok {
+			esp.SetKV("attempts", try+1)
 			return &Spanner{Base: g, H: h, Primary: h, Algorithm: "theorem2-expander"}, nil
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -36,6 +37,9 @@ type RegularOptions struct {
 	EnsureDetour bool
 	// Seed drives the edge sampling.
 	Seed uint64
+	// Trace, when non-nil, receives the construction's phase spans
+	// (sampling, support computation, reinsertion, detour checks).
+	Trace *obs.Span
 }
 
 // DefaultRegularOptions returns options matching the paper's parameter
@@ -118,9 +122,18 @@ func BuildRegular(g *graph.Graph, opts RegularOptions) (*RegularResult, error) {
 		}
 	}
 
+	rsp := opts.Trace.Start("regular")
+	defer rsp.End()
+	rsp.SetKV("rho", rho)
+
 	r := rng.New(opts.Seed)
+	ssp := rsp.Start("sample-gprime")
 	gPrime := sampleEdges(g, rho, r)
+	ssp.SetKV("sampled", gPrime.M())
+	ssp.End()
+	sup := rsp.Start("supported-edges")
 	supported := SupportedEdges(g, a, b)
+	sup.End()
 
 	res := &RegularResult{
 		GPrime:     gPrime,
@@ -145,6 +158,7 @@ func BuildRegular(g *graph.Graph, opts RegularOptions) (*RegularResult, error) {
 		}
 	}
 
+	psp := rsp.Start("partition-edges")
 	keep := make([]bool, g.M())
 	needCheck := make([]int, 0)
 	for i := range keep {
@@ -163,7 +177,12 @@ func BuildRegular(g *graph.Graph, opts RegularOptions) (*RegularResult, error) {
 			res.SupportedCount++
 		}
 	}
+	psp.SetKV("supported", res.SupportedCount)
+	psp.SetKV("reinsertedUnsupported", res.ReinsertedUnsupport)
+	psp.End()
 
+	dsp := rsp.Start("detour-check")
+	dsp.SetKV("candidates", len(needCheck))
 	if len(needCheck) > 0 {
 		// Parallel 3-detour existence checks in G' for removed supported
 		// edges; reinsert those without one.
@@ -185,6 +204,8 @@ func BuildRegular(g *graph.Graph, opts RegularOptions) (*RegularResult, error) {
 			}
 		}
 	}
+	dsp.SetKV("reinserted", res.ReinsertedNoDetour)
+	dsp.End()
 
 	idx := 0
 	h := g.FilterEdges(func(e graph.Edge) bool {

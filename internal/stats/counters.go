@@ -54,14 +54,33 @@ func (c *Counters) AddIdx(i int, delta int64) { c.vals[i].Add(delta) }
 // Get returns the named counter's current value.
 func (c *Counters) Get(name string) int64 { return c.vals[c.Idx(name)].Load() }
 
-// String renders "name=value ..." in declaration order.
+// CounterValue is one entry of a Counters snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns the counters as ordered name/value pairs (declaration
+// order), one atomic load per counter. Exposition layers (the obs
+// registry, the wire stats response) iterate this instead of parsing the
+// String rendering.
+func (c *Counters) Snapshot() []CounterValue {
+	out := make([]CounterValue, len(c.names))
+	for i, n := range c.names {
+		out[i] = CounterValue{Name: n, Value: c.vals[i].Load()}
+	}
+	return out
+}
+
+// String renders "name=value ..." in declaration order, delegating to
+// Snapshot.
 func (c *Counters) String() string {
 	var b strings.Builder
-	for i, n := range c.names {
+	for i, cv := range c.Snapshot() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", n, c.vals[i].Load())
+		fmt.Fprintf(&b, "%s=%d", cv.Name, cv.Value)
 	}
 	return b.String()
 }

@@ -126,9 +126,59 @@ func (h *Histogram) Max() float64 {
 // empty histogram reports 0. Values in the overflow bucket report the
 // maximum observed value. Concurrent Observe calls during Quantile yield a
 // best-effort snapshot.
-func (h *Histogram) Quantile(q float64) float64 {
-	total := h.total.Load()
-	if total == 0 {
+func (h *Histogram) Quantile(q float64) float64 { return h.Buckets().Quantile(q) }
+
+// HistogramBuckets is a structured point-in-time snapshot of a Histogram:
+// bucket bounds with cumulative counts (the Prometheus histogram shape)
+// plus the observation sum, count, and maximum. Count equals the last
+// cumulative entry by construction, so a snapshot is always internally
+// consistent even when Observe calls race the read.
+type HistogramBuckets struct {
+	// Bounds are the bucket upper bounds, ascending; an implicit +Inf
+	// overflow bucket follows the last bound.
+	Bounds []float64
+	// Cumulative[i] counts observations <= Bounds[i]; the final entry
+	// (index len(Bounds)) includes the overflow bucket and equals Count.
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+	Max        float64 // maximum observed value; 0 when empty
+}
+
+// Buckets snapshots the histogram. The per-bucket counts are loaded once
+// each and Count is derived from them (not from the live total), so the
+// snapshot never reports a cumulative series that disagrees with its own
+// total.
+func (h *Histogram) Buckets() HistogramBuckets {
+	b := HistogramBuckets{
+		Bounds:     h.bounds, // immutable after construction
+		Cumulative: make([]int64, len(h.counts)),
+	}
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		b.Cumulative[i] = running
+	}
+	b.Count = running
+	b.Sum = math.Float64frombits(h.sum.Load())
+	if running > 0 {
+		b.Max = math.Float64frombits(h.maxObs.Load())
+	}
+	return b
+}
+
+// Mean returns the snapshot's average observed value (0 when empty).
+func (b HistogramBuckets) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// Quantile answers the q-th quantile from the snapshot with the same
+// interpolation rule as Histogram.Quantile.
+func (b HistogramBuckets) Quantile(q float64) float64 {
+	if b.Count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -137,37 +187,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := int64(math.Ceil(q * float64(total)))
+	rank := int64(math.Ceil(q * float64(b.Count)))
 	if rank < 1 {
 		rank = 1
 	}
-	var seen int64
-	for i := range h.counts {
-		c := h.counts[i].Load()
-		if c == 0 {
+	var prev int64
+	for i, cum := range b.Cumulative {
+		if cum < rank {
+			prev = cum
 			continue
 		}
-		if seen+c < rank {
-			seen += c
-			continue
+		if i == len(b.Bounds) {
+			return b.Max // overflow bucket
 		}
-		if i == len(h.bounds) {
-			return h.Max() // overflow bucket
-		}
+		inBucket := cum - prev
 		lower := 0.0
 		if i > 0 {
-			lower = h.bounds[i-1]
+			lower = b.Bounds[i-1]
 		}
-		upper := h.bounds[i]
+		upper := b.Bounds[i]
 		// Position of the requested rank inside this bucket, in (0, 1].
-		frac := float64(rank-seen) / float64(c)
+		frac := float64(rank-prev) / float64(inBucket)
 		return lower + (upper-lower)*frac
 	}
-	return h.Max() // racing observers removed counts; fall back to max
+	return b.Max
 }
 
 // Snapshot renders the headline quantiles, convenient for logs.
 func (h *Histogram) Snapshot() string {
+	b := h.Buckets()
 	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
-		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+		b.Count, b.Mean(), b.Quantile(0.50), b.Quantile(0.95), b.Quantile(0.99), b.Max)
 }

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCountersSnapshot(t *testing.T) {
+	c := NewCounters("a", "b", "c")
+	c.Add("b", 5)
+	c.Add("a", 2)
+	snap := c.Snapshot()
+	want := []CounterValue{{"a", 2}, {"b", 5}, {"c", 0}}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, w := range want {
+		if snap[i] != w {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, snap[i], w)
+		}
+	}
+	if got, wantStr := c.String(), "a=2 b=5 c=0"; got != wantStr {
+		t.Errorf("String() = %q, want %q (must delegate to Snapshot order)", got, wantStr)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.7, 1.5, 3, 3, 8} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	if fmt.Sprint(b.Bounds) != "[1 2 4]" {
+		t.Errorf("bounds = %v", b.Bounds)
+	}
+	wantCum := []int64{2, 3, 5, 6}
+	for i, w := range wantCum {
+		if b.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, b.Cumulative[i], w)
+		}
+	}
+	if b.Count != 6 {
+		t.Errorf("count = %d, want 6", b.Count)
+	}
+	if b.Sum != 16.7 {
+		t.Errorf("sum = %v, want 16.7", b.Sum)
+	}
+	if b.Max != 8 {
+		t.Errorf("max = %v, want 8", b.Max)
+	}
+	// Snapshot quantiles agree with the histogram's own.
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if hq, bq := h.Quantile(q), b.Quantile(q); hq != bq {
+			t.Errorf("quantile(%v): histogram %v != snapshot %v", q, hq, bq)
+		}
+	}
+}
+
+func TestHistogramBucketsEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	b := h.Buckets()
+	if b.Count != 0 || b.Sum != 0 || b.Max != 0 {
+		t.Errorf("empty buckets = %+v", b)
+	}
+	if b.Quantile(0.5) != 0 || b.Mean() != 0 {
+		t.Error("empty snapshot quantile/mean not 0")
+	}
+}

@@ -20,4 +20,43 @@ go test -race -count=1 ./internal/server/
 echo "== dcserve demo (512-node expander, 10k mixed queries)"
 go run ./cmd/dcserve -demo -queries 10000
 
+echo "== dcserve debug endpoint (/healthz, /metrics scrape)"
+go build -o /tmp/dcserve.verify ./cmd/dcserve
+rm -f /tmp/dcserve.verify.log
+/tmp/dcserve.verify -listen 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    >/tmp/dcserve.verify.log 2>&1 &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+DEBUG_ADDR=""
+for _ in $(seq 1 100); do
+    DEBUG_ADDR=$(sed -n 's/^debug listening on //p' /tmp/dcserve.verify.log)
+    [ -n "$DEBUG_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$DEBUG_ADDR" ] || { echo "dcserve never announced its debug address"; cat /tmp/dcserve.verify.log; exit 1; }
+# The debug listener is up before the spanner+oracle build finishes, so
+# wait for the serving banner — only then are the oracle and server
+# metric families registered.
+for _ in $(seq 1 200); do
+    grep -q '^serving on ' /tmp/dcserve.verify.log && break
+    sleep 0.1
+done
+grep -q '^serving on ' /tmp/dcserve.verify.log || { echo "dcserve never started serving"; cat /tmp/dcserve.verify.log; exit 1; }
+curl -fsS "http://$DEBUG_ADDR/healthz" | grep -q ok || { echo "/healthz failed"; exit 1; }
+curl -fsS "http://$DEBUG_ADDR/metrics" >/tmp/dcserve.verify.metrics
+for fam in oracle_dist_queries_total oracle_cache_hits_total \
+           oracle_dist_latency_seconds_bucket server_requests_total \
+           server_active_conns go_goroutines; do
+    grep -q "^$fam" /tmp/dcserve.verify.metrics || { echo "metric family $fam missing from /metrics"; exit 1; }
+done
+kill -INT "$SRV_PID"
+wait "$SRV_PID" || { echo "dcserve did not drain cleanly"; exit 1; }
+trap - EXIT
+echo "scraped $(grep -c '^[a-z]' /tmp/dcserve.verify.metrics) samples from /metrics"
+
+echo "== dcspan CPU profile smoke"
+rm -f /tmp/dcspan.verify.pprof
+go run ./cmd/dcspan -n 512 -d 96 -trace -cpuprofile /tmp/dcspan.verify.pprof >/dev/null
+test -s /tmp/dcspan.verify.pprof || { echo "cpuprofile is empty"; exit 1; }
+
 echo "verify: OK"
