@@ -1,0 +1,91 @@
+// Command dcbench runs the registered benchmark scenarios (internal/bench)
+// and writes one schema-versioned BENCH_<name>.json per scenario.
+//
+// Usage:
+//
+//	dcbench [-quick] [-seed N] [-workers N] [-iters N] [-warmup N]
+//	        [-run a,b,...] [-out DIR] [-list]
+//
+// Results for a fixed seed are deterministic across worker counts (the
+// harness verifies this per run and records it in the JSON); timings, of
+// course, are not. See DESIGN.md §9 for the schema and methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "smoke-sized inputs (CI / verify.sh)")
+		workers = flag.Int("workers", 0, "measured worker-pool size (0 = all cores)")
+		iters   = flag.Int("iters", 0, "timed iterations per scenario (0 = default 3)")
+		warmup  = flag.Int("warmup", 0, "untimed warmup iterations (0 = default 1)")
+		run     = flag.String("run", "", "comma-separated scenario names (default: all)")
+		out     = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		list    = flag.Bool("list", false, "list scenarios and exit")
+	)
+	seed := cliutil.RegisterSeedFlag(flag.CommandLine, bench.DefaultSeed)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range bench.Scenarios() {
+			fmt.Printf("%-20s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	selected := bench.Scenarios()
+	if *run != "" {
+		selected = selected[:0]
+		for _, name := range strings.Split(*run, ",") {
+			sc, ok := bench.Lookup(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dcbench: unknown scenario %q (try -list)\n", name)
+				os.Exit(1)
+			}
+			selected = append(selected, sc)
+		}
+	}
+
+	opt := bench.Options{
+		Seed:       *seed,
+		Quick:      *quick,
+		Workers:    *workers,
+		Warmup:     *warmup,
+		Iterations: *iters,
+	}
+
+	fmt.Printf("%-20s %14s %14s %8s %6s  %s\n",
+		"scenario", "ns/op", "serial ns/op", "speedup", "det", "file")
+	failed := false
+	for _, sc := range selected {
+		m, err := bench.Run(sc, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed = true
+			continue
+		}
+		path, err := m.WriteFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: write %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-20s %14d %14d %7.2fx %6v  %s\n",
+			m.Name, m.NsPerOp, m.SerialNsPerOp, m.SpeedupVsSerial, m.Deterministic, path)
+		if !m.Deterministic {
+			fmt.Fprintf(os.Stderr, "dcbench: %s: serial and parallel fingerprints diverged\n", m.Name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

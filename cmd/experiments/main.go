@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-seed N] [-quick] [-list] [-trace]
+//	experiments [-run id[,id...]] [-seed N] [-quick] [-list] [-trace] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced instance sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	trace := flag.Bool("trace", false, "print a per-experiment phase tree to stderr after the results")
+	workers := flag.Int("workers", 0, "worker pool for the measurement kernels (0 = all cores); output is identical for any value")
 	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.MustStart()()
@@ -39,7 +40,7 @@ func main() {
 	if *trace {
 		root = obs.StartSpan("experiments")
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trace: root}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trace: root, Workers: *workers}
 	var results []*experiments.Result
 	if *runIDs == "" {
 		results = experiments.RunAll(cfg)

@@ -1,0 +1,196 @@
+// Package bench is the reproducible benchmark harness for the evaluation
+// kernels: a registry of named scenarios (spanner build, stretch sweep,
+// congestion profile, oracle batch, packet-sim round, parallel BFS), each
+// run as warmup + timed iterations off a fixed seed and persisted as a
+// schema-versioned BENCH_<name>.json (see Measurement and DESIGN.md §9).
+//
+// Every scenario's iteration function is a pure function of its worker
+// count argument: repeated calls — at any worker count — must return the
+// same result fingerprint. The harness exploits this to verify the
+// parallel kernels' determinism contract end to end (the Deterministic
+// field) and to time an identical workers=1 run for SpeedupVsSerial.
+// Randomness is drawn from splittable rng streams seeded by Options.Seed,
+// never from global state, so two runs with equal Options measure exactly
+// the same work.
+//
+// The cmd/dcbench CLI is a thin front end over Scenarios and Run.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// DefaultSeed seeds scenarios when Options.Seed is zero, matching the
+// experiment harness default.
+const DefaultSeed = 42
+
+// Options configures one harness run. The zero value is usable: full-size
+// inputs, all cores, one warmup and three timed iterations at DefaultSeed.
+type Options struct {
+	// Seed drives every scenario RNG stream; 0 means DefaultSeed.
+	Seed uint64
+	// Quick shrinks scenario inputs for smoke runs (CI, verify.sh).
+	Quick bool
+	// Workers is the measured pool size; <=0 means all cores.
+	Workers int
+	// Warmup is the number of untimed iterations before measuring
+	// (default 1).
+	Warmup int
+	// Iterations is the number of timed iterations (default 3).
+	Iterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Workers <= 0 {
+		o.Workers = graph.Workers()
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 1
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 3
+	}
+	return o
+}
+
+// Iter runs one scenario iteration with the given worker count and
+// returns a fingerprint of the results. It must be deterministic: equal
+// fingerprints for every call, at every worker count (re-create any RNG
+// from a fixed seed inside the iteration rather than sharing one across
+// calls).
+type Iter func(workers int) (uint64, error)
+
+// Prepare builds a scenario's inputs (untimed) and returns its iteration
+// function. Metrics registered on reg are snapshotted into the
+// measurement after the timed runs.
+type Prepare func(opt Options, reg *obs.Registry) (Iter, error)
+
+// Scenario is a named, registered benchmark.
+type Scenario struct {
+	Name        string // lower_snake_case; file name is BENCH_<Name>.json
+	Description string
+	Prepare     Prepare
+}
+
+// Scenarios returns the registered scenarios in presentation order.
+func Scenarios() []Scenario {
+	return append([]Scenario(nil), registry...)
+}
+
+// Lookup returns the scenario with the given name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range registry {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Run executes one scenario: prepare (untimed), warmup at the measured
+// worker count, a workers=1 determinism probe, then timed serial and
+// parallel loops under identical conditions. The returned measurement
+// validates against the BENCH schema.
+func Run(sc Scenario, opt Options) (*Measurement, error) {
+	opt = opt.withDefaults()
+	reg := obs.NewRegistry()
+	reg.Gauge("bench_workers", "resolved worker-pool size for this run").Set(float64(opt.Workers))
+
+	iter, err := sc.Prepare(opt, reg)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: prepare: %w", sc.Name, err)
+	}
+
+	// Warmup at the measured worker count; keep the fingerprint as the
+	// reference every later iteration is checked against.
+	var fp uint64
+	for i := 0; i < opt.Warmup; i++ {
+		if fp, err = iter(opt.Workers); err != nil {
+			return nil, fmt.Errorf("bench %s: warmup: %w", sc.Name, err)
+		}
+	}
+	// Determinism probe: the serial result must match the parallel one.
+	// This also warms the serial path before its timed loop.
+	fpSerial, err := iter(1)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: serial probe: %w", sc.Name, err)
+	}
+	deterministic := fpSerial == fp
+
+	timeLoop := func(workers int) (nsPerOp, allocsPerOp, bytesPerOp int64, err error) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < opt.Iterations; i++ {
+			f, err := iter(workers)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if f != fp {
+				deterministic = false
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		iters := int64(opt.Iterations)
+		nsPerOp = int64(elapsed) / iters
+		if nsPerOp < 1 {
+			nsPerOp = 1
+		}
+		return nsPerOp,
+			int64(after.Mallocs-before.Mallocs) / iters,
+			int64(after.TotalAlloc-before.TotalAlloc) / iters,
+			nil
+	}
+
+	serialNs, serialAllocs, serialBytes, err := timeLoop(1)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: serial loop: %w", sc.Name, err)
+	}
+	ns, allocs, bytes := serialNs, serialAllocs, serialBytes
+	if opt.Workers > 1 {
+		if ns, allocs, bytes, err = timeLoop(opt.Workers); err != nil {
+			return nil, fmt.Errorf("bench %s: timed loop: %w", sc.Name, err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	m := &Measurement{
+		Schema:        SchemaName,
+		SchemaVersion: SchemaVersion,
+		Name:          sc.Name,
+		Description:   sc.Description,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Seed:          opt.Seed,
+		Quick:         opt.Quick,
+		Workers:       opt.Workers,
+		Warmup:        opt.Warmup,
+		Iterations:    opt.Iterations,
+		NsPerOp:       ns,
+		AllocsPerOp:   allocs,
+		BytesPerOp:    bytes,
+		SerialNsPerOp: serialNs,
+		// Round to 3 decimals so diffs of regenerated files stay readable.
+		SpeedupVsSerial: math.Round(float64(serialNs)/float64(ns)*1000) / 1000,
+		Deterministic:   deterministic,
+		Fingerprint:     fmt.Sprintf("%016x", fp),
+		Counters:        snap.Counters,
+		Gauges:          snap.Gauges,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", sc.Name, err)
+	}
+	return m, nil
+}

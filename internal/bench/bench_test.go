@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleMeasurement() *Measurement {
+	return &Measurement{
+		Schema:          SchemaName,
+		SchemaVersion:   SchemaVersion,
+		Name:            "stretch_sweep",
+		Description:     "test",
+		GeneratedAt:     "2026-08-06T00:00:00Z",
+		GoVersion:       "go1.x",
+		NumCPU:          4,
+		Seed:            42,
+		Quick:           true,
+		Workers:         4,
+		Warmup:          1,
+		Iterations:      3,
+		NsPerOp:         1000,
+		AllocsPerOp:     10,
+		BytesPerOp:      640,
+		SerialNsPerOp:   3000,
+		SpeedupVsSerial: 3,
+		Deterministic:   true,
+		Fingerprint:     "00000000deadbeef",
+		Counters:        map[string]int64{"bench_stretch_edges": 99},
+		Gauges:          map[string]float64{"bench_workers": 4},
+	}
+}
+
+func TestMeasurementRoundTrip(t *testing.T) {
+	m := sampleMeasurement()
+	dir := t.TempDir()
+	path, err := m.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_stretch_sweep.json"); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeRejectsBadMeasurements(t *testing.T) {
+	corrupt := []struct {
+		name   string
+		mutate func(*Measurement)
+		want   string
+	}{
+		{"wrong schema", func(m *Measurement) { m.Schema = "other" }, "schema"},
+		{"future version", func(m *Measurement) { m.SchemaVersion = 99 }, "version"},
+		{"bad name", func(m *Measurement) { m.Name = "Bad Name!" }, "name"},
+		{"no timestamp", func(m *Measurement) { m.GeneratedAt = "" }, "generated_at"},
+		{"zero workers", func(m *Measurement) { m.Workers = 0 }, "workers"},
+		{"zero iters", func(m *Measurement) { m.Iterations = 0 }, "iterations"},
+		{"zero ns", func(m *Measurement) { m.NsPerOp = 0 }, "ns_per_op"},
+		{"short fingerprint", func(m *Measurement) { m.Fingerprint = "abc" }, "fingerprint"},
+	}
+	for _, tc := range corrupt {
+		m := sampleMeasurement()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}
+
+// The harness must flag a scenario whose results depend on the worker
+// count, and must report the timing/alloc fields for a well-behaved one.
+func TestRunDetectsNonDeterminism(t *testing.T) {
+	bad := Scenario{
+		Name:        "bad_scenario",
+		Description: "fingerprint depends on workers",
+		Prepare: func(opt Options, reg *obs.Registry) (Iter, error) {
+			return func(workers int) (uint64, error) { return uint64(workers), nil }, nil
+		},
+	}
+	m, err := Run(bad, Options{Workers: 4, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deterministic {
+		t.Error("worker-dependent scenario reported as deterministic")
+	}
+
+	good := Scenario{
+		Name:        "good_scenario",
+		Description: "constant result",
+		Prepare: func(opt Options, reg *obs.Registry) (Iter, error) {
+			c := reg.Counter("good_iters", "iterations")
+			return func(workers int) (uint64, error) {
+				c.Add(1)
+				return 0xabcdef, nil
+			}, nil
+		},
+	}
+	m, err = Run(good, Options{Workers: 2, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Deterministic {
+		t.Error("constant scenario reported as non-deterministic")
+	}
+	if m.Fingerprint != "0000000000abcdef" {
+		t.Errorf("fingerprint = %q", m.Fingerprint)
+	}
+	// warmup 1 + serial probe 1 + serial loop 2 + parallel loop 2.
+	if got := m.Counters["good_iters"]; got != 6 {
+		t.Errorf("good_iters = %d, want 6", got)
+	}
+	if m.Gauges["bench_workers"] != 2 {
+		t.Errorf("bench_workers gauge = %v, want 2", m.Gauges["bench_workers"])
+	}
+	if m.NsPerOp < 1 || m.SerialNsPerOp < 1 || m.SpeedupVsSerial <= 0 {
+		t.Errorf("degenerate timing fields: %+v", m)
+	}
+}
+
+// Every registered scenario must run quick, be deterministic across the
+// serial/parallel split, and emit a valid measurement file.
+func TestRegisteredScenariosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every scenario")
+	}
+	if len(Scenarios()) < 4 {
+		t.Fatalf("only %d scenarios registered, want >= 4", len(Scenarios()))
+	}
+	dir := t.TempDir()
+	for _, sc := range Scenarios() {
+		m, err := Run(sc, Options{Quick: true, Workers: 2, Warmup: 1, Iterations: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !m.Deterministic {
+			t.Errorf("%s: fingerprints diverged between workers=1 and workers=2", sc.Name)
+		}
+		path, err := m.WriteFile(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if _, err := ReadFile(path); err != nil {
+			t.Fatalf("%s: emitted file does not validate: %v", sc.Name, err)
+		}
+	}
+}
+
+// Scenario fingerprints must also be stable run to run at a fixed seed —
+// the property that makes BENCH files comparable across regenerations.
+func TestScenarioFingerprintStableAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scenario twice")
+	}
+	sc, ok := Lookup("stretch_sweep")
+	if !ok {
+		t.Fatal("stretch_sweep not registered")
+	}
+	opt := Options{Quick: true, Workers: 2, Iterations: 1}
+	a, err := Run(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprint changed across runs: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("no_such_scenario"); ok {
+		t.Error("Lookup found a scenario that does not exist")
+	}
+	sc, ok := Lookup("parallel_bfs")
+	if !ok || sc.Name != "parallel_bfs" {
+		t.Errorf("Lookup(parallel_bfs) = %+v, %v", sc, ok)
+	}
+}

@@ -1,0 +1,28 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// Running a registered scenario through the harness: the measurement
+// records whether the serial and parallel runs agreed (the kernels'
+// determinism contract) alongside the timing figures.
+func ExampleRun() {
+	sc, ok := bench.Lookup("parallel_bfs")
+	if !ok {
+		panic("scenario not registered")
+	}
+	m, err := bench.Run(sc, bench.Options{
+		Quick:      true,
+		Seed:       7,
+		Workers:    2,
+		Iterations: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name, m.Workers, m.Deterministic)
+	// Output: parallel_bfs 2 true
+}

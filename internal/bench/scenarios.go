@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/packetsim"
+	"repro/internal/routing"
+	"repro/internal/rng"
+	"repro/internal/spanner"
+)
+
+// FNV-1a 64-bit, folded over result values. Fingerprints exist to detect
+// cross-worker divergence, not to survive adversaries, so a non-crypto
+// hash is fine.
+type digest uint64
+
+func newDigest() digest { return 0xcbf29ce484222325 }
+
+func (d digest) u64(x uint64) digest {
+	for i := 0; i < 8; i++ {
+		d ^= digest(x & 0xff)
+		d *= 0x100000001b3
+		x >>= 8
+	}
+	return d
+}
+
+func (d digest) i32s(xs []int32) digest {
+	for _, x := range xs {
+		d = d.u64(uint64(uint32(x)))
+	}
+	return d
+}
+
+func (d digest) ints(xs []int) digest {
+	for _, x := range xs {
+		d = d.u64(uint64(x))
+	}
+	return d
+}
+
+func (d digest) f64(x float64) digest { return d.u64(math.Float64bits(x)) }
+
+// benchGraph builds the shared scenario input: a random d-regular graph in
+// the Theorem 2 size class (full) or a smoke-sized one (quick).
+func benchGraph(opt Options) (*graph.Graph, error) {
+	n, d := 343, 80
+	if opt.Quick {
+		n, d = 216, 30
+	}
+	return gen.RandomRegular(n, d, rng.New(opt.Seed))
+}
+
+// benchSpanner samples the Theorem 2 expander spanner off the scenario
+// graph; shared by the stretch, oracle, and packet scenarios.
+func benchSpanner(opt Options, g *graph.Graph) (*spanner.Spanner, error) {
+	return spanner.BuildExpander(g, spanner.ExpanderOptions{
+		SampleProb:      0.35,
+		Seed:            opt.Seed,
+		EnsureConnected: true,
+	})
+}
+
+var registry = []Scenario{
+	{
+		Name:        "parallel_bfs",
+		Description: "multi-source BFS sweep (graph.ParallelBFSFrom) over sampled sources",
+		Prepare:     prepareParallelBFS,
+	},
+	{
+		Name:        "spanner_build",
+		Description: "Theorem 2 expander spanner construction (spanner.BuildExpander); build parallelism follows GOMAXPROCS, so the workers argument is ignored and speedup reads ~1",
+		Prepare:     prepareSpannerBuild,
+	},
+	{
+		Name:        "stretch_sweep",
+		Description: "Table 1 edge-stretch verification kernel (spanner.VerifyEdgeStretchOpts) over every spanner edge",
+		Prepare:     prepareStretchSweep,
+	},
+	{
+		Name:        "congestion_profile",
+		Description: "node-congestion accounting (routing.NodeCongestionProfileWorkers) over a random shortest-path routing",
+		Prepare:     prepareCongestionProfile,
+	},
+	{
+		Name:        "oracle_batch",
+		Description: "distance-oracle batch answering (oracle.AnswerBatch) with caching disabled",
+		Prepare:     prepareOracleBatch,
+	},
+	{
+		Name:        "packetsim_round",
+		Description: "store-and-forward packet round (packetsim.Simulate) incl. parallel congestion lower-bound accounting",
+		Prepare:     preparePacketsimRound,
+	},
+}
+
+func prepareParallelBFS(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	k := 128
+	if opt.Quick {
+		k = 48
+	}
+	r := rng.New(opt.Seed).Split()
+	sources := make([]int32, k)
+	for i := range sources {
+		sources[i] = int32(r.Intn(g.N()))
+	}
+	sweeps := reg.Counter("bench_bfs_sources", "BFS sources swept across all iterations")
+	return func(workers int) (uint64, error) {
+		out := g.ParallelBFSFrom(sources, workers)
+		sweeps.Add(int64(len(out)))
+		d := newDigest()
+		for _, dist := range out {
+			d = d.i32s(dist)
+		}
+		return uint64(d), nil
+	}, nil
+}
+
+func prepareSpannerBuild(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	builds := reg.Counter("bench_spanner_builds", "spanner constructions across all iterations")
+	return func(workers int) (uint64, error) {
+		sp, err := benchSpanner(opt, g)
+		if err != nil {
+			return 0, err
+		}
+		builds.Add(1)
+		d := newDigest().u64(uint64(sp.H.M()))
+		for _, e := range sp.H.Edges() {
+			d = d.u64(uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))
+		}
+		return uint64(d), nil
+	}, nil
+}
+
+func prepareStretchSweep(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := benchSpanner(opt, g)
+	if err != nil {
+		return nil, err
+	}
+	edges := reg.Counter("bench_stretch_edges", "edges verified across all iterations")
+	return func(workers int) (uint64, error) {
+		rep := spanner.VerifyEdgeStretchOpts(g, sp.H, 3, spanner.VerifyOptions{Workers: workers})
+		edges.Add(int64(rep.Checked))
+		d := newDigest().u64(uint64(rep.Checked)).u64(uint64(rep.Violations))
+		d = d.f64(rep.MaxStretch).f64(rep.MeanStretch)
+		return uint64(d), nil
+	}, nil
+}
+
+func prepareCongestionProfile(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(opt.Seed).Split()
+	prob := routing.RandomProblem(g.N(), 4*g.N(), r)
+	rt, err := routing.ShortestPaths(g, prob)
+	if err != nil {
+		return nil, err
+	}
+	paths := reg.Counter("bench_congestion_paths", "routed paths accounted across all iterations")
+	return func(workers int) (uint64, error) {
+		prof := rt.NodeCongestionProfileWorkers(g.N(), workers)
+		paths.Add(int64(len(rt.Paths)))
+		return uint64(newDigest().ints(prof)), nil
+	}, nil
+}
+
+func prepareOracleBatch(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := benchSpanner(opt, g)
+	if err != nil {
+		return nil, err
+	}
+	nq := 20000
+	if opt.Quick {
+		nq = 4000
+	}
+	r := rng.New(opt.Seed).Split()
+	qs := make([]oracle.Query, nq)
+	for i := range qs {
+		qs[i] = oracle.Query{U: int32(r.Intn(g.N())), V: int32(r.Intn(g.N()))}
+	}
+	answered := reg.Counter("bench_oracle_queries", "oracle queries answered across all iterations")
+	// The worker count is fixed at oracle construction, so build one
+	// oracle per distinct count on demand. Caching is disabled so every
+	// iteration answers the full batch from scratch.
+	oracles := make(map[int]*oracle.Oracle)
+	return func(workers int) (uint64, error) {
+		o, ok := oracles[workers]
+		if !ok {
+			var err error
+			o, err = oracle.NewFromGraphs(g, sp.H, 3, oracle.Options{
+				Workers:   workers,
+				CacheSize: -1,
+				Seed:      opt.Seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			oracles[workers] = o
+		}
+		as := o.AnswerBatch(qs)
+		answered.Add(int64(len(as)))
+		d := newDigest()
+		for _, a := range as {
+			d = d.u64(uint64(uint32(a.Dist))<<32 | uint64(uint32(a.Bound)))
+		}
+		return uint64(d), nil
+	}, nil
+}
+
+func preparePacketsimRound(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := benchSpanner(opt, g)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(opt.Seed).Split()
+	prob := routing.RandomProblem(g.N(), g.N()/2, r)
+	rt, err := routing.ShortestPaths(sp.H, prob)
+	if err != nil {
+		return nil, err
+	}
+	rounds := reg.Counter("bench_packetsim_rounds", "simulated rounds across all iterations")
+	return func(workers int) (uint64, error) {
+		res, err := packetsim.Simulate(g.N(), rt, packetsim.Options{Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		rounds.Add(1)
+		d := newDigest().u64(uint64(res.Makespan)).u64(uint64(res.Delivered))
+		d = d.u64(uint64(res.MaxQueue)).u64(uint64(res.Congestion)).ints(res.Latencies)
+		return uint64(d), nil
+	}, nil
+}

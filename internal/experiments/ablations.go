@@ -32,14 +32,14 @@ func AblateDetour(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(g, res.Spanner.H, 3)
+		rep := cfg.verifyEdgeStretch(g, res.Spanner.H, 3, cfg.Trace)
 		m := greedyMatchingOfEdges(g)
 		rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+2)
 		if err != nil {
 			return nil, err
 		}
 		tb.AddRow(ensure, res.Spanner.H.M(), res.ReinsertedNoDetour,
-			rep.Violations, rep.MaxStretch, rt.NodeCongestion(n))
+			rep.Violations, rep.MaxStretch, cfg.nodeCongestion(rt, n))
 	}
 	body := tb.String() +
 		"EnsureDetour=true is the paper's reinsertion prose (stretch 3 becomes\n" +
@@ -71,14 +71,14 @@ func AblateSupport(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(g, res.Spanner.H, 3)
+		rep := cfg.verifyEdgeStretch(g, res.Spanner.H, 3, cfg.Trace)
 		m := greedyMatchingOfEdges(g)
 		rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+4)
 		if err != nil {
 			return nil, err
 		}
 		tb.AddRow(res.SupportA, res.SupportB, res.SupportedCount, res.Spanner.H.M(),
-			res.Spanner.EdgeRatio(), rt.NodeCongestion(n), rep.Violations)
+			res.Spanner.EdgeRatio(), cfg.nodeCongestion(rt, n), rep.Violations)
 	}
 	body := tb.String() +
 		"paper constants: c₁ and λ control these thresholds. Larger a/b mark fewer edges supported → more unconditional reinsertion\n" +
@@ -102,14 +102,14 @@ func AblateEpsilon(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+		rep := cfg.verifyEdgeStretch(g, sp.H, 3, cfg.Trace)
 		m := greedyMatchingOfEdges(g)
 		rt, router, err := routeMatchingOn(sp, m, cfg.Seed+6)
 		if err != nil {
 			return nil, err
 		}
 		tb.AddRow(eps, math.Pow(float64(n), -eps), sp.H.M(),
-			rep.Violations, rep.MaxStretch, rt.NodeCongestion(n), router.Fallbacks)
+			rep.Violations, rep.MaxStretch, cfg.nodeCongestion(rt, n), router.Fallbacks)
 	}
 	body := tb.String() +
 		"paper (Theorem 2) needs ε < 1/3 − 3loglog n/log n so that 3-hop replacement paths\n" +
@@ -135,7 +135,7 @@ func AblateColoring(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	tb := stats.NewTable("colorer", "levels", "matchings", "Σ(d_k+1)", "C(P')", "congStretch")
-	cG := onG.NodeCongestion(n)
+	cG := cfg.nodeCongestion(onG, n)
 	for _, c := range []struct {
 		name   string
 		fn     routing.EdgeColorer
@@ -152,7 +152,7 @@ func AblateColoring(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cH := sub.NodeCongestion(n)
+		cH := cfg.nodeCongestion(sub, n)
 		tb.AddRow(c.name, len(dec.Levels), dec.NumMatchings(),
 			dec.DegreePlusOneSum(), cH, float64(cH)/float64(cG))
 	}
@@ -241,7 +241,7 @@ func IrregularDegrees(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := spanner.VerifyEdgeStretch(g, res.Spanner.H, 3)
+	rep := cfg.verifyEdgeStretch(g, res.Spanner.H, 3, cfg.Trace)
 	m := greedyMatchingOfEdges(g)
 	rt, _, err := routeMatchingOn(res.Spanner, m, cfg.Seed+12)
 	if err != nil {
@@ -249,7 +249,7 @@ func IrregularDegrees(cfg Config) (*Result, error) {
 	}
 	tb := stats.NewTable("n", "minDeg", "maxDeg", "|E(G)|", "|E(H)|", "stretch≤3", "matchCong", "1+2√Δmax")
 	tb.AddRow(n, g.MinDegree(), g.MaxDegree(), g.M(), res.Spanner.H.M(),
-		fmt.Sprintf("viol=%d", rep.Violations), rt.NodeCongestion(n),
+		fmt.Sprintf("viol=%d", rep.Violations), cfg.nodeCongestion(rt, n),
 		1+2*math.Sqrt(float64(g.MaxDegree())))
 	body := tb.String() +
 		"paper footnote 1: the Δ-regular analysis extends to degrees within a constant\n" +

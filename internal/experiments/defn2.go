@@ -53,7 +53,7 @@ func Definition2Beta(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			cG = rt.NodeCongestion(n)
+			cG = cfg.nodeCongestion(rt, n)
 		}
 		rtDC, err := routing.MinCongestion(dc.H, p.prob, routing.MinCongestionOptions{Seed: cfg.Seed + 42})
 		if err != nil {
@@ -63,8 +63,8 @@ func Definition2Beta(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cDC := rtDC.NodeCongestion(n)
-		cGr := rtGr.NodeCongestion(n)
+		cDC := cfg.nodeCongestion(rtDC, n)
+		cGr := cfg.nodeCongestion(rtGr, n)
 		tb.AddRow(p.name, cG, cDC, float64(cDC)/float64(cG), cGr, float64(cGr)/float64(cG))
 	}
 	body := tb.String() +

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The harness-level determinism guarantee (Config.Workers godoc): for a
+// fixed seed, rendered experiment reports are byte-identical for every
+// worker count. Cover the Table 1 stretch/congestion measurements — the
+// rows that exercise the edge-stretch sweep, the sampled-pair sweep, and
+// the parallel congestion accounting — plus the packet simulator's
+// accounting path.
+func TestReportsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment sweep")
+	}
+	ids := []string{"table1-thm2", "table1-kx16", "table1-thm4", "packet-latency"}
+	for _, id := range ids {
+		run, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		base, err := run(Config{Seed: 42, Quick: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", id, err)
+		}
+		for _, workers := range []int{0, 2, 4} {
+			got, err := run(Config{Seed: 42, Quick: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			if got.Body != base.Body {
+				t.Errorf("%s: report differs between workers=1 and workers=%d:\n--- workers=1\n%s--- workers=%d\n%s",
+					id, workers, base.Body, workers, got.Body)
+			}
+		}
+	}
+}
+
+// Metrics plumbing: a run with a registry attached records the workers
+// gauge and nonzero sweep counters without perturbing the report.
+func TestMetricsRecordKernelActivity(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Seed: 42, Quick: true, Workers: 2, Metrics: NewMetrics(reg)}
+	cfg.Metrics.setWorkers(cfg.resolvedWorkers())
+	run, _ := Lookup("table1-thm2")
+	if _, err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["eval_workers"]; got != 2 {
+		t.Errorf("eval_workers gauge = %v, want 2", got)
+	}
+	if snap.Counters["eval_stretch_sweeps"] == 0 {
+		t.Error("eval_stretch_sweeps stayed zero across a Table 1 run")
+	}
+	if snap.Counters["eval_congestion_paths"] == 0 {
+		t.Error("eval_congestion_paths stayed zero across a Table 1 run")
+	}
+}

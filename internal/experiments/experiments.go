@@ -3,6 +3,13 @@
 // the index). Each experiment builds its workload, runs the relevant
 // construction, measures edge counts / distance stretch / congestion
 // stretch, and renders a paper-vs-measured table.
+//
+// Measurement (not construction) is where the harness spends most of its
+// time, so the stretch and congestion sweeps run on the worker-pool
+// kernels of internal/graph and internal/routing, sized by Config.Workers.
+// Rendered reports are byte-identical for every worker count at a fixed
+// seed (see the Config.Workers godoc and DESIGN.md §9); internal/bench
+// times the same kernels in isolation.
 package experiments
 
 import (
@@ -12,7 +19,7 @@ import (
 	"repro/internal/obs"
 )
 
-// Config controls experiment sizes.
+// Config controls experiment sizes and the measurement worker pool.
 type Config struct {
 	// Seed drives all randomness; equal seeds give identical reports.
 	Seed uint64
@@ -22,6 +29,20 @@ type Config struct {
 	// the construction phase spans of runners that thread it further down
 	// (e.g. Table1Theorem2's expander builds). Nil disables tracing.
 	Trace *obs.Span
+	// Workers sizes the worker pool of the measurement kernels — the
+	// multi-source BFS stretch sweeps and the node-congestion accounting.
+	// 0 means all cores (GOMAXPROCS), 1 forces the serial path.
+	//
+	// Determinism guarantee: for a fixed Seed the rendered reports are
+	// byte-identical for every Workers value. All random choices —
+	// including sampled sources and pairs, which are drawn without
+	// replacement — are made serially before any parallel sweep starts,
+	// and every sweep writes only per-index result slots merged
+	// order-independently (see DESIGN.md §9).
+	Workers int
+	// Metrics, when non-nil, receives kernel telemetry: the workers gauge
+	// and per-sweep counters (see NewMetrics). Nil records nothing.
+	Metrics *Metrics
 }
 
 // Result is a rendered experiment report.
@@ -94,6 +115,7 @@ func Lookup(id string) (Runner, bool) {
 // experiment runs under its own child span (named by its id) so the
 // runner's phase tree shows where a slow sweep spends its time.
 func RunAll(cfg Config) []*Result {
+	cfg.Metrics.setWorkers(cfg.resolvedWorkers())
 	out := make([]*Result, 0, len(registry))
 	for _, e := range registry {
 		ecfg := cfg

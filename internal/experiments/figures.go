@@ -35,7 +35,7 @@ func Table1Theorem4(cfg Config) (*Result, error) {
 		if err := an.Verify(); err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(inst.G, an.H, 3)
+		rep := cfg.verifyEdgeStretch(inst.G, an.H, 3, cfg.Trace)
 		n := float64(inst.G.N())
 		tb.AddRow(q, inst.G.N(), inst.K, an.EdgesG, an.EdgesH,
 			float64(an.EdgesH)/math.Pow(n, 7.0/6.0),
@@ -65,7 +65,7 @@ func Figure1VFT(cfg Config) (*Result, error) {
 		if err := an.Verify(); err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(an.G, an.H, 3)
+		rep := cfg.verifyEdgeStretch(an.G, an.H, 3, cfg.Trace)
 		tb.AddRow(n, an.F, an.F+1, an.CongestionG, an.CongestionH,
 			math.Pow(float64(n), 2.0/3.0)/2,
 			fmt.Sprintf("viol=%d", rep.Violations))
@@ -89,14 +89,13 @@ func Figure2Matching(cfg Config) (*Result, error) {
 		n := g.N()
 		d, _ := g.IsRegular()
 		bound := spanner.Lemma4Bound(n, d, lam)
-		pairs := 30
+		// 30 distinct pairs, drawn without replacement before the
+		// measurement loop: no pair's matching is counted twice, and the
+		// sampled set does not depend on how the loop is scheduled.
+		ps := r.SamplePairs(n, 30)
 		minDisjoint, minBip := math.Inf(1), math.Inf(1)
-		for i := 0; i < pairs; i++ {
-			u := int32(r.Intn(n))
-			v := int32(r.Intn(n))
-			for v == u {
-				v = int32(r.Intn(n))
-			}
+		for _, p := range ps {
+			u, v := p[0], p[1]
 			if m := float64(len(spanner.NeighborhoodMatching(g, u, v))); m < minDisjoint {
 				minDisjoint = m
 			}
@@ -104,7 +103,7 @@ func Figure2Matching(cfg Config) (*Result, error) {
 				minBip = m
 			}
 		}
-		tb.AddRow(name, n, d, fmt.Sprintf("%.1f", lam), pairs, minDisjoint, minBip, bound)
+		tb.AddRow(name, n, d, fmt.Sprintf("%.1f", lam), len(ps), minDisjoint, minBip, bound)
 	}
 	for _, sz := range sizes {
 		r := rng.New(cfg.Seed ^ (uint64(sz.n) << 4))

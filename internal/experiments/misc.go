@@ -28,7 +28,7 @@ func Lemma2Separation(cfg Config) (*Result, error) {
 		if err := an.Verify(); err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(inst.G, inst.H, 3)
+		rep := cfg.verifyEdgeStretch(inst.G, inst.H, 3, cfg.Trace)
 		tb.AddRow(n, inst.Alpha, inst.G.N(),
 			fmt.Sprintf("viol=%d", rep.Violations),
 			an.CongestionG, an.CongestionUnconstrained, an.CongestionConstrained,
@@ -68,8 +68,8 @@ func Theorem1Decompose(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cG := onG.NodeCongestion(n)
-		cH := sub.NodeCongestion(n)
+		cG := cfg.nodeCongestion(onG, n)
+		cH := cfg.nodeCongestion(sub, n)
 		tb.AddRow(k, cG, len(dec.Levels), dec.NumMatchings(), int64(n)*int64(n)*int64(n),
 			dec.DegreePlusOneSum(), dec.Lemma21Bound(), cH,
 			float64(cH)/float64(cG), sub.Stretch(onG))
@@ -96,7 +96,7 @@ func Corollary3Local(cfg Config) (*Result, error) {
 		dist := local.DistributedRegularSpanner(g, opts)
 		seq := local.SequentialReference(g, opts)
 		same := dist.H.M() == seq.H.M() && dist.H.IsSubgraphOf(seq.H)
-		rep := spanner.VerifyEdgeStretch(g, dist.H, 3)
+		rep := cfg.verifyEdgeStretch(g, dist.H, 3, cfg.Trace)
 		tb.AddRow(sz.n, sz.d, dist.Rounds, dist.Messages, dist.MaxMsg, dist.GPrime.M(), dist.H.M(),
 			same, fmt.Sprintf("viol=%d", rep.Violations))
 	}

@@ -59,8 +59,8 @@ func ScalingTheorem2(cfg Config) (*Series, error) {
 		s.Rows = append(s.Rows, []string{
 			itoa(sz.n), itoa(sz.d), itoa(g.M()), itoa(sp.H.M()),
 			ftoa(float64(sp.H.M()) / math.Pow(float64(sz.n), 5.0/3.0)),
-			itoa(rt.NodeCongestion(sz.n)),
-			ftoa(float64(onH.NodeCongestion(sz.n)) / float64(onG.NodeCongestion(sz.n))),
+			itoa(cfg.nodeCongestion(rt, sz.n)),
+			ftoa(float64(cfg.nodeCongestion(onH, sz.n)) / float64(onG.NodeCongestion(sz.n))),
 		})
 	}
 	return s, nil
@@ -96,7 +96,7 @@ func ScalingTheorem3(cfg Config) (*Series, error) {
 			itoa(n), itoa(d), itoa(res.DeltaPrime), itoa(g.M()), itoa(res.Spanner.H.M()),
 			ftoa(float64(res.Spanner.H.M()) / math.Pow(float64(n), 5.0/3.0)),
 			itoa(res.ReinsertedNoDetour),
-			itoa(rt.NodeCongestion(n)),
+			itoa(cfg.nodeCongestion(rt, n)),
 		})
 	}
 	return s, nil

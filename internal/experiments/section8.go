@@ -33,7 +33,7 @@ func Section8Stretch(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(g, sp.H, 3) // alpha param only sets the "violation" line
+		rep := cfg.verifyEdgeStretch(g, sp.H, 3, cfg.Trace) // alpha param only sets the "violation" line
 		router := spanner.NewSPRouter(sp.H, cfg.Seed+13)
 		paths, err := router.RouteMatching(m)
 		if err != nil {
@@ -41,7 +41,7 @@ func Section8Stretch(cfg Config) (*Result, error) {
 		}
 		rt := &routing.Routing{Problem: routing.MatchingProblem(m), Paths: paths}
 		tb.AddRow(p, sp.H.M(), sp.EdgeRatio(), rep.MaxStretch,
-			fmt.Sprintf("%.2f", rep.MeanStretch), rt.NodeCongestion(n))
+			fmt.Sprintf("%.2f", rep.MeanStretch), cfg.nodeCongestion(rt, n))
 	}
 	body := tb.String() +
 		"paper §8 (open): trading distance stretch for congestion. With uniform random\n" +
@@ -104,7 +104,7 @@ func FaultTolerance(cfg Config) (*Result, error) {
 		cong := -1
 		if paths, err := router.RouteMatching(m); err == nil {
 			rt := &routing.Routing{Problem: routing.MatchingProblem(m), Paths: paths}
-			cong = rt.NodeCongestion(n)
+			cong = cfg.nodeCongestion(rt, n)
 		}
 		tb.AddRow(f, total, fmt.Sprintf("%d/%d", within3, total),
 			fmt.Sprintf("%d/%d", within5, total), disc, cong)

@@ -64,7 +64,7 @@ func Table1Theorem2(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+		rep := cfg.verifyEdgeStretch(g, sp.H, 3, cfg.Trace)
 
 		// Matching congestion: route the maximal matching over G's edges.
 		m := greedyMatchingOfEdges(g)
@@ -72,7 +72,7 @@ func Table1Theorem2(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		prof := rt.NodeCongestionProfile(sz.n)
+		prof := cfg.nodeCongestionProfile(rt, sz.n)
 		nonzero := make([]float64, 0, sz.n)
 		maxC := 0
 		for _, c := range prof {
@@ -96,8 +96,8 @@ func Table1Theorem2(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cG := onG.NodeCongestion(sz.n)
-		cH := onH.NodeCongestion(sz.n)
+		cG := cfg.nodeCongestion(onG, sz.n)
+		cH := cfg.nodeCongestion(onH, sz.n)
 		permStretch := float64(cH) / float64(cG)
 
 		log2n := math.Log2(float64(sz.n))
@@ -137,14 +137,14 @@ func Table1Theorem3(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		sp := res.Spanner
-		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+		rep := cfg.verifyEdgeStretch(g, sp.H, 3, cfg.Trace)
 
 		m := greedyMatchingOfEdges(g)
 		rt, _, err := routeMatchingOn(sp, m, cfg.Seed+17)
 		if err != nil {
 			return nil, err
 		}
-		matchCong := rt.NodeCongestion(sz.n)
+		matchCong := cfg.nodeCongestion(rt, sz.n)
 
 		prob := routing.RandomPermutationProblem(sz.n, r)
 		onG, err := routing.ShortestPaths(g, prob)
@@ -155,7 +155,7 @@ func Table1Theorem3(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		genStretch := float64(onH.NodeCongestion(sz.n)) / float64(onG.NodeCongestion(sz.n))
+		genStretch := float64(cfg.nodeCongestion(onH, sz.n)) / float64(onG.NodeCongestion(sz.n))
 
 		tb.AddRow(sz.n, sz.d, res.DeltaPrime, g.M(), sp.H.M(),
 			float64(sp.H.M())/spanner.TheoremEdgeBound(sz.n),
@@ -191,7 +191,7 @@ func Table1KoutisXu(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		lamH, l1H := spectral.Expansion(sp.H, 200, r)
-		pairRep := spanner.VerifyPairStretch(g, sp.H, 300, r)
+		pairRep := cfg.verifyPairStretch(g, sp.H, 300, r, cfg.Trace)
 
 		// Matching routing problem solved on H by Valiant routing.
 		m := greedyMatchingOfEdges(g)
@@ -199,7 +199,7 @@ func Table1KoutisXu(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cong := rt.NodeCongestion(sz.n)
+		cong := cfg.nodeCongestion(rt, sz.n)
 		log2n := math.Log2(float64(sz.n))
 		tb.AddRow(sz.n, sz.d, g.M(), sp.H.M(),
 			float64(sp.H.M())/(float64(sz.n)*log2n),
@@ -233,7 +233,7 @@ func Table1BoundedDegree(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		lamH, l1H := spectral.Expansion(sp.H, 300, r)
-		pairRep := spanner.VerifyPairStretch(g, sp.H, 300, r)
+		pairRep := cfg.verifyPairStretch(g, sp.H, 300, r, cfg.Trace)
 		m := greedyMatchingOfEdges(g)
 		rt, err := routing.Valiant(sp.H, routing.MatchingProblem(m), r)
 		if err != nil {
@@ -242,7 +242,7 @@ func Table1BoundedDegree(cfg Config) (*Result, error) {
 		log2n := math.Log2(float64(n))
 		tb.AddRow(n, d, g.M(), sp.H.M(), float64(sp.H.M())/float64(n),
 			sp.H.MaxDegree(), fmt.Sprintf("%.2f", lamH/l1H),
-			pairRep.MaxStretch, log2n, rt.NodeCongestion(n), log2n*log2n*log2n)
+			pairRep.MaxStretch, log2n, cfg.nodeCongestion(rt, n), log2n*log2n*log2n)
 	}
 	body := tb.String() +
 		"paper row [5]: O(n) edges from Δ=Ω(n) expanders; stretch O(log n); congestion O(log³ n)\n"

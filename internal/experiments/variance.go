@@ -34,14 +34,14 @@ func SeedVariance(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(g, sp.H, 3)
+		rep := cfg.verifyEdgeStretch(g, sp.H, 3, cfg.Trace)
 		viol2 += rep.Violations
 		rt, _, err := routeMatchingOn(sp, m, cfg.Seed+uint64(s)+100)
 		if err != nil {
 			return nil, err
 		}
 		edges2 = append(edges2, float64(sp.H.M()))
-		cong2 = append(cong2, float64(rt.NodeCongestion(n)))
+		cong2 = append(cong2, float64(cfg.nodeCongestion(rt, n)))
 	}
 
 	dReg := d * 7 / 10 // Theorem 3 degree choice for the same n
@@ -58,14 +58,14 @@ func SeedVariance(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := spanner.VerifyEdgeStretch(gReg, res.Spanner.H, 3)
+		rep := cfg.verifyEdgeStretch(gReg, res.Spanner.H, 3, cfg.Trace)
 		viol3 += rep.Violations
 		rt, _, err := routeMatchingOn(res.Spanner, mReg, cfg.Seed+uint64(s)+200)
 		if err != nil {
 			return nil, err
 		}
 		edges3 = append(edges3, float64(res.Spanner.H.M()))
-		cong3 = append(cong3, float64(rt.NodeCongestion(n)))
+		cong3 = append(cong3, float64(cfg.nodeCongestion(rt, n)))
 	}
 
 	tb := stats.NewTable("construction", "runs", "metric", "min", "mean", "max", "sd")

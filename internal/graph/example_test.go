@@ -1,0 +1,27 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ParallelBFSFrom computes one full BFS distance slice per source over a
+// worker pool. Results are index-aligned with the sources and identical
+// for every worker count — the determinism contract all evaluation
+// kernels build on (DESIGN.md §9).
+func ExampleGraph_ParallelBFSFrom() {
+	// A path graph 0-1-2-3-4.
+	b := graph.NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.BuildDedup()
+
+	dists := g.ParallelBFSFrom([]int32{0, 4}, 2)
+	fmt.Println(dists[0])
+	fmt.Println(dists[1])
+	// Output:
+	// [0 1 2 3 4]
+	// [4 3 2 1 0]
+}

@@ -10,6 +10,16 @@
 //
 // Vertex ids are dense ints in [0, N). Edges are unordered pairs; the Edges
 // slice lists each edge once with U < V.
+//
+// The package also hosts the worker-pool evaluation kernels the measurement
+// layers build on (parallel.go): ParallelBFSFrom / ParallelBFSSweep for
+// multi-source BFS with per-worker reusable scratch, ParallelEdgeSweep for
+// per-edge work, and ParallelRangeWorkers as the generic chunked loop. All
+// of them honor one determinism contract — for a fixed input, results are
+// identical for every worker count — which is what lets the experiment
+// harness (internal/experiments), spanner validation (internal/spanner),
+// and congestion accounting (internal/routing) parallelize without
+// perturbing reported numbers. See DESIGN.md §9.
 package graph
 
 import (

@@ -3,16 +3,83 @@ package graph
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Workers returns the degree of parallelism used by the Parallel* helpers:
-// GOMAXPROCS, floored at 1.
+// Workers returns the degree of parallelism used by the Parallel* helpers
+// when the caller does not pick one explicitly: GOMAXPROCS, floored at 1.
 func Workers() int {
 	w := runtime.GOMAXPROCS(0)
 	if w < 1 {
 		w = 1
 	}
 	return w
+}
+
+// clampWorkers resolves a caller-supplied worker count: values <= 0 mean
+// Workers(), and the pool never exceeds the number of work items.
+func clampWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelRangeWorkers processes [0, n) on a pool of exactly `workers`
+// goroutines (0 means Workers()). Unlike ParallelRange it hands out work
+// in small dynamically-claimed chunks, so uneven per-item cost (a BFS that
+// terminates early, a cache hit) does not straggle the pool, and it passes
+// the worker index w in [0, workers) to fn so each worker can own reusable
+// scratch (a BFSScratch, a distance buffer) across all chunks it claims.
+//
+// Determinism contract: which worker processes which index is
+// schedule-dependent, so fn must write results only into per-index slots
+// (out[i] = ...) or into per-worker accumulators that are merged
+// order-independently afterwards. Under that discipline the result is
+// byte-identical for every worker count, including workers == 1, which
+// runs fn(0, 0, n) inline with no goroutines at all.
+func ParallelRangeWorkers(n, workers int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	// Chunks are sized so each worker claims ~8 of them on average: small
+	// enough to balance variable per-item cost, large enough that the
+	// atomic claim is negligible against any non-trivial fn.
+	chunk := n / (8 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // ParallelRange splits [0, n) into contiguous chunks and invokes fn(lo, hi)
@@ -181,14 +248,103 @@ func (s *BFSScratch) PathWithin(g *Graph, u, v, limit int32, parent []int32) []i
 	return path
 }
 
-// ParallelAllDistancesFrom computes BFS distances from each source in
-// sources concurrently, returning one distance slice per source.
-func (g *Graph) ParallelAllDistancesFrom(sources []int32) [][]int32 {
+// BFSFrom fills dist (which must have length g.N()) with hop distances
+// from src, reusing the scratch queue across calls. Unreachable vertices
+// get Unreachable. It is the full-sweep sibling of DistWithin for bulk
+// multi-source workloads: the only per-call allocation is none after the
+// queue warms up.
+func (s *BFSScratch) BFSFrom(g *Graph, src int32, dist []int32) {
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, src)
+	dist[src] = 0
+	for head := 0; head < len(s.queue); head++ {
+		v := s.queue[head]
+		dv := dist[v]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == Unreachable {
+				dist[w] = dv + 1
+				s.queue = append(s.queue, w)
+			}
+		}
+	}
+}
+
+// ParallelBFSFrom computes BFS distances from every source on a pool of
+// `workers` goroutines (0 means Workers()) and returns one distance slice
+// per source, index-aligned with sources: out[i] equals g.BFS(sources[i])
+// element for element. Each worker owns a reusable queue, so the only
+// per-source allocation is the returned distance slice itself.
+//
+// The result is deterministic — byte-identical for every worker count at
+// a fixed input — because each source's BFS is independent and lands in
+// its own slot. This is the multi-source distance kernel behind the
+// Table 1 stretch sweeps, oracle landmark tables, and the bench harness's
+// parallel_bfs scenario.
+func (g *Graph) ParallelBFSFrom(sources []int32, workers int) [][]int32 {
 	out := make([][]int32, len(sources))
-	ParallelRange(len(sources), func(lo, hi int) {
+	scratch := make([]*BFSScratch, clampWorkers(workers, len(sources)))
+	ParallelRangeWorkers(len(sources), workers, func(w, lo, hi int) {
+		s := scratch[w]
+		if s == nil {
+			s = NewBFSScratch(g.n)
+			scratch[w] = s
+		}
 		for i := lo; i < hi; i++ {
-			out[i] = g.BFS(sources[i])
+			dist := make([]int32, g.n)
+			s.BFSFrom(g, sources[i], dist)
+			out[i] = dist
 		}
 	})
 	return out
+}
+
+// ParallelBFSSweep runs a BFS from every source on a pool of `workers`
+// goroutines and streams each completed distance slice to visit(i, src,
+// dist), where i is the source's index. The dist slice is per-worker
+// scratch reused for the next source: visit must not retain it, and must
+// be safe to call concurrently for distinct indices (it is never called
+// concurrently for the same index). Use this instead of ParallelBFSFrom
+// when the sweep reduces each BFS to a few numbers (an eccentricity, a
+// stretch maximum) and holding len(sources) full distance slices would
+// be wasteful.
+func (g *Graph) ParallelBFSSweep(sources []int32, workers int, visit func(i int, src int32, dist []int32)) {
+	type state struct {
+		scratch *BFSScratch
+		dist    []int32
+	}
+	states := make([]state, clampWorkers(workers, len(sources)))
+	ParallelRangeWorkers(len(sources), workers, func(w, lo, hi int) {
+		st := &states[w]
+		if st.scratch == nil {
+			st.scratch = NewBFSScratch(g.n)
+			st.dist = make([]int32, g.n)
+		}
+		for i := lo; i < hi; i++ {
+			st.scratch.BFSFrom(g, sources[i], st.dist)
+			visit(i, sources[i], st.dist)
+		}
+	})
+}
+
+// ParallelEdgeSweep invokes fn for dynamically-balanced contiguous ranges
+// of the edge list on a pool of `workers` goroutines (0 means Workers()).
+// The worker index w lets fn key per-worker scratch; edges is the graph's
+// full edge slice (do not modify). It is the parallel edge-sweep helper
+// behind the per-edge stretch verification kernel: fn typically runs a
+// bounded BFS per edge and writes one result per edge index.
+func (g *Graph) ParallelEdgeSweep(workers int, fn func(w, lo, hi int, edges []Edge)) {
+	edges := g.edges
+	ParallelRangeWorkers(len(edges), workers, func(w, lo, hi int) {
+		fn(w, lo, hi, edges)
+	})
+}
+
+// ParallelAllDistancesFrom computes BFS distances from each source in
+// sources concurrently with the default worker count, returning one
+// distance slice per source. It is ParallelBFSFrom(sources, 0).
+func (g *Graph) ParallelAllDistancesFrom(sources []int32) [][]int32 {
+	return g.ParallelBFSFrom(sources, 0)
 }

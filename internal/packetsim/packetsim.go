@@ -46,6 +46,12 @@ type Options struct {
 	// injection and scheduling phases as children and the headline result
 	// figures as payload.
 	Trace *obs.Span
+	// Workers sizes the worker pool of the congestion-accounting kernel
+	// that computes the Congestion lower bound before the schedule runs;
+	// 0 means all cores. The simulation itself is inherently sequential
+	// (synchronous steps), so only the accounting parallelizes. Results
+	// are identical for every value.
+	Workers int
 }
 
 // Result summarizes a simulation.
@@ -100,7 +106,8 @@ func Simulate(n int, rt *routing.Routing, opts Options) (*Result, error) {
 			res.Dilation = p.Len()
 		}
 	}
-	res.Congestion = rt.NodeCongestion(n)
+	inj.SetKV("workers", opts.Workers)
+	res.Congestion = rt.NodeCongestionWorkers(n, opts.Workers)
 	inj.End()
 
 	maxSteps := opts.MaxSteps

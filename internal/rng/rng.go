@@ -9,6 +9,11 @@
 // and a Split operation that derives statistically independent child streams
 // from a parent, so parallel workers can each own a stream keyed by
 // (seed, workerID).
+//
+// SamplePairs draws vertex pairs without replacement; the evaluation
+// kernels draw such samples serially before fanning work out, which is how
+// sampled-pair measurements stay identical across worker counts (see
+// spanner.VerifyPairStretchOpts and DESIGN.md §9).
 package rng
 
 import (
@@ -150,6 +155,58 @@ func (r *RNG) Sample(n, k int) []int {
 	}
 	p := r.Perm(n)
 	return p[:k]
+}
+
+// SamplePairs returns k distinct unordered vertex pairs {u, v} with
+// u != v, drawn uniformly without replacement from the C(n, 2) pairs on
+// [0, n). Each returned pair is normalized u < v. It panics if k < 0 or
+// k exceeds C(n, 2).
+//
+// This is the sampling primitive behind sampled-pair stretch measurement:
+// drawing the whole sample up front from one stream (rather than inside a
+// worker loop) is what makes the measurement identical across worker
+// counts, and drawing without replacement means no pair is silently
+// measured twice.
+func (r *RNG) SamplePairs(n, k int) [][2]int32 {
+	total := int64(n) * int64(n-1) / 2
+	if k < 0 || int64(k) > total {
+		panic("rng: SamplePairs with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	out := make([][2]int32, 0, k)
+	// Rejection sampling against a set of normalized pair keys is fast
+	// while the hit rate is low; when the sample covers a third or more of
+	// the pair space, enumerate-and-shuffle avoids long rejection tails.
+	if int64(k)*3 < total {
+		seen := make(map[int64]struct{}, k)
+		for len(out) < k {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := int64(u)*int64(n) + int64(v)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, [2]int32{u, v})
+		}
+		return out
+	}
+	all := make([][2]int32, 0, total)
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			all = append(all, [2]int32{u, v})
+		}
+	}
+	r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return append(out, all[:k]...)
 }
 
 // Norm64 returns a standard normal variate via the polar Box–Muller method.

@@ -1,0 +1,50 @@
+package rng
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSamplePairsDistinctNormalizedInRange(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{10, 0}, {10, 5}, {10, 45}, // k = C(10,2): full pair space
+		{100, 30}, {25, 200}, // dense regime (200 > C(25,2)/3)
+	} {
+		r := New(uint64(tc.n*1000 + tc.k))
+		ps := r.SamplePairs(tc.n, tc.k)
+		if len(ps) != tc.k {
+			t.Fatalf("n=%d k=%d: got %d pairs", tc.n, tc.k, len(ps))
+		}
+		seen := make(map[[2]int32]bool, tc.k)
+		for _, p := range ps {
+			if p[0] >= p[1] || p[0] < 0 || int(p[1]) >= tc.n {
+				t.Fatalf("n=%d: bad pair %v", tc.n, p)
+			}
+			if seen[p] {
+				t.Fatalf("n=%d k=%d: duplicate pair %v", tc.n, tc.k, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestSamplePairsDeterministic(t *testing.T) {
+	a := New(42).SamplePairs(50, 100)
+	b := New(42).SamplePairs(50, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different pair samples")
+	}
+}
+
+func TestSamplePairsPanicsOutOfRange(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 46}, {10, -1}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d k=%d: expected panic", tc.n, tc.k)
+				}
+			}()
+			New(1).SamplePairs(tc.n, tc.k)
+		}()
+	}
+}

@@ -1,0 +1,57 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomWalkRouting builds k random walks of varying length (with repeat
+// visits, exercising the per-path de-duplication stamp) on n vertices.
+func randomWalkRouting(n, k int, seed uint64) *Routing {
+	r := rng.New(seed)
+	rt := &Routing{Problem: make(Problem, k), Paths: make([]Path, k)}
+	for i := 0; i < k; i++ {
+		length := 1 + r.Intn(12)
+		p := make(Path, 0, length+1)
+		p = append(p, int32(r.Intn(n)))
+		for j := 0; j < length; j++ {
+			// Deliberately allow revisits: C(P, v) counts a path once per
+			// vertex regardless of how often the walk returns.
+			p = append(p, int32(r.Intn(n)))
+		}
+		rt.Problem[i] = Pair{Src: p[0], Dst: p[len(p)-1]}
+		rt.Paths[i] = p
+	}
+	return rt
+}
+
+// The parallel congestion kernel merges per-worker counts by summation,
+// which must reproduce the serial profile exactly for every worker count.
+func TestNodeCongestionProfileDeterministicAcrossWorkers(t *testing.T) {
+	const n = 200
+	for _, k := range []int{0, 1, 7, 500} {
+		rt := randomWalkRouting(n, k, uint64(k)+1)
+		want := rt.NodeCongestionProfileWorkers(n, 1)
+		for _, workers := range []int{0, 2, 3, 8, 64} {
+			got := rt.NodeCongestionProfileWorkers(n, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d workers=%d: profile differs from serial", k, workers)
+			}
+			if gotMax, wantMax := rt.NodeCongestionWorkers(n, workers), rt.NodeCongestionWorkers(n, 1); gotMax != wantMax {
+				t.Fatalf("k=%d workers=%d: C(P) %d != serial %d", k, workers, gotMax, wantMax)
+			}
+		}
+	}
+}
+
+// Repeat visits within one path must count once — pinned against the
+// paper's set-membership definition C(P, v) = |{p_i : v ∈ p_i}|.
+func TestNodeCongestionCountsRepeatVisitsOnce(t *testing.T) {
+	rt := &Routing{Paths: []Path{{0, 1, 0, 2, 0}, {1, 2}}}
+	prof := rt.NodeCongestionProfile(3)
+	if want := []int{1, 2, 2}; !reflect.DeepEqual(prof, want) {
+		t.Fatalf("profile = %v, want %v", prof, want)
+	}
+}

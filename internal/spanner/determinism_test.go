@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/rng"
 )
 
@@ -57,5 +58,54 @@ func TestRegularDeterministicAcrossWorkerCounts(t *testing.T) {
 	if a.ReinsertedNoDetour != b.ReinsertedNoDetour {
 		t.Fatalf("reinsertion accounting differs: %d vs %d",
 			a.ReinsertedNoDetour, b.ReinsertedNoDetour)
+	}
+}
+
+// The verification kernels promise byte-identical reports for every
+// Workers value (ISSUE 4's determinism contract, DESIGN.md §9): the pair
+// sample is drawn serially without replacement before the sweep, and each
+// sweep unit writes only its own slot. Pin it on both graph families the
+// Table 1 measurements use: random regular graphs and (dense) expanders.
+func TestVerifyKernelsDeterministicAcrossWorkerCounts(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random-regular", gen.MustRandomRegular(300, 24, rng.New(17))},
+	}
+	if exp, err := gen.DenseExpander(128, 0.5, rng.New(18)); err == nil {
+		families = append(families, struct {
+			name string
+			g    *graph.Graph
+		}{"dense-expander", exp})
+	} else {
+		t.Fatalf("DenseExpander: %v", err)
+	}
+	for _, fam := range families {
+		h := Greedy(fam.g, 3)
+		edgeBase := VerifyEdgeStretchOpts(fam.g, h.H, 3, VerifyOptions{Workers: 1})
+		pairBase := VerifyPairStretchOpts(fam.g, h.H, 200, rng.New(99), VerifyOptions{Workers: 1})
+		for _, workers := range []int{0, 2, 4, 13} {
+			if got := VerifyEdgeStretchOpts(fam.g, h.H, 3, VerifyOptions{Workers: workers}); got != edgeBase {
+				t.Errorf("%s: edge-stretch report differs at workers=%d: %+v vs %+v",
+					fam.name, workers, got, edgeBase)
+			}
+			if got := VerifyPairStretchOpts(fam.g, h.H, 200, rng.New(99), VerifyOptions{Workers: workers}); got != pairBase {
+				t.Errorf("%s: pair-stretch report differs at workers=%d: %+v vs %+v",
+					fam.name, workers, got, pairBase)
+			}
+		}
+	}
+}
+
+// The pair sample must be drawn without replacement: requesting more pairs
+// than C(n,2) clamps to the full pair space, and Checked reports the
+// distinct pairs actually measured.
+func TestVerifyPairStretchSampleClampsToPairSpace(t *testing.T) {
+	g := gen.MustRandomRegular(12, 4, rng.New(3))
+	h := Greedy(g, 3)
+	rep := VerifyPairStretchOpts(g, h.H, 1000, rng.New(5), VerifyOptions{Workers: 2})
+	if want := 12 * 11 / 2; rep.Checked != want {
+		t.Fatalf("Checked = %d, want clamp to C(12,2) = %d", rep.Checked, want)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -15,25 +16,56 @@ type StretchReport struct {
 	MeanStretch float64
 }
 
-// VerifyEdgeStretch checks the per-edge distance stretch of h versus g:
-// for every edge (u,v) of G, dist_H(u,v) must be at most alpha. Because
+// VerifyOptions parameterizes the stretch-verification kernels.
+//
+// Determinism contract: for a fixed graph pair (and, for the pair sweep, a
+// fixed RNG state), the report is byte-identical for every Workers value —
+// all randomness is consumed serially before the parallel sweep starts,
+// and each parallel unit writes only its own result slot.
+type VerifyOptions struct {
+	// Workers is the size of the BFS worker pool; 0 means graph.Workers()
+	// (GOMAXPROCS). 1 runs the sweep inline with no goroutines.
+	Workers int
+	// Trace, when non-nil, receives one child span per sweep with the
+	// worker count and sweep size as payload. Nil disables tracing.
+	Trace *obs.Span
+}
+
+// VerifyEdgeStretch checks the per-edge distance stretch with default
+// options (all cores, no tracing). See VerifyEdgeStretchOpts.
+func VerifyEdgeStretch(g, h *graph.Graph, alpha int) StretchReport {
+	return VerifyEdgeStretchOpts(g, h, alpha, VerifyOptions{})
+}
+
+// VerifyEdgeStretchOpts checks the per-edge distance stretch of h versus
+// g: for every edge (u,v) of G, dist_H(u,v) must be at most alpha. Because
 // replacing each edge of any path by its detour multiplies lengths by at
 // most the per-edge stretch (Lemma 1's argument), this certifies h as an
-// alpha-distance spanner. The sweep runs in parallel over edges.
-func VerifyEdgeStretch(g, h *graph.Graph, alpha int) StretchReport {
+// alpha-distance spanner. The sweep runs one bounded BFS per edge of G on
+// opt.Workers goroutines via the graph package's parallel edge-sweep
+// kernel, with per-worker reusable BFS scratch.
+func VerifyEdgeStretchOpts(g, h *graph.Graph, alpha int, opt VerifyOptions) StretchReport {
 	m := g.M()
-	edges := g.Edges()
+	sp := opt.Trace.Start("edge-stretch-sweep")
+	defer sp.End()
+	sp.SetKV("edges", m)
+	sp.SetKV("workers", effectiveWorkers(opt.Workers, m))
 	// Compute per-edge stretch into a shared slice in parallel, reduce after.
 	stretch := make([]float64, m)
-	graph.ParallelRange(m, func(lo, hi int) {
-		scratch := graph.NewBFSScratch(g.N())
+	scratch := make([]*graph.BFSScratch, effectiveWorkers(opt.Workers, m))
+	g.ParallelEdgeSweep(opt.Workers, func(w, lo, hi int, edges []graph.Edge) {
+		s := scratch[w]
+		if s == nil {
+			s = graph.NewBFSScratch(g.N())
+			scratch[w] = s
+		}
 		for i := lo; i < hi; i++ {
 			e := edges[i]
-			d := scratch.DistWithin(h, e.U, e.V, int32(alpha))
+			d := s.DistWithin(h, e.U, e.V, int32(alpha))
 			if d == graph.Unreachable {
 				// Beyond alpha (or disconnected): measure the real distance
 				// for reporting.
-				full := scratch.DistWithin(h, e.U, e.V, -1)
+				full := s.DistWithin(h, e.U, e.V, -1)
 				if full == graph.Unreachable {
 					stretch[i] = math.Inf(1)
 				} else {
@@ -44,47 +76,50 @@ func VerifyEdgeStretch(g, h *graph.Graph, alpha int) StretchReport {
 			}
 		}
 	})
-	var rep StretchReport
-	rep.Checked = m
-	total := 0.0
-	for _, s := range stretch {
-		if s > rep.MaxStretch {
-			rep.MaxStretch = s
-		}
-		if s > float64(alpha) {
-			rep.Violations++
-		}
-		total += s
-	}
-	if m > 0 {
-		rep.MeanStretch = total / float64(m)
-	}
+	rep := reduceStretch(stretch, float64(alpha))
+	sp.SetKV("violations", rep.Violations)
 	return rep
 }
 
-// VerifyPairStretch samples `pairs` random vertex pairs and measures
-// dist_H / dist_G, certifying the end-to-end distance stretch on sampled
-// pairs (full all-pairs verification is quadratic; edges are the binding
-// case anyway by Lemma 1).
+// VerifyPairStretch samples `pairs` random vertex pairs with default
+// options. See VerifyPairStretchOpts.
 func VerifyPairStretch(g, h *graph.Graph, pairs int, r *rng.RNG) StretchReport {
+	return VerifyPairStretchOpts(g, h, pairs, r, VerifyOptions{})
+}
+
+// VerifyPairStretchOpts samples vertex pairs and measures dist_H / dist_G,
+// certifying the end-to-end distance stretch on sampled pairs (full
+// all-pairs verification is quadratic; edges are the binding case anyway
+// by Lemma 1).
+//
+// The sample is drawn without replacement — `pairs` distinct unordered
+// pairs, clamped to C(n, 2) when the request exceeds the pair space — and
+// it is drawn serially from r before the parallel sweep begins, so the
+// sampled set (and therefore the whole report) is identical for every
+// opt.Workers value at a fixed RNG state. Report.Checked is the number of
+// distinct pairs actually measured.
+func VerifyPairStretchOpts(g, h *graph.Graph, pairs int, r *rng.RNG, opt VerifyOptions) StretchReport {
 	n := g.N()
-	type pair struct{ u, v int32 }
-	ps := make([]pair, pairs)
-	for i := range ps {
-		u := int32(r.Intn(n))
-		v := int32(r.Intn(n))
-		for v == u {
-			v = int32(r.Intn(n))
-		}
-		ps[i] = pair{u, v}
+	if total := int64(n) * int64(n-1) / 2; int64(pairs) > total {
+		pairs = int(total)
 	}
+	ps := r.SamplePairs(n, pairs)
+	sp := opt.Trace.Start("pair-stretch-sweep")
+	defer sp.End()
+	sp.SetKV("pairs", pairs)
+	sp.SetKV("workers", effectiveWorkers(opt.Workers, pairs))
+	type scratchPair struct{ sg, sh *graph.BFSScratch }
+	scratch := make([]scratchPair, effectiveWorkers(opt.Workers, pairs))
 	stretch := make([]float64, pairs)
-	graph.ParallelRange(pairs, func(lo, hi int) {
-		sg := graph.NewBFSScratch(n)
-		sh := graph.NewBFSScratch(n)
+	graph.ParallelRangeWorkers(pairs, opt.Workers, func(w, lo, hi int) {
+		s := &scratch[w]
+		if s.sg == nil {
+			s.sg = graph.NewBFSScratch(n)
+			s.sh = graph.NewBFSScratch(n)
+		}
 		for i := lo; i < hi; i++ {
-			dg := sg.DistWithin(g, ps[i].u, ps[i].v, -1)
-			dh := sh.DistWithin(h, ps[i].u, ps[i].v, -1)
+			dg := s.sg.DistWithin(g, ps[i][0], ps[i][1], -1)
+			dh := s.sh.DistWithin(h, ps[i][0], ps[i][1], -1)
 			switch {
 			case dg == graph.Unreachable && dh == graph.Unreachable:
 				stretch[i] = 1
@@ -97,17 +132,43 @@ func VerifyPairStretch(g, h *graph.Graph, pairs int, r *rng.RNG) StretchReport {
 			}
 		}
 	})
-	var rep StretchReport
-	rep.Checked = pairs
+	return reduceStretch(stretch, math.Inf(1))
+}
+
+// reduceStretch folds a per-unit stretch slice into a report; values above
+// bound count as violations. The reduction is serial and
+// order-independent, so it closes the determinism argument for the
+// parallel sweeps.
+func reduceStretch(stretch []float64, bound float64) StretchReport {
+	rep := StretchReport{Checked: len(stretch)}
 	total := 0.0
 	for _, s := range stretch {
 		if s > rep.MaxStretch {
 			rep.MaxStretch = s
 		}
+		if s > bound {
+			rep.Violations++
+		}
 		total += s
 	}
-	if pairs > 0 {
-		rep.MeanStretch = total / float64(pairs)
+	if len(stretch) > 0 {
+		rep.MeanStretch = total / float64(len(stretch))
 	}
 	return rep
+}
+
+// effectiveWorkers mirrors the graph package's worker clamping for scratch
+// sizing and span payloads: 0 means all cores, never more workers than
+// work items.
+func effectiveWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = graph.Workers()
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }

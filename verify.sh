@@ -14,6 +14,12 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== evaluation-kernel determinism suite under -race (serial vs workers=N)"
+go test -race -count=1 \
+    -run 'Determinis|AcrossWorker|IdenticalAcross|SamplePairs|Parallel' \
+    ./internal/graph/ ./internal/rng/ ./internal/spanner/ \
+    ./internal/routing/ ./internal/experiments/ ./internal/bench/
+
 echo "== server fault-injection suite under -race (oversized lines, slow loris, disconnects, shutdown drain)"
 go test -race -count=1 ./internal/server/
 
@@ -58,5 +64,20 @@ echo "== dcspan CPU profile smoke"
 rm -f /tmp/dcspan.verify.pprof
 go run ./cmd/dcspan -n 512 -d 96 -trace -cpuprofile /tmp/dcspan.verify.pprof >/dev/null
 test -s /tmp/dcspan.verify.pprof || { echo "cpuprofile is empty"; exit 1; }
+
+echo "== dcbench quick smoke (schema-versioned BENCH_*.json)"
+BENCH_DIR=$(mktemp -d /tmp/dcbench.verify.XXXXXX)
+go run ./cmd/dcbench -quick -workers 2 -iters 1 -out "$BENCH_DIR"
+BENCH_COUNT=$(ls "$BENCH_DIR"/BENCH_*.json | wc -l)
+[ "$BENCH_COUNT" -ge 4 ] || { echo "dcbench emitted only $BENCH_COUNT scenarios, want >= 4"; exit 1; }
+for f in "$BENCH_DIR"/BENCH_*.json; do
+    for field in '"schema": "dcspanner/bench"' '"schema_version": 1' \
+                 '"ns_per_op"' '"speedup_vs_serial"' '"fingerprint"' \
+                 '"deterministic_across_workers": true'; do
+        grep -q "$field" "$f" || { echo "$f missing $field"; exit 1; }
+    done
+done
+echo "dcbench: $BENCH_COUNT scenarios validated in $BENCH_DIR"
+rm -rf "$BENCH_DIR"
 
 echo "verify: OK"
