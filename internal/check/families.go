@@ -1,0 +1,169 @@
+package check
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Family is one generator family the differential runner sweeps. Build
+// receives a family-keyed RNG stream and the quick flag; it must be
+// deterministic in the stream (sizes are fixed per mode so a divergence
+// reproduces from the family name and seed alone).
+type Family struct {
+	Name  string
+	Build func(r *rng.RNG, quick bool) *graph.Graph
+	// Spanner, when set, returns a construction-specific spanner of the
+	// built graph (the Lemma 2 instance ships its own H); otherwise the
+	// runner derives spanners generically.
+	Spanner func(r *rng.RNG, quick bool) *graph.Graph
+}
+
+func pick(quick bool, q, full int) int {
+	if quick {
+		return q
+	}
+	return full
+}
+
+// Families returns every internal/gen graph family, in a fixed order, at
+// sizes small enough for exact all-pairs reference computation. Each
+// constructor exported by internal/gen appears at least once, including
+// the paper's bespoke instances.
+func Families() []Family {
+	lemma2 := func(quick bool) *gen.Lemma2Instance {
+		return gen.Lemma2Graph(pick(quick, 4, 6), 3)
+	}
+	return []Family{
+		{Name: "path", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.Path(pick(quick, 17, 41))
+		}},
+		{Name: "cycle", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.Cycle(pick(quick, 16, 40))
+		}},
+		{Name: "clique", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.Clique(pick(quick, 12, 24))
+		}},
+		{Name: "circulant", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.Circulant(pick(quick, 18, 42), []int{1, 2, 5})
+		}},
+		{Name: "hypercube", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.Hypercube(pick(quick, 4, 6))
+		}},
+		{Name: "torus", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			s := pick(quick, 4, 6)
+			return gen.Torus(s, s+1)
+		}},
+		{Name: "bipartite", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.CompleteBipartite(pick(quick, 5, 9), pick(quick, 7, 11))
+		}},
+		// Sparse G(n, p) below the connectivity threshold: the family that
+		// exercises disconnected pairs, unreachable sentinels, and isolated
+		// vertices end to end.
+		{Name: "erdosrenyi-sparse", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			n := pick(quick, 32, 56)
+			return gen.ErdosRenyi(n, 1.2/float64(n), r)
+		}},
+		{Name: "erdosrenyi-dense", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.ErdosRenyi(pick(quick, 26, 44), 0.18, r)
+		}},
+		{Name: "regular", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.MustRandomRegular(pick(quick, 24, 48), 4, r)
+		}},
+		{Name: "margulis", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.Margulis(pick(quick, 4, 6))
+		}},
+		{Name: "paley", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			g, err := gen.Paley(pick(quick, 17, 37))
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}},
+		{Name: "denseexpander", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			g, err := gen.DenseExpander(pick(quick, 24, 40), 0.4, r)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}},
+		{Name: "cliquematching", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.CliqueMatchingGraph(pick(quick, 12, 20))
+		}},
+		{Name: "fan", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			return gen.FanGraph(pick(quick, 6, 12)).G
+		}},
+		// The Lemma 2 separation instance carries its own paper-defined
+		// spanner H, so the runner checks that exact (G, H) pair too.
+		{
+			Name: "lemma2",
+			Build: func(r *rng.RNG, quick bool) *graph.Graph {
+				return lemma2(quick).G
+			},
+			Spanner: func(r *rng.RNG, quick bool) *graph.Graph {
+				return lemma2(quick).H
+			},
+		},
+		{Name: "theorem4-affine", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			inst, err := gen.Theorem4Affine(pick(quick, 3, 5))
+			if err != nil {
+				panic(err)
+			}
+			return inst.G
+		}},
+		{Name: "theorem4-random", Build: func(r *rng.RNG, quick bool) *graph.Graph {
+			inst, err := gen.Theorem4Random(pick(quick, 18, 30), pick(quick, 4, 6), 2, r)
+			if err != nil {
+				panic(err)
+			}
+			return inst.G
+		}},
+	}
+}
+
+// FamilyNames returns the registered family names in sweep order.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// LookupFamilies resolves a list of family names, erroring on unknown
+// names. An empty list means all families.
+func LookupFamilies(names []string) ([]Family, error) {
+	all := Families()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Family, len(all))
+	for _, f := range all {
+		byName[f.Name] = f
+	}
+	out := make([]Family, 0, len(names))
+	for _, n := range names {
+		f, ok := byName[n]
+		if !ok {
+			known := FamilyNames()
+			sort.Strings(known)
+			return nil, fmt.Errorf("check: unknown family %q (known: %v)", n, known)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// familySeed derives the per-family RNG seed from the run seed, so one
+// family reproduces in isolation with the same graphs it saw in a full
+// sweep.
+func familySeed(runSeed uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return runSeed ^ h.Sum64()
+}

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/oracle"
+	"repro/internal/server"
+)
+
+// fuzzServer builds one small oracle + server shared across fuzz
+// iterations (the server is safe for concurrent sessions; construction is
+// the expensive part).
+var fuzzServer = sync.OnceValue(func() *server.Server {
+	g := gen.Cycle(9)
+	o, err := oracle.NewFromGraphs(g, g, 3, oracle.Options{Landmarks: 2, Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	return server.New(o, server.Config{MaxBatch: 64, MaxLineBytes: 512})
+})
+
+// FuzzServerProtocol throws arbitrary bytes at the dcserve line protocol
+// via ServeStream. The session must never panic, every response line must
+// carry a known protocol prefix, and the graph.Unreachable sentinel (-1)
+// must never leak into a distance answer — disconnected pairs speak the
+// protocol word "unreachable".
+func FuzzServerProtocol(f *testing.F) {
+	f.Add("dist 0 1\n")
+	f.Add("route 0 3\nstats\nquit\n")
+	f.Add("batch 2\ndist 0 1\ndist 1 2\n")
+	f.Add("batch 3\ndist 0 1\n") // truncated batch
+	f.Add("batch 0\nbatch -7\nbatch 99999999999999999999\nbatch x\n")
+	f.Add("dist -1 5\ndist 4294967296 1\ndist 0\n")
+	f.Add("nonsense\n\n  \n\x00\xff\n")
+	f.Add("dist 0 1") // no trailing newline
+	f.Add(strings.Repeat("a", 600) + "\ndist 1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		srv := fuzzServer()
+		var out bytes.Buffer
+		srv.ServeStream(context.Background(), strings.NewReader(input), &out)
+		sc := bufio.NewScanner(&out)
+		sc.Buffer(make([]byte, 0, 4096), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				t.Fatalf("empty response line for input %q", input)
+			}
+			switch {
+			case strings.HasPrefix(line, "dist "),
+				strings.HasPrefix(line, "route "),
+				strings.HasPrefix(line, "stats "),
+				strings.HasPrefix(line, "err "):
+			default:
+				t.Fatalf("response %q has no protocol prefix (input %q)", line, input)
+			}
+			if strings.Contains(line, "= -1") {
+				t.Fatalf("Unreachable sentinel leaked to the wire: %q (input %q)", line, input)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scanning server output: %v", err)
+		}
+	})
+}
+
+// FuzzGraphioRead throws arbitrary bytes at the edge-list parser. Since
+// the parser validates before touching the builder it must never panic
+// (no recover here — a panic is a finding); every accepted graph must
+// pass the structural invariants and round-trip through WriteEdgeList
+// unchanged.
+func FuzzGraphioRead(f *testing.F) {
+	f.Add("n 4\n0 1\n2 3\n")
+	f.Add("# comment\nn 2\n0 1\n")
+	f.Add("n 0\n")
+	f.Add("n 3\n0 1\n1 2\n0 2\n")
+	f.Add("garbage")
+	f.Add("n 3\n0 1\n0 1\n")  // duplicate edge
+	f.Add("n 3\n1 1\n")       // self-loop
+	f.Add("n 3\n-1 2\n")      // negative vertex
+	f.Add("n 3\n0 7\n")       // out of range
+	f.Add("n 2\n4294967296 1\n") // would truncate to 0 under int32 casting
+	f.Add("n 99999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := graphio.ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if ierr := GraphInvariants(g); ierr != nil {
+			t.Fatalf("accepted graph violates invariants: %v (input %q)", ierr, input)
+		}
+		var buf bytes.Buffer
+		if werr := graphio.WriteEdgeList(&buf, g); werr != nil {
+			t.Fatalf("write failed on accepted graph: %v", werr)
+		}
+		again, rerr := graphio.ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if rerr != nil {
+			t.Fatalf("round trip re-parse failed: %v", rerr)
+		}
+		if again.N() != g.N() || again.M() != g.M() {
+			t.Fatalf("round trip changed shape: n %d->%d, m %d->%d", g.N(), again.N(), g.M(), again.M())
+		}
+		for i, e := range again.Edges() {
+			if e != g.Edges()[i] {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, g.Edges()[i], e)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// GraphInvariants checks the structural contract every graph.Graph must
+// satisfy, reading only through the public API so it can be called on any
+// graph from any test:
+//
+//   - each adjacency list is strictly increasing (sorted, no duplicates)
+//     and contains no self-loop;
+//   - Edges() lists each edge once, normalized U < V, in strict
+//     lexicographic order, and M() matches;
+//   - adjacency and edge list describe the same edge set (degree sum is
+//     2·M and every listed edge appears in both endpoint adjacencies).
+func GraphInvariants(g *graph.Graph) error {
+	n := int32(g.N())
+	degSum := 0
+	for v := int32(0); v < n; v++ {
+		nbrs := g.Neighbors(v)
+		degSum += len(nbrs)
+		for i, w := range nbrs {
+			if w == v {
+				return fmt.Errorf("self-loop at vertex %d", v)
+			}
+			if w < 0 || w >= n {
+				return fmt.Errorf("vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if i > 0 && nbrs[i-1] >= w {
+				return fmt.Errorf("adjacency of %d not strictly increasing at index %d (%d >= %d)",
+					v, i, nbrs[i-1], w)
+			}
+		}
+	}
+	edges := g.Edges()
+	if len(edges) != g.M() {
+		return fmt.Errorf("M()=%d but Edges() has %d entries", g.M(), len(edges))
+	}
+	if degSum != 2*g.M() {
+		return fmt.Errorf("degree sum %d != 2*M = %d", degSum, 2*g.M())
+	}
+	for i, e := range edges {
+		if e.U >= e.V {
+			return fmt.Errorf("edge %d (%d,%d) not normalized U < V", i, e.U, e.V)
+		}
+		if i > 0 {
+			p := edges[i-1]
+			if p.U > e.U || (p.U == e.U && p.V >= e.V) {
+				return fmt.Errorf("edge list not strictly sorted at %d: (%d,%d) then (%d,%d)",
+					i, p.U, p.V, e.U, e.V)
+			}
+		}
+		if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+			return fmt.Errorf("edge (%d,%d) listed but not in adjacency", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// SpannerInvariants checks that h is a spanner-shaped subgraph of g in
+// the paper's sense: same vertex set, E(H) ⊆ E(G), and both graphs pass
+// GraphInvariants.
+func SpannerInvariants(g, h *graph.Graph) error {
+	if err := GraphInvariants(g); err != nil {
+		return fmt.Errorf("base graph: %w", err)
+	}
+	if err := GraphInvariants(h); err != nil {
+		return fmt.Errorf("spanner: %w", err)
+	}
+	if g.N() != h.N() {
+		return fmt.Errorf("vertex sets differ: |V(H)|=%d, |V(G)|=%d", h.N(), g.N())
+	}
+	for _, e := range h.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("spanner edge (%d,%d) not in base graph", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// ConnectivityPreserved checks that h connects everything g connects.
+// Because E(H) ⊆ E(G) implies h's components refine g's, it suffices to
+// compare component counts — but this checker does not assume the subset
+// relation and verifies endpoint-by-endpoint: every edge of g must have
+// its endpoints in one h-component.
+func ConnectivityPreserved(g, h *graph.Graph) error {
+	if g.N() != h.N() {
+		return fmt.Errorf("vertex sets differ: %d vs %d", g.N(), h.N())
+	}
+	comp, _ := h.Components()
+	for _, e := range g.Edges() {
+		if comp[e.U] != comp[e.V] {
+			return fmt.Errorf("edge (%d,%d) of G spans two components of H", e.U, e.V)
+		}
+	}
+	return nil
+}

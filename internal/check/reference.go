@@ -1,0 +1,187 @@
+package check
+
+import (
+	"container/list"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/spanner"
+)
+
+// This file holds the naive reference implementations the differential
+// runner compares the optimized paths against. They are intentionally
+// slow and intentionally boring: one plain BFS per source, one map per
+// path, one mutex-free linked-list LRU. Do not optimize them — their
+// value is that a reviewer can see they are correct at a glance.
+
+// AllPairs returns the exact all-pairs hop-distance matrix of g via one
+// independent BFS per source (graph.BFS, the simplest BFS in the repo).
+// dist[u][v] is graph.Unreachable for disconnected pairs.
+func AllPairs(g *graph.Graph) [][]int32 {
+	out := make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = g.BFS(int32(v))
+	}
+	return out
+}
+
+// EdgeStretch recomputes spanner.VerifyEdgeStretch's report from an exact
+// distance matrix of h: for every edge (u, v) of g, the per-edge stretch
+// is dist_H(u, v) (the edge has length 1 in G), +Inf when h disconnects
+// the endpoints. The reduction runs in g's edge order with the same
+// arithmetic as the optimized kernel, so agreement is exact, not
+// approximate.
+func EdgeStretch(g *graph.Graph, distH [][]int32, alpha int) spanner.StretchReport {
+	stretch := make([]float64, 0, g.M())
+	for _, e := range g.Edges() {
+		d := distH[e.U][e.V]
+		if d == graph.Unreachable {
+			stretch = append(stretch, math.Inf(1))
+		} else {
+			stretch = append(stretch, float64(d))
+		}
+	}
+	return foldStretch(stretch, float64(alpha))
+}
+
+// PairStretch recomputes spanner.VerifyPairStretch's report for an
+// explicit pair sample from exact distance matrices of g and h, with the
+// optimized kernel's value conventions: both-unreachable counts as
+// stretch 1, h-only-unreachable as +Inf.
+func PairStretch(distG, distH [][]int32, pairs [][2]int32) spanner.StretchReport {
+	stretch := make([]float64, 0, len(pairs))
+	for _, p := range pairs {
+		dg := distG[p[0]][p[1]]
+		dh := distH[p[0]][p[1]]
+		switch {
+		case dg == graph.Unreachable && dh == graph.Unreachable:
+			stretch = append(stretch, 1)
+		case dh == graph.Unreachable:
+			stretch = append(stretch, math.Inf(1))
+		case dg == 0:
+			stretch = append(stretch, 1)
+		default:
+			stretch = append(stretch, float64(dh)/float64(dg))
+		}
+	}
+	return foldStretch(stretch, math.Inf(1))
+}
+
+// foldStretch mirrors the optimized kernels' serial reduction: values
+// above bound count as violations, the mean is the straight sum in slice
+// order. Keeping the order identical keeps the floating-point results
+// bit-identical.
+func foldStretch(stretch []float64, bound float64) spanner.StretchReport {
+	rep := spanner.StretchReport{Checked: len(stretch)}
+	total := 0.0
+	for _, s := range stretch {
+		if s > rep.MaxStretch {
+			rep.MaxStretch = s
+		}
+		if s > bound {
+			rep.Violations++
+		}
+		total += s
+	}
+	if len(stretch) > 0 {
+		rep.MeanStretch = total / float64(len(stretch))
+	}
+	return rep
+}
+
+// NodeCongestionProfile recomputes routing's C(P, v) accounting the
+// obvious way: one set per path, each visited vertex counted once per
+// path that contains it.
+func NodeCongestionProfile(paths []routing.Path, n int) []int {
+	counts := make([]int, n)
+	for _, p := range paths {
+		seen := make(map[int32]struct{}, len(p))
+		for _, v := range p {
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// NodeCongestion is max_v of NodeCongestionProfile.
+func NodeCongestion(paths []routing.Path, n int) int {
+	max := 0
+	for _, c := range NodeCongestionProfile(paths, n) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ModelLRU is the single-threaded model cache the sharded LRU is checked
+// against: a textbook map + doubly-linked-list LRU with no sharding, no
+// pooling, and no concurrency. With shard count 1 the optimized cache
+// must agree with it on every operation of any trace.
+type ModelLRU struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *modelEntry
+	entries  map[uint64]*list.Element
+}
+
+type modelEntry struct {
+	key uint64
+	val int32
+}
+
+// NewModelLRU builds a model cache. capacity <= 0 means disabled (all
+// gets miss, puts are dropped), mirroring oracle.Options.CacheSize.
+func NewModelLRU(capacity int) *ModelLRU {
+	return &ModelLRU{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[uint64]*list.Element),
+	}
+}
+
+// PairKey packs an unordered vertex pair the same way the oracle cache
+// does: normalized u <= v, 32 bits each.
+func PairKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Get returns the cached value and whether it was present, promoting the
+// entry to most recently used.
+func (m *ModelLRU) Get(key uint64) (int32, bool) {
+	el, ok := m.entries[key]
+	if !ok {
+		return 0, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*modelEntry).val, true
+}
+
+// Put inserts or refreshes key -> val, evicting the least recently used
+// entry when full.
+func (m *ModelLRU) Put(key uint64, val int32) {
+	if m.capacity <= 0 {
+		return
+	}
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*modelEntry).val = val
+		m.order.MoveToFront(el)
+		return
+	}
+	if m.order.Len() >= m.capacity {
+		tail := m.order.Back()
+		m.order.Remove(tail)
+		delete(m.entries, tail.Value.(*modelEntry).key)
+	}
+	m.entries[key] = m.order.PushFront(&modelEntry{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (m *ModelLRU) Len() int { return m.order.Len() }

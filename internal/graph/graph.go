@@ -179,13 +179,24 @@ func NewBuilder(n int) *Builder {
 
 // AddEdge records the undirected edge {u, v}. Order does not matter.
 func (b *Builder) AddEdge(u, v int32) {
+	if err := b.AddEdgeErr(u, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AddEdgeErr is AddEdge with the validation reported as an error instead
+// of a panic — the seam for layers fed by untrusted input (the graphio
+// reader, fuzz harnesses), which must reject a bad edge without tearing
+// down the process.
+func (b *Builder) AddEdgeErr(u, v int32) error {
 	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
 	}
 	if u == v {
-		panic(fmt.Sprintf("graph: self-loop at %d", u))
+		return fmt.Errorf("graph: self-loop at %d", u)
 	}
 	b.edges = append(b.edges, Edge{u, v}.Normalize())
+	return nil
 }
 
 // TryAddEdge adds {u,v} unless it is a self-loop, returning whether it was
@@ -201,6 +212,9 @@ func (b *Builder) TryAddEdge(u, v int32) bool {
 
 // Len returns the number of edges recorded so far (before deduplication).
 func (b *Builder) Len() int { return len(b.edges) }
+
+// N returns the vertex count the builder was created with.
+func (b *Builder) N() int { return b.n }
 
 // Build finalizes the graph. It returns an error if a duplicate edge was
 // added.

@@ -6,9 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzReadEdgeList exercises the parser with arbitrary inputs: it must
-// never panic (builder panics are converted to errors by recover here to
-// mirror CLI usage), and every successfully parsed graph must round-trip.
+// FuzzReadEdgeList exercises the parser with arbitrary inputs. The parser
+// validates every edge before touching the builder, so a panic is a bug —
+// no recover() here — and every successfully parsed graph must
+// round-trip through WriteEdgeList unchanged.
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("n 4\n0 1\n2 3\n")
 	f.Add("# comment\nn 2\n0 1\n")
@@ -16,31 +17,24 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("n 3\n0 1\n1 2\n0 2\n")
 	f.Add("garbage")
 	f.Add("n 3\n0 1\n0 1\n")
+	f.Add("n 3\n2 2\n")
+	f.Add("n 3\n-4 1\n")
+	f.Add("n 2\n4294967296 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
-		var g interface {
-			N() int
-			M() int
+		parsed, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
 		}
-		func() {
-			defer func() { recover() }()
-			parsed, err := ReadEdgeList(strings.NewReader(input))
-			if err != nil {
-				return
-			}
-			g = parsed
-			// Round trip.
-			var buf bytes.Buffer
-			if err := WriteEdgeList(&buf, parsed); err != nil {
-				t.Fatalf("write failed on parsed graph: %v", err)
-			}
-			again, err := ReadEdgeList(&buf)
-			if err != nil {
-				t.Fatalf("re-parse failed: %v", err)
-			}
-			if again.N() != parsed.N() || again.M() != parsed.M() {
-				t.Fatalf("round trip changed shape")
-			}
-		}()
-		_ = g
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, parsed); err != nil {
+			t.Fatalf("write failed on parsed graph: %v", err)
+		}
+		again, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.N() != parsed.N() || again.M() != parsed.M() {
+			t.Fatalf("round trip changed shape")
+		}
 	})
 }

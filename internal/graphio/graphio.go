@@ -72,15 +72,25 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("graphio: line %d: expected \"u v\", got %q", line, text)
 		}
-		u, err1 := strconv.Atoi(fields[0])
-		v, err2 := strconv.Atoi(fields[1])
+		// Parse into int64 and range-check before the int32 cast: the old
+		// Atoi-then-cast path truncated 64-bit ids (so "4294967296 1" became
+		// the valid-looking edge "0 1"), and handing a negative or >= n id
+		// to Builder.AddEdge panicked instead of returning an error. Found
+		// by the internal/check graphio fuzzer.
+		u, err1 := strconv.ParseInt(fields[0], 10, 64)
+		v, err2 := strconv.ParseInt(fields[1], 10, 64)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("graphio: line %d: bad edge %q", line, text)
 		}
 		if u == v {
 			return nil, fmt.Errorf("graphio: line %d: self-loop %d", line, u)
 		}
-		b.AddEdge(int32(u), int32(v))
+		if u < 0 || v < 0 || u >= int64(b.N()) || v >= int64(b.N()) {
+			return nil, fmt.Errorf("graphio: line %d: vertex out of range [0,%d) in %q", line, b.N(), text)
+		}
+		if err := b.AddEdgeErr(int32(u), int32(v)); err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

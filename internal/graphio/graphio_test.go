@@ -48,21 +48,61 @@ func TestReadEdgeListErrors(t *testing.T) {
 		"0 1\n",             // edge before header
 		"n -3\n",            // bad count
 		"n 3\n0\n",          // malformed edge
-		"n 3\n0 9\n",        // out of range (panics in builder? -> check)
+		"n 3\n0 9\n",        // out of range
+		"n 3\n-1 2\n",       // negative vertex
 		"n 3\n1 1\n",        // self loop
 		"n 3\n0 1\n1 0\n",   // duplicate
 		"n x\n",             // bad header value
 		"header nonsense\n", // bad header
 		"n 3\n0 1 2\n",      // too many fields
 		"n 3\nzero one\n",   // non-numeric
+		"n 3\n99999999999999999999 1\n", // beyond int64
 	}
 	for _, in := range cases {
-		func() {
-			defer func() { recover() }() // builder panics count as rejection
-			if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
-				t.Errorf("input %q accepted", in)
-			}
-		}()
+		// The parser validates every edge before touching the builder, so
+		// rejection is always an error, never a panic.
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+// TestReadEdgeListRejectsInt32Truncation pins the parser bug the
+// differential harness flushed out: vertex ids were parsed with Atoi and
+// cast to int32, so "4294967296 1" (2³²) silently truncated to the edge
+// (0,1) on 64-bit platforms instead of being rejected.
+func TestReadEdgeListRejectsInt32Truncation(t *testing.T) {
+	for _, in := range []string{
+		"n 2\n4294967296 1\n",  // 2^32 -> truncated to 0
+		"n 2\n4294967297 1\n",  // 2^32+1 -> truncated to 1 (self-loop after truncation)
+		"n 2\n0 8589934593\n",  // 2*2^32+1 -> truncated to 1
+		"n 2\n-4294967295 1\n", // truncates to a positive in-range id
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted: 64-bit vertex id truncated to int32", in)
+		}
+	}
+}
+
+// TestRoundTripDegenerateGraphs: the empty graph and the single-edge
+// graph survive a write/read cycle unchanged.
+func TestRoundTripDegenerateGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.NewBuilder(0).MustBuild(),
+		graph.NewBuilder(3).MustBuild(), // vertices, no edges
+		graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}),
+	} {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("read back %d-vertex graph: %v", g.N(), err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Errorf("round trip changed shape: n %d->%d, m %d->%d", g.N(), got.N(), g.M(), got.M())
+		}
 	}
 }
 

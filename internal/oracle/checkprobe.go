@@ -1,0 +1,58 @@
+package oracle
+
+// CacheProbe exposes the oracle's sharded LRU result cache to the
+// differential correctness harness (internal/check), which replays
+// recorded op traces against a deliberately naive single-lock model LRU
+// and asserts identical hit/miss/value behavior. It exists only as a test
+// seam: serving code goes through Oracle, never through a probe.
+type CacheProbe struct {
+	c *shardedCache
+}
+
+// NewCacheProbe builds a sharded cache exactly as NewFromGraphs would for
+// the given capacity and shard count. A capacity <= 0 yields a disabled
+// cache (every Get misses, Put is a no-op), mirroring Options.CacheSize.
+func NewCacheProbe(capacity, shards int) *CacheProbe {
+	return &CacheProbe{c: newShardedCache(capacity, shards)}
+}
+
+// Get looks up the (unordered) pair {u, v}, promoting the entry on a hit.
+func (p *CacheProbe) Get(u, v int32) (int32, bool) {
+	if p.c == nil {
+		return 0, false
+	}
+	return p.c.get(packKey(u, v))
+}
+
+// Put inserts or refreshes the entry for the (unordered) pair {u, v}.
+func (p *CacheProbe) Put(u, v, d int32) {
+	if p.c != nil {
+		p.c.put(packKey(u, v), d)
+	}
+}
+
+// Slots returns the realized total entry capacity across shards; the
+// cache's contract is that it equals the requested capacity exactly.
+func (p *CacheProbe) Slots() int {
+	if p.c == nil {
+		return 0
+	}
+	return p.c.slots()
+}
+
+// Shards returns the realized shard count (a power of two, never more
+// than Slots).
+func (p *CacheProbe) Shards() int {
+	if p.c == nil {
+		return 0
+	}
+	return len(p.c.shards)
+}
+
+// Counters returns the cache's (hits, misses) counters.
+func (p *CacheProbe) Counters() (hits, misses int64) {
+	if p.c == nil {
+		return 0, 0
+	}
+	return p.c.counters()
+}

@@ -1,0 +1,65 @@
+package rng
+
+import "testing"
+
+// Exact-capacity edges of the sampling primitives: k equal to the full
+// population (the enumerate-and-shuffle path with nothing left over) and
+// the smallest non-trivial populations.
+
+func TestSampleFullPopulation(t *testing.T) {
+	const n = 9
+	got := New(1).Sample(n, n)
+	if len(got) != n {
+		t.Fatalf("Sample(%d,%d) returned %d values", n, n, len(got))
+	}
+	seen := make([]bool, n)
+	for _, v := range got {
+		if v < 0 || v >= n {
+			t.Fatalf("Sample value %d out of [0,%d)", v, n)
+		}
+		if seen[v] {
+			t.Fatalf("Sample(%d,%d) repeated value %d", n, n, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleZeroAndSingleton(t *testing.T) {
+	if got := New(1).Sample(5, 0); len(got) != 0 {
+		t.Fatalf("Sample(5,0) = %v, want empty", got)
+	}
+	if got := New(1).Sample(1, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Sample(1,1) = %v, want [0]", got)
+	}
+}
+
+func TestSamplePairsSmallestPopulation(t *testing.T) {
+	// n = 2 has exactly one unordered pair; asking for it must terminate
+	// (no rejection-sampling tail chasing an exhausted key space).
+	got := New(3).SamplePairs(2, 1)
+	if len(got) != 1 || got[0] != [2]int32{0, 1} {
+		t.Fatalf("SamplePairs(2,1) = %v, want [[0 1]]", got)
+	}
+	if got := New(3).SamplePairs(2, 0); len(got) != 0 {
+		t.Fatalf("SamplePairs(2,0) = %v, want empty", got)
+	}
+}
+
+func TestSamplePairsExactPairSpace(t *testing.T) {
+	const n = 7
+	total := n * (n - 1) / 2
+	got := New(11).SamplePairs(n, total)
+	if len(got) != total {
+		t.Fatalf("SamplePairs(%d,%d) returned %d pairs", n, total, len(got))
+	}
+	seen := make(map[[2]int32]bool, total)
+	for _, p := range got {
+		if p[0] >= p[1] || p[0] < 0 || p[1] >= n {
+			t.Fatalf("pair %v not normalized in range", p)
+		}
+		if seen[p] {
+			t.Fatalf("pair %v sampled twice at full coverage", p)
+		}
+		seen[p] = true
+	}
+}

@@ -197,3 +197,21 @@ func TestOversizedBatchLineKeepsAlignment(t *testing.T) {
 		t.Fatalf("lines[2] = %q", lines[2])
 	}
 }
+
+// TestTruncatedMaxBatchCostsNothing: a client that promises the maximum
+// batch size and immediately disconnects must not hang the session or
+// commit the server to the full batch's allocations — the batch buffers
+// grow with the lines actually received, so the only cost of the empty
+// promise is the small initial capacity.
+func TestTruncatedMaxBatchCostsNothing(t *testing.T) {
+	o := testOracle(t)
+	srv := New(o, Config{})
+	lines := runScript(t, srv, fmt.Sprintf("batch %d\n", DefaultMaxBatch))
+	if len(lines) != 0 {
+		t.Fatalf("truncated batch answered %d lines %q, want none", len(lines), lines)
+	}
+	// The same server still answers a fresh session.
+	if got := runScript(t, srv, "dist 1 2\n"); len(got) != 1 || !strings.HasPrefix(got[0], "dist 1 2 = ") {
+		t.Fatalf("server unhealthy after truncated batch: %q", got)
+	}
+}

@@ -73,11 +73,19 @@ func (sess *session) handleBatch(fields []string) error {
 	if err != nil || n < 1 || n > srv.cfg.MaxBatch {
 		return sess.respondErrf("batch size must be in [1, %d]", srv.cfg.MaxBatch)
 	}
-	resp := make([]string, n) // pre-rendered errors; "" = answered by the oracle
-	qs := make([]oracle.Query, 0, n)
-	qIdx := make([]int, 0, n)
+	// Grow towards n instead of committing the full allocation up front:
+	// the client has only promised n lines at this point, and a "batch
+	// <max>" followed by a disconnect should cost the server nothing.
+	cap0 := n
+	if cap0 > 256 {
+		cap0 = 256
+	}
+	resp := make([]string, 0, cap0) // pre-rendered errors; "" = answered by the oracle
+	qs := make([]oracle.Query, 0, cap0)
+	qIdx := make([]int, 0, cap0)
 	limit := int32(srv.o.N())
 	for i := 0; i < n; i++ {
+		resp = append(resp, "")
 		sess.armReadDeadline()
 		line, tooLong, rerr := sess.rd.readLine()
 		if tooLong {

@@ -40,6 +40,7 @@ func TestHandleTable(t *testing.T) {
 		{"batch negative", "batch -3", `^err batch size must be in \[1, \d+\]$`},
 		{"batch huge", "batch 99999999", `^err batch size must be in \[1, \d+\]$`},
 		{"batch bad n", "batch xyz", `^err batch size must be in \[1, \d+\]$`},
+		{"batch int64 overflow", "batch 99999999999999999999", `^err batch size must be in \[1, \d+\]$`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

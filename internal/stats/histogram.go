@@ -76,8 +76,13 @@ func (h *Histogram) bucketFor(v float64) int {
 	return lo // == len(bounds) for overflow
 }
 
-// Observe records one value. Safe for concurrent use.
+// Observe records one value. Safe for concurrent use. NaN observations
+// are dropped (not counted): a single NaN would otherwise poison the
+// CAS-accumulated sum and every Mean/Stats report derived from it.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	h.counts[h.bucketFor(v)].Add(1)
 	h.total.Add(1)
 	for {
@@ -113,12 +118,24 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
-// Max returns the maximum observed value (0 when empty).
+// Max returns the maximum observed value (0 when empty). A racing read
+// that lands between a concurrent Observe's count increment and its max
+// update reports 0 rather than the -Inf the max register is seeded with.
 func (h *Histogram) Max() float64 {
 	if h.Count() == 0 {
 		return 0
 	}
-	return math.Float64frombits(h.maxObs.Load())
+	return sanitizeMax(math.Float64frombits(h.maxObs.Load()))
+}
+
+// sanitizeMax clamps the seeded -Inf (and any NaN) out of a max register
+// read, so no consumer ever renders a non-finite maximum for a histogram
+// that has observations.
+func sanitizeMax(m float64) float64 {
+	if math.IsNaN(m) || math.IsInf(m, -1) {
+		return 0
+	}
+	return m
 }
 
 // Quantile returns an estimate of the q-th quantile (q in [0, 1]) by
@@ -162,7 +179,7 @@ func (h *Histogram) Buckets() HistogramBuckets {
 	b.Count = running
 	b.Sum = math.Float64frombits(h.sum.Load())
 	if running > 0 {
-		b.Max = math.Float64frombits(h.maxObs.Load())
+		b.Max = sanitizeMax(math.Float64frombits(h.maxObs.Load()))
 	}
 	return b
 }
@@ -176,16 +193,21 @@ func (b HistogramBuckets) Mean() float64 {
 }
 
 // Quantile answers the q-th quantile from the snapshot with the same
-// interpolation rule as Histogram.Quantile.
+// interpolation rule as Histogram.Quantile. q is clamped to [0, 1] (NaN
+// counts as 1). Ranks landing in the implicit +Inf overflow bucket report
+// the maximum observed value, floored at the last finite bound — so a
+// snapshot whose Max register is unset (zero value, or a read racing the
+// first Observe) still answers a finite, monotone quantile instead of 0,
+// -Inf, or NaN.
 func (b HistogramBuckets) Quantile(q float64) float64 {
 	if b.Count == 0 {
 		return 0
 	}
+	if math.IsNaN(q) || q > 1 {
+		q = 1
+	}
 	if q < 0 {
 		q = 0
-	}
-	if q > 1 {
-		q = 1
 	}
 	rank := int64(math.Ceil(q * float64(b.Count)))
 	if rank < 1 {
@@ -198,7 +220,7 @@ func (b HistogramBuckets) Quantile(q float64) float64 {
 			continue
 		}
 		if i == len(b.Bounds) {
-			return b.Max // overflow bucket
+			return b.overflowValue()
 		}
 		inBucket := cum - prev
 		lower := 0.0
@@ -210,7 +232,21 @@ func (b HistogramBuckets) Quantile(q float64) float64 {
 		frac := float64(rank-prev) / float64(inBucket)
 		return lower + (upper-lower)*frac
 	}
-	return b.Max
+	return b.overflowValue()
+}
+
+// overflowValue is the representative value of the +Inf overflow bucket:
+// the observed maximum when it is consistent (anything in the overflow
+// bucket must exceed the last bound), otherwise the last finite bound.
+func (b HistogramBuckets) overflowValue() float64 {
+	if len(b.Bounds) == 0 {
+		return sanitizeMax(b.Max)
+	}
+	last := b.Bounds[len(b.Bounds)-1]
+	if b.Max > last { // false for NaN, -Inf, and unset-zero Max
+		return b.Max
+	}
+	return last
 }
 
 // Snapshot renders the headline quantiles, convenient for logs.

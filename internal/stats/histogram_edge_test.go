@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// finite fails the test if v is NaN or ±Inf — the regression these tests
+// pin is Stats()/bench output rendering non-finite numbers.
+func finite(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("%s = %v, want a finite value", name, v)
+	}
+}
+
+// TestHistogramEmptyReadsAreFinite: every read path of a histogram with
+// zero observations must answer 0, never the -Inf the max register is
+// seeded with and never NaN.
+func TestHistogramEmptyReadsAreFinite(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for name, v := range map[string]float64{
+		"Max":            h.Max(),
+		"Mean":           h.Mean(),
+		"Sum":            h.Sum(),
+		"Quantile(0)":    h.Quantile(0),
+		"Quantile(0.5)":  h.Quantile(0.5),
+		"Quantile(1)":    h.Quantile(1),
+		"Buckets().Max":  h.Buckets().Max,
+		"Buckets().Mean": h.Buckets().Mean(),
+	} {
+		finite(t, name, v)
+		if v != 0 {
+			t.Errorf("%s = %v on an empty histogram, want 0", name, v)
+		}
+	}
+	if s := h.Snapshot(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("empty Snapshot renders non-finite values: %q", s)
+	}
+}
+
+// TestObserveNaNDropped: a NaN observation must not poison the
+// CAS-accumulated sum (one NaN would make every later Mean NaN forever).
+func TestObserveNaNDropped(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN observation counted: n=%d", h.Count())
+	}
+	h.Observe(1.5)
+	if got := h.Mean(); got != 1.5 {
+		t.Fatalf("Mean after NaN+1.5 = %v, want 1.5", got)
+	}
+	finite(t, "Max", h.Max())
+}
+
+// TestQuantileEdgeArguments: out-of-domain q must clamp, not propagate.
+func TestQuantileEdgeArguments(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{math.NaN(), 2},  // clamps to q=1: upper bound of the top occupied bucket
+		{2, 2},           // q > 1 clamps to 1
+		{-0.5, 1},        // q < 0 clamps to 0, which still answers rank 1
+		{math.Inf(1), 2}, // +Inf clamps to 1
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestOverflowBucketQuantiles is the table-driven pin for the overflow
+// bucket: manually assembled snapshots (the shapes a racing or
+// deserialized reader can observe) must answer finite, monotone
+// quantiles. The old code interpolated toward a zero or -Inf "max" and
+// reported garbage below the last bound.
+func TestOverflowBucketQuantiles(t *testing.T) {
+	cases := []struct {
+		name string
+		b    HistogramBuckets
+		q    float64
+		want float64
+	}{
+		{
+			name: "all mass in overflow, max unset (racing snapshot)",
+			b:    HistogramBuckets{Bounds: []float64{1, 2}, Cumulative: []int64{0, 0, 3}, Count: 3},
+			q:    0.99,
+			want: 2, // floored at the last finite bound
+		},
+		{
+			name: "all mass in overflow, max recorded",
+			b:    HistogramBuckets{Bounds: []float64{1, 2}, Cumulative: []int64{0, 0, 3}, Count: 3, Max: 9},
+			q:    0.99,
+			want: 9,
+		},
+		{
+			name: "overflow with inconsistent max below last bound",
+			b:    HistogramBuckets{Bounds: []float64{1, 2}, Cumulative: []int64{0, 0, 1}, Count: 1, Max: 0.5},
+			q:    1,
+			want: 2,
+		},
+		{
+			name: "overflow with -Inf max",
+			b:    HistogramBuckets{Bounds: []float64{4}, Cumulative: []int64{0, 2}, Count: 2, Max: math.Inf(-1)},
+			q:    0.5,
+			want: 4,
+		},
+		{
+			name: "no bounds at all",
+			b:    HistogramBuckets{Cumulative: []int64{2}, Count: 2, Max: 7},
+			q:    0.5,
+			want: 7,
+		},
+		{
+			name: "no bounds, NaN max",
+			b:    HistogramBuckets{Cumulative: []int64{2}, Count: 2, Max: math.NaN()},
+			q:    0.5,
+			want: 0,
+		},
+		{
+			name: "mass below and in overflow",
+			b:    HistogramBuckets{Bounds: []float64{1, 2}, Cumulative: []int64{2, 2, 4}, Count: 4, Max: 10},
+			q:    0.25,
+			want: 0.5, // interpolated inside the first bucket
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.b.Quantile(tc.q)
+			finite(t, "Quantile", got)
+			if got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLiveOverflowQuantileUsesObservedMax: the end-to-end path — observe
+// past every bound, read quantiles — must report the true maximum, and
+// Snapshot must stay finite throughout.
+func TestLiveOverflowQuantileUsesObservedMax(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50)
+	h.Observe(70)
+	if got := h.Quantile(0.99); got != 70 {
+		t.Fatalf("overflow quantile = %v, want the observed max 70", got)
+	}
+	if s := h.Snapshot(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Fatalf("Snapshot renders non-finite values: %q", s)
+	}
+}

@@ -23,6 +23,13 @@ go test -race -count=1 \
 echo "== server fault-injection suite under -race (oversized lines, slow loris, disconnects, shutdown drain)"
 go test -race -count=1 ./internal/server/
 
+echo "== dccheck differential sweep (optimized == naive references, all gen families)"
+go run ./cmd/dccheck -quick
+
+echo "== fuzz smoke (line protocol + graphio reader, 5s each)"
+go test -run '^$' -fuzz '^FuzzServerProtocol$' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz '^FuzzGraphioRead$' -fuzztime 5s ./internal/check/
+
 echo "== dcserve demo (512-node expander, 10k mixed queries)"
 go run ./cmd/dcserve -demo -queries 10000
 
