@@ -8,8 +8,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/packetsim"
-	"repro/internal/routing"
 	"repro/internal/rng"
+	"repro/internal/routing"
 	"repro/internal/spanner"
 )
 
@@ -90,6 +90,11 @@ var registry = []Scenario{
 		Name:        "oracle_batch",
 		Description: "distance-oracle batch answering (oracle.AnswerBatch) with caching disabled",
 		Prepare:     prepareOracleBatch,
+	},
+	{
+		Name:        "router_fanout",
+		Description: "oracle batches fanned across an in-process worker fleet over the binary wire protocol (router.AnswerBatch); fleet size = workers, each worker a single-threaded replica, so speedup tracks available cores",
+		Prepare:     prepareRouterFanout,
 	},
 	{
 		Name:        "packetsim_round",

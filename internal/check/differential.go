@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/oracle"
-	"repro/internal/routing"
 	"repro/internal/rng"
+	"repro/internal/routing"
 	"repro/internal/spanner"
 )
 
@@ -62,6 +62,8 @@ func Run(opts Options) (Report, error) {
 	}
 	runCacheTrace(&rep, opts)
 	logf("cache traces          checks=%d divergences=%d", rep.Checks, len(rep.Divergences))
+	runRouterDifferential(&rep, opts)
+	logf("router fleet          checks=%d divergences=%d", rep.Checks, len(rep.Divergences))
 	return rep, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/oracle"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // fuzzServer builds one small oracle + server shared across fuzz
@@ -30,7 +31,10 @@ var fuzzServer = sync.OnceValue(func() *server.Server {
 // via ServeStream. The session must never panic, every response line must
 // carry a known protocol prefix, and the graph.Unreachable sentinel (-1)
 // must never leak into a distance answer — disconnected pairs speak the
-// protocol word "unreachable".
+// protocol word "unreachable". Inputs whose first byte is the binary
+// protocol's magic byte open a binary session instead; for those the line
+// assertions do not apply (the output is frames, not lines) and the
+// property checked is simply no panic and no hang.
 func FuzzServerProtocol(f *testing.F) {
 	f.Add("dist 0 1\n")
 	f.Add("route 0 3\nstats\nquit\n")
@@ -41,10 +45,18 @@ func FuzzServerProtocol(f *testing.F) {
 	f.Add("nonsense\n\n  \n\x00\xff\n")
 	f.Add("dist 0 1") // no trailing newline
 	f.Add(strings.Repeat("a", 600) + "\ndist 1 2\n")
+	f.Add("\xd5CP2\x00\x02\x00\x02")     // valid binary hello, no frames
+	f.Add("\xd5CP2\x00\x02")             // truncated hello
+	f.Add("\xd5garbage after the magic") // binary-classified, corrupt hello
 	f.Fuzz(func(t *testing.T, input string) {
 		srv := fuzzServer()
 		var out bytes.Buffer
 		srv.ServeStream(context.Background(), strings.NewReader(input), &out)
+		if len(input) > 0 && input[0] == wire.MagicByte {
+			// Binary session: output is frames (or nothing). Returning
+			// without panicking is the property.
+			return
+		}
 		sc := bufio.NewScanner(&out)
 		sc.Buffer(make([]byte, 0, 4096), 1<<20)
 		for sc.Scan() {
@@ -70,6 +82,49 @@ func FuzzServerProtocol(f *testing.F) {
 	})
 }
 
+// FuzzWireFrame throws arbitrary bytes at the binary protocol's frame and
+// payload decoders. Truncated frames, oversized length prefixes, bad
+// magic, and lying batch counts must all come back as errors — never a
+// panic, and never an allocation driven by an attacker-chosen length
+// (the 1 KiB frame limit here means any decoded payload is at most 1 KiB,
+// whatever the length prefix claims). A frame that does decode must
+// re-encode and re-decode to itself.
+func FuzzWireFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x09, 0x01, 0, 0, 0, 0, 0, 0, 0, 1}) // minimal valid frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                               // 4 GiB length prefix
+	f.Add([]byte{0x00, 0x00, 0x00, 0x03})                               // body below the fixed header
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00, 0x02})                         // declared 256, carries 1
+	f.Add([]byte("\xd5CP2\x00\x02\x00\x02"))                            // a hello is not a frame
+	f.Add(wire.AppendFrame(nil, wire.Frame{Type: 0x02, ID: 7,
+		Payload: wire.AppendQueries(nil, []oracle.Query{{U: 1, V: 2}, {U: -1, V: 1 << 30}})}))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		const limit = 1 << 10
+		fr, err := wire.ReadFrame(bytes.NewReader(input), limit)
+		if err == nil {
+			if len(fr.Payload) > limit {
+				t.Fatalf("decoded payload of %d bytes exceeds the %d limit", len(fr.Payload), limit)
+			}
+			reenc := wire.AppendFrame(nil, fr)
+			again, rerr := wire.ReadFrame(bytes.NewReader(reenc), limit)
+			if rerr != nil {
+				t.Fatalf("re-decoding a decoded frame failed: %v", rerr)
+			}
+			if again.Type != fr.Type || again.ID != fr.ID || !bytes.Equal(again.Payload, fr.Payload) {
+				t.Fatalf("frame round trip changed: %+v -> %+v", fr, again)
+			}
+			// Payload decoders must be total on arbitrary payloads too.
+			wire.DecodeQueries(fr.Payload)
+			wire.DecodeAnswers(fr.Payload)
+			wire.DecodeQuery(fr.Payload)
+			wire.DecodeAnswer(fr.Payload)
+			wire.DecodeInfo(fr.Payload)
+		}
+		wire.ParseHello(input)
+		wire.ParseHelloReply(input)
+	})
+}
+
 // FuzzGraphioRead throws arbitrary bytes at the edge-list parser. Since
 // the parser validates before touching the builder it must never panic
 // (no recover here — a panic is a finding); every accepted graph must
@@ -81,10 +136,10 @@ func FuzzGraphioRead(f *testing.F) {
 	f.Add("n 0\n")
 	f.Add("n 3\n0 1\n1 2\n0 2\n")
 	f.Add("garbage")
-	f.Add("n 3\n0 1\n0 1\n")  // duplicate edge
-	f.Add("n 3\n1 1\n")       // self-loop
-	f.Add("n 3\n-1 2\n")      // negative vertex
-	f.Add("n 3\n0 7\n")       // out of range
+	f.Add("n 3\n0 1\n0 1\n")     // duplicate edge
+	f.Add("n 3\n1 1\n")          // self-loop
+	f.Add("n 3\n-1 2\n")         // negative vertex
+	f.Add("n 3\n0 7\n")          // out of range
 	f.Add("n 2\n4294967296 1\n") // would truncate to 0 under int32 casting
 	f.Add("n 99999999999\n")
 	f.Fuzz(func(t *testing.T, input string) {

@@ -1,0 +1,59 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples from a Zipf(s) distribution over {0, 1, …, n-1}:
+// P(k) ∝ 1/(k+1)^s. Load generators use it to model key skew — s=0 is
+// uniform, s≈1 is classic web-traffic skew where a few hot keys dominate.
+// Sampling is a binary search over a precomputed CDF, so construction is
+// O(n) and each sample O(log n) with no per-sample allocation. A Zipf is
+// immutable after construction and safe for concurrent use with
+// per-goroutine RNGs.
+type Zipf struct {
+	n   int
+	cdf []float64 // cdf[k] = P(X <= k); empty when s == 0 (uniform fast path)
+}
+
+// NewZipf builds the sampler. It panics when n < 1 or s is negative or
+// non-finite (a programming error, not input).
+func NewZipf(s float64, n int) *Zipf {
+	if n < 1 {
+		panic("rng: Zipf needs n >= 1")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic("rng: Zipf needs a finite s >= 0")
+	}
+	z := &Zipf{n: n}
+	if s == 0 {
+		return z
+	}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		z.cdf[k] = sum
+	}
+	for k := range z.cdf {
+		z.cdf[k] /= sum
+	}
+	return z
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws one value in [0, N()) using r.
+func (z *Zipf) Sample(r *RNG) int {
+	if z.cdf == nil {
+		return r.Intn(z.n)
+	}
+	u := r.Float64()
+	k := sort.SearchFloat64s(z.cdf, u)
+	if k >= z.n { // u can round to exactly 1.0
+		k = z.n - 1
+	}
+	return k
+}

@@ -1,0 +1,76 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfUniform(t *testing.T) {
+	z := NewZipf(0, 10)
+	r := New(1)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("uniform P(%d) = %.3f, want ~0.1", k, got)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1.1, 1000)
+	r := New(7)
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Key 0 must dominate key 99 by roughly 100^1.1 ≈ 158×; allow slack.
+	if counts[0] < 50*counts[99] {
+		t.Errorf("P(0)=%d not ≫ P(99)=%d for s=1.1", counts[0], counts[99])
+	}
+	// Monotone head: the first few ranks decrease.
+	if !(counts[0] > counts[1] && counts[1] > counts[4]) {
+		t.Errorf("head not decreasing: %v", counts[:5])
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		z := NewZipf(s, 3)
+		r := New(99)
+		for i := 0; i < 10000; i++ {
+			if k := z.Sample(r); k < 0 || k >= 3 {
+				t.Fatalf("s=%v sample %d out of [0,3)", s, k)
+			}
+		}
+	}
+	z := NewZipf(1, 1)
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if z.Sample(r) != 0 {
+			t.Fatal("n=1 sampler strayed")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(1, 0) },
+		func() { NewZipf(-1, 5) },
+		func() { NewZipf(math.NaN(), 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Zipf parameters did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

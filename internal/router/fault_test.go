@@ -1,0 +1,125 @@
+package router
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/server"
+)
+
+// withTimeout fails the test if fn does not return within d — fault paths
+// must degrade to errors, never to hangs.
+func withTimeout(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("fault path hung")
+	}
+}
+
+// TestWorkerDeathMidTraffic kills one of two workers between batches; the
+// router must retry onto the survivor and keep answering identically.
+func TestWorkerDeathMidTraffic(t *testing.T) {
+	fleet, r := startFleet(t, 2, Options{
+		HealthInterval: -1,
+		RequestTimeout: 5 * time.Second,
+	})
+	ref := refOracle(t)
+	qs := testQueries(64)
+
+	want := ref.AnswerBatch(qs)
+	check := func(label string) {
+		t.Helper()
+		var got []oracle.Answer
+		var err error
+		withTimeout(t, 30*time.Second, func() { got, err = r.AnswerBatch(qs) })
+		if err != nil {
+			t.Fatalf("%s: AnswerBatch: %v", label, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: answer %d: %+v, want %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	check("both workers up")
+	fleet.StopWorker(0)
+	// The dead worker's pooled connections fail on use; chunks assigned to
+	// it must retry on the survivor.
+	check("after worker 0 died")
+	if r.Counter("failures") != 0 {
+		t.Fatalf("failures = %d, want 0 (survivor should have absorbed the chunks)", r.Counter("failures"))
+	}
+	if r.HealthyWorkers() != 1 {
+		t.Fatalf("healthy workers = %d after a death, want 1", r.HealthyWorkers())
+	}
+	check("steady state with one worker")
+}
+
+// TestAllWorkersDead checks the batch fails with a clean error (and
+// quickly) when the whole fleet is gone — and that the text protocol
+// front answers per-line errors rather than dropping the connection.
+func TestAllWorkersDead(t *testing.T) {
+	fleet, r := startFleet(t, 2, Options{
+		HealthInterval: -1,
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 2 * time.Second,
+	})
+	fleet.Close()
+
+	withTimeout(t, 30*time.Second, func() {
+		if _, err := r.AnswerBatch(testQueries(8)); err == nil {
+			t.Error("batch against a dead fleet returned nil error")
+		}
+		if _, err := r.Dist(0, 1); err == nil {
+			t.Error("dist against a dead fleet returned nil error")
+		}
+	})
+	if r.Counter("failures") == 0 {
+		t.Fatal("dead fleet produced no failure count")
+	}
+
+	// The text front still owes index-aligned responses.
+	front := server.NewBackend(r, server.Config{})
+	out := serveScript(t, front, "batch 2\ndist 0 1\ndist 1 0\nquit\n")
+	if len(out) != 2 {
+		t.Fatalf("got %d batch response lines: %q", len(out), out)
+	}
+	for i, line := range out {
+		if !strings.HasPrefix(line, "err ") {
+			t.Fatalf("line %d = %q, want err", i, line)
+		}
+	}
+}
+
+// TestHealthLoopRecoversMarkdown kills a worker, lets traffic mark it
+// down, and checks the health loop notices the death (the rejoin half
+// needs a worker restart, which LocalFleet does not model — markdown is
+// the observable).
+func TestHealthLoopRecoversMarkdown(t *testing.T) {
+	fleet, r := startFleet(t, 2, Options{
+		HealthInterval: 50 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	})
+	fleet.StopWorker(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for r.HealthyWorkers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("health loop never marked the dead worker down (healthy=%d)", r.HealthyWorkers())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Traffic keeps working off the survivor.
+	if _, err := r.AnswerBatch(testQueries(16)); err != nil {
+		t.Fatalf("AnswerBatch after markdown: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/oracle"
+	"repro/internal/server"
+)
+
+// LocalFleet runs n in-process dcserve workers on loopback listeners —
+// the backing for dcrouter's -spawn mode, the router differential check,
+// the router_fanout benchmark, and the fault tests. Each worker gets its
+// own oracle (replicas are built per worker, not shared, so worker death
+// tests and per-worker metrics stay honest).
+type LocalFleet struct {
+	addrs   []string
+	cancels []context.CancelFunc
+	done    []chan error
+	wg      sync.WaitGroup
+}
+
+// StartLocalFleet boots n workers. newOracle builds worker i's oracle —
+// it must give each worker its own obs registry (or none): registries
+// panic on duplicate metric names. cfg applies to every worker's server.
+func StartLocalFleet(n int, newOracle func(i int) (*oracle.Oracle, error), cfg server.Config) (*LocalFleet, error) {
+	f := &LocalFleet{}
+	for i := 0; i < n; i++ {
+		o, err := newOracle(i)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("localfleet: worker %d oracle: %w", i, err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("localfleet: worker %d listen: %w", i, err)
+		}
+		srv := server.New(o, cfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		f.addrs = append(f.addrs, l.Addr().String())
+		f.cancels = append(f.cancels, cancel)
+		f.done = append(f.done, done)
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			done <- srv.Serve(ctx, l)
+		}()
+	}
+	return f, nil
+}
+
+// Addrs returns the workers' dial addresses, index-aligned with the
+// worker numbers.
+func (f *LocalFleet) Addrs() []string { return append([]string(nil), f.addrs...) }
+
+// StopWorker kills worker i (drains its server). Used by fault tests to
+// simulate worker death; the fleet keeps running without it.
+func (f *LocalFleet) StopWorker(i int) {
+	f.cancels[i]()
+	<-f.done[i]
+}
+
+// Close stops every worker and waits for their serve loops.
+func (f *LocalFleet) Close() {
+	for _, cancel := range f.cancels {
+		cancel()
+	}
+	f.wg.Wait()
+}

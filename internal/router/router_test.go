@@ -1,0 +1,257 @@
+package router
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/spanner"
+)
+
+// testOracle builds worker i's replica of the standard 128-node serving
+// fixture. Replicas are deterministic — every worker must answer
+// identically for the router's merge to be meaningful.
+func testOracle(t testing.TB) func(i int) (*oracle.Oracle, error) {
+	t.Helper()
+	return func(i int) (*oracle.Oracle, error) {
+		g := gen.MustRandomRegular(128, 32, rng.New(3))
+		dc, err := core.Build(g, core.Options{
+			Algorithm: core.AlgoExpander,
+			Seed:      3,
+			Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return oracle.New(dc, oracle.Options{Landmarks: 8})
+	}
+}
+
+// startFleet boots n workers plus a router over them, with test cleanup.
+func startFleet(t testing.TB, n int, opts Options) (*LocalFleet, *Router) {
+	t.Helper()
+	fleet, err := StartLocalFleet(n, testOracle(t), server.Config{})
+	if err != nil {
+		t.Fatalf("StartLocalFleet: %v", err)
+	}
+	t.Cleanup(fleet.Close)
+	opts.Workers = fleet.Addrs()
+	r, err := New(opts)
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return fleet, r
+}
+
+// refOracle is the single-process reference the routed answers must match.
+func refOracle(t testing.TB) *oracle.Oracle {
+	t.Helper()
+	o, err := testOracle(t)(0)
+	if err != nil {
+		t.Fatalf("reference oracle: %v", err)
+	}
+	return o
+}
+
+func testQueries(n int) []oracle.Query {
+	r := rng.New(42)
+	qs := make([]oracle.Query, n)
+	for i := range qs {
+		qs[i] = oracle.Query{U: int32(r.Intn(128)), V: int32(r.Intn(128))}
+	}
+	// A few invalid ones: the router must preserve sentinel semantics.
+	if n >= 4 {
+		qs[1] = oracle.Query{U: -3, V: 5}
+		qs[n/2] = oracle.Query{U: 5, V: 1 << 20}
+	}
+	return qs
+}
+
+// TestRoutedBatchMatchesSingleProcess is the core property: a batch fanned
+// across 3 workers merges back byte-identical to oracle.AnswerBatch.
+func TestRoutedBatchMatchesSingleProcess(t *testing.T) {
+	_, r := startFleet(t, 3, Options{HealthInterval: -1})
+	ref := refOracle(t)
+
+	for _, size := range []int{1, 2, 7, 64, 500} {
+		qs := testQueries(size)
+		got, err := r.AnswerBatch(qs)
+		if err != nil {
+			t.Fatalf("AnswerBatch(%d): %v", size, err)
+		}
+		want := ref.AnswerBatch(qs)
+		if len(got) != len(want) {
+			t.Fatalf("AnswerBatch(%d): %d answers, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d answer %d: routed %+v, single-process %+v", size, i, got[i], want[i])
+			}
+		}
+	}
+	if r.Counter("chunks") < 3 {
+		t.Fatalf("chunks = %d; the 500-query batch should have fanned out", r.Counter("chunks"))
+	}
+}
+
+// TestRoutedDistMatches checks the single-query path.
+func TestRoutedDistMatches(t *testing.T) {
+	_, r := startFleet(t, 2, Options{HealthInterval: -1})
+	ref := refOracle(t)
+	for _, q := range testQueries(20)[:8] {
+		if q.U < 0 || q.V < 0 || q.U >= 128 || q.V >= 128 {
+			continue
+		}
+		got, err := r.Dist(q.U, q.V)
+		if err != nil {
+			t.Fatalf("Dist(%d,%d): %v", q.U, q.V, err)
+		}
+		want, err := ref.Dist(q.U, q.V)
+		if err != nil {
+			t.Fatalf("reference Dist: %v", err)
+		}
+		if got != want {
+			t.Fatalf("Dist(%d,%d): routed %+v, single-process %+v", q.U, q.V, got, want)
+		}
+	}
+}
+
+// TestRouterDistOutOfRange checks deterministic request errors surface as
+// errors (not retried into a fleet failure).
+func TestRouterDistOutOfRange(t *testing.T) {
+	_, r := startFleet(t, 2, Options{HealthInterval: -1})
+	_, err := r.Dist(-1, 5)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Dist(-1,5) err = %v, want out-of-range", err)
+	}
+	if r.Counter("failures") != 0 {
+		t.Fatalf("a request error counted as a fleet failure")
+	}
+}
+
+// TestRouterAsBackend fronts the router with a server.Server and runs the
+// text protocol against the fleet — the dcrouter wiring in miniature.
+func TestRouterAsBackend(t *testing.T) {
+	_, r := startFleet(t, 2, Options{HealthInterval: -1})
+	front := server.NewBackend(r, server.Config{})
+
+	out := serveScript(t, front, "dist 0 1\nbatch 2\ndist 0 1\ndist 1 0\nstats\nroute 0 1\nquit\n")
+	if len(out) != 5 {
+		t.Fatalf("got %d response lines: %q", len(out), out)
+	}
+	if !strings.HasPrefix(out[0], "dist 0 1 = ") {
+		t.Fatalf("dist response: %q", out[0])
+	}
+	if stripLatency(out[0]) != out[1] {
+		t.Fatalf("batch answer %q != dist answer %q", out[1], out[0])
+	}
+	if !strings.Contains(out[3], "router") || !strings.Contains(out[3], "shard0") || !strings.Contains(out[3], "shard1") {
+		t.Fatalf("stats line misses per-shard counters: %q", out[3])
+	}
+	if !strings.HasPrefix(out[4], "err ") || !strings.Contains(out[4], "route") {
+		t.Fatalf("route through router: %q, want err", out[4])
+	}
+}
+
+// TestRouterMetrics checks the obs registry surface: router_* counters
+// and per-shard families on /metrics.
+func TestRouterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, r := startFleet(t, 2, Options{HealthInterval: -1, Registry: reg})
+	if _, err := r.AnswerBatch(testQueries(16)); err != nil {
+		t.Fatalf("AnswerBatch: %v", err)
+	}
+
+	srv := httptest.NewServer(obs.NewDebugMux(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"router_batches_total", "router_chunks_total",
+		"router_shard0_requests_total", "router_shard1_queries_total",
+		"router_healthy_workers 2", "router_workers 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics misses %q", want)
+		}
+	}
+}
+
+// TestRouterRejectsMismatchedFleet checks startup fails when workers are
+// not replicas (different N).
+func TestRouterRejectsMismatchedFleet(t *testing.T) {
+	small, err := StartLocalFleet(1, func(i int) (*oracle.Oracle, error) {
+		g := gen.MustRandomRegular(64, 32, rng.New(1))
+		dc, err := core.Build(g, core.Options{
+			Algorithm: core.AlgoExpander,
+			Seed:      1,
+			Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return oracle.New(dc, oracle.Options{Landmarks: 4})
+	}, server.Config{})
+	if err != nil {
+		t.Fatalf("small fleet: %v", err)
+	}
+	defer small.Close()
+	big, err := StartLocalFleet(1, testOracle(t), server.Config{})
+	if err != nil {
+		t.Fatalf("big fleet: %v", err)
+	}
+	defer big.Close()
+
+	r, err := New(Options{Workers: append(small.Addrs(), big.Addrs()...), HealthInterval: -1})
+	if err == nil {
+		r.Close()
+		t.Fatal("mixed-size fleet accepted")
+	}
+	if !strings.Contains(err.Error(), "not replicas") {
+		t.Fatalf("mixed-size fleet err = %v", err)
+	}
+}
+
+// serveScript runs a text-protocol script against a Backend-fronted
+// server (ServeStream).
+func serveScript(t testing.TB, srv *server.Server, script string) []string {
+	t.Helper()
+	var sb strings.Builder
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeStream(context.Background(), strings.NewReader(script), &sb)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ServeStream hung")
+	}
+	s := strings.TrimRight(sb.String(), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func stripLatency(line string) string {
+	if i := strings.LastIndex(line, " us="); i >= 0 {
+		return line[:i]
+	}
+	return line
+}

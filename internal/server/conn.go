@@ -8,6 +8,8 @@ import (
 	"net"
 	"strings"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // deadliner is the part of net.Conn the session needs for idle/write
@@ -25,11 +27,47 @@ type session struct {
 	dl  deadliner
 }
 
-// runSession speaks the protocol on in/out until EOF, "quit", a dead
-// connection, an idle timeout, or a server drain. Every exit flushes any
-// pending response first, so an in-flight request is answered before the
-// connection closes.
+// runSession classifies the connection's protocol from its first byte —
+// wire.MagicByte opens a binary frame session, anything else a text line
+// session — and runs the matching loop until EOF, "quit", a dead
+// connection, an idle timeout, or a server drain.
 func (s *Server) runSession(in io.Reader, out io.Writer, dl deadliner) {
+	br := bufio.NewReaderSize(in, 4096)
+	if s.draining.Load() {
+		return
+	}
+	// The sniff runs under the idle deadline like any other read: a
+	// connection that sends nothing is a slow loris whichever protocol it
+	// was going to speak. One byte suffices because the binary magic byte
+	// is non-ASCII — peeking more could hang an interactive text client
+	// that typed a short line.
+	if dl != nil && s.cfg.IdleTimeout > 0 {
+		dl.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		if isTimeout(err) && !s.draining.Load() {
+			s.counters.Add("timeouts", 1)
+			s.counters.Add("errs", 1)
+			if dl != nil && s.cfg.WriteTimeout > 0 {
+				dl.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			io.WriteString(out, "err idle timeout, closing connection\n")
+		}
+		return
+	}
+	if first[0] == wire.MagicByte {
+		s.counters.Add("binconns", 1)
+		s.runBinarySession(br, out, dl)
+		return
+	}
+	s.runTextSession(br, out, dl)
+}
+
+// runTextSession speaks the line protocol over an already-sniffed reader.
+// Every exit flushes any pending response first, so an in-flight request
+// is answered before the connection closes.
+func (s *Server) runTextSession(in io.Reader, out io.Writer, dl deadliner) {
 	sess := &session{srv: s, rd: newLineReader(in, s.cfg.MaxLineBytes), w: bufio.NewWriter(out), dl: dl}
 	defer sess.flush()
 	for {

@@ -19,7 +19,7 @@ func (sess *session) handle(line string) error {
 	if len(fields) == 0 {
 		return sess.respondErrf("empty command")
 	}
-	o := sess.srv.o
+	o := sess.srv.b
 	switch fields[0] {
 	case "stats":
 		return sess.respond("stats " + sess.srv.statsLine())
@@ -83,7 +83,7 @@ func (sess *session) handleBatch(fields []string) error {
 	resp := make([]string, 0, cap0) // pre-rendered errors; "" = answered by the oracle
 	qs := make([]oracle.Query, 0, cap0)
 	qIdx := make([]int, 0, cap0)
-	limit := int32(srv.o.N())
+	limit := int32(srv.b.N())
 	for i := 0; i < n; i++ {
 		resp = append(resp, "")
 		sess.armReadDeadline()
@@ -128,9 +128,18 @@ func (sess *session) handleBatch(fields []string) error {
 			srv.counters.Add("errs", 1)
 		}
 	}
-	answers := srv.o.AnswerBatch(qs)
-	for j, a := range answers {
-		resp[qIdx[j]] = formatDist(a, -1)
+	answers, berr := srv.b.AnswerBatch(qs)
+	if berr != nil {
+		// A failed backend (a fleet with no live workers) still owes the
+		// client its n index-aligned lines.
+		srv.counters.Add("errs", int64(len(qs)))
+		for _, i := range qIdx {
+			resp[i] = "err " + berr.Error()
+		}
+	} else {
+		for j, a := range answers {
+			resp[qIdx[j]] = formatDist(a, -1)
+		}
 	}
 	srv.counters.Add("batches", 1)
 	srv.counters.Add("requests", int64(n)) // each batched line is a request

@@ -1,10 +1,13 @@
-// Package server is the hardened serving layer between cmd/dcserve and
-// the query oracle: it owns the connection lifecycle (accept loop,
-// connection-count semaphore, per-connection idle and write deadlines,
-// context-based graceful shutdown that drains in-flight requests) and the
-// line protocol (dist/route/batch/stats/quit), with bounded request-line
-// lengths and per-server request/error counters surfaced through the
-// extended stats response.
+// Package server is the hardened serving layer between cmd/dcserve (and
+// cmd/dcrouter) and a query backend: it owns the connection lifecycle
+// (accept loop, connection-count semaphore, per-connection idle and write
+// deadlines, context-based graceful shutdown that drains in-flight
+// requests) and both protocol flavors — the line protocol below and the
+// binary frame protocol of internal/wire — with bounded request sizes and
+// per-server request/error counters surfaced through the extended stats
+// response. The protocol is sniffed from the first byte of each
+// connection: wire.MagicByte opens a binary session, anything else is a
+// text session.
 //
 // Protocol (one request per line; responses are one line each unless
 // noted):
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // Defaults for the zero Config.
@@ -69,6 +74,11 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: connections still open this
 	// long after the context is cancelled are force-closed.
 	DrainTimeout time.Duration
+	// MaxFrameBytes bounds one binary (wire v2) frame body. The zero value
+	// picks the larger of wire.DefaultMaxFrameBytes and whatever a
+	// MaxBatch-sized batch frame needs, so the two limits can never
+	// disagree.
+	MaxFrameBytes int
 	// Logf, when set, receives serve-loop diagnostics (accept errors).
 	Logf func(format string, args ...any)
 	// Registry, when set, exposes the serving counters as
@@ -97,13 +107,20 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = wire.DefaultMaxFrameBytes
+		if need := wire.BatchFrameBytes(c.MaxBatch) + 64; need > c.MaxFrameBytes {
+			c.MaxFrameBytes = need
+		}
+	}
 	return c
 }
 
-// Server serves the line protocol for one oracle. A Server is single-use:
-// once its context is cancelled (draining), it does not serve again.
+// Server serves both protocol flavors for one backend. A Server is
+// single-use: once its context is cancelled (draining), it does not serve
+// again.
 type Server struct {
-	o        *oracle.Oracle
+	b        Backend
 	cfg      Config
 	counters *stats.Counters
 	sem      chan struct{}
@@ -113,14 +130,21 @@ type Server struct {
 	conns map[net.Conn]struct{}
 }
 
-// New builds a Server over o. cfg's zero fields take the package defaults.
+// New builds a Server over a single in-process oracle — the common case,
+// kept as the front door so call sites predating Backend read unchanged.
 func New(o *oracle.Oracle, cfg Config) *Server {
+	return NewBackend(OracleBackend{o}, cfg)
+}
+
+// NewBackend builds a Server over any Backend. cfg's zero fields take the
+// package defaults.
+func NewBackend(b Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		o:   o,
+		b:   b,
 		cfg: cfg,
 		counters: stats.NewCounters(
-			"conns", "busy", "requests", "batches", "errs", "toolong", "timeouts"),
+			"conns", "busy", "requests", "batches", "errs", "toolong", "timeouts", "binconns"),
 		sem:   make(chan struct{}, cfg.MaxConns),
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -133,8 +157,8 @@ func New(o *oracle.Oracle, cfg Config) *Server {
 	return s
 }
 
-// Counter exposes a named serving counter (see New for the set) — conns,
-// busy, requests, batches, errs, toolong, timeouts.
+// Counter exposes a named serving counter (see NewBackend for the set) —
+// conns, busy, requests, batches, errs, toolong, timeouts, binconns.
 func (s *Server) Counter(name string) int64 { return s.counters.Get(name) }
 
 // Active returns the number of currently tracked connections.
@@ -272,8 +296,17 @@ func (s *Server) closeAll() {
 	s.mu.Unlock()
 }
 
-// statsLine renders the extended stats response: the oracle's serving
-// report plus the server's connection/request/error counters.
+// statsLine renders the extended stats response: the backend's serving
+// report plus the server's connection/request/error counters, each side
+// rendered from a single snapshot so the line never mixes counter values
+// from different instants within one source.
 func (s *Server) statsLine() string {
-	return fmt.Sprintf("%s | server %s active=%d", s.o.Stats().String(), s.counters.String(), s.Active())
+	var b strings.Builder
+	b.WriteString(s.b.StatsLine())
+	b.WriteString(" | server")
+	for _, cv := range s.counters.Snapshot() {
+		fmt.Fprintf(&b, " %s=%d", cv.Name, cv.Value)
+	}
+	fmt.Fprintf(&b, " active=%d", s.Active())
+	return b.String()
 }

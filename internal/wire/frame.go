@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/oracle"
+)
+
+// Frame is one decoded protocol frame. ReadFrame allocates Payload per
+// frame, so a frame stays valid while later frames are read — which is
+// what lets a pipelining server hand each frame to its own handler
+// goroutine.
+type Frame struct {
+	Type    byte
+	ID      uint64
+	Payload []byte
+}
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	body := frameBodyMin + len(f.Payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, f.Type)
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame writes one frame. maxBody bounds the frame body exactly like
+// ReadFrame, so a writer never emits a frame its symmetric peer must
+// reject (0 means DefaultMaxFrameBytes).
+func WriteFrame(w io.Writer, f Frame, maxBody int) error {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxFrameBytes
+	}
+	if frameBodyMin+len(f.Payload) > maxBody {
+		return fmt.Errorf("%w (payload %d, limit %d)", ErrFrameTooBig, len(f.Payload), maxBody)
+	}
+	_, err := w.Write(AppendFrame(make([]byte, 0, frameHeaderLen+frameBodyMin+len(f.Payload)), f))
+	return err
+}
+
+// ReadFrame reads one frame. maxBody bounds the frame body (type + id +
+// payload; 0 means DefaultMaxFrameBytes): a length prefix above it
+// returns ErrFrameTooBig before any allocation, so a hostile 4 GiB
+// length costs the server four bytes of reading and nothing else. A
+// length below the fixed body header returns ErrShortFrame. Either
+// corruption error leaves the stream unsynchronized — the connection
+// must close.
+func ReadFrame(r io.Reader, maxBody int) (Frame, error) {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxFrameBytes
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if body > uint32(maxBody) {
+		return Frame{}, fmt.Errorf("%w (length %d, limit %d)", ErrFrameTooBig, body, maxBody)
+	}
+	if body < frameBodyMin {
+		return Frame{}, fmt.Errorf("%w (length %d)", ErrShortFrame, body)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A truncated body is a dead or lying peer either way.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Type: buf[0], ID: binary.BigEndian.Uint64(buf[1:9]), Payload: buf[frameBodyMin:]}, nil
+}
+
+// AppendHello appends the 8-byte client hello advertising [minV, maxV].
+func AppendHello(dst []byte, minV, maxV uint16) []byte {
+	dst = append(dst, Magic[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, minV)
+	return binary.BigEndian.AppendUint16(dst, maxV)
+}
+
+// ParseHello decodes a client hello. Short input or wrong magic errors.
+func ParseHello(b []byte) (minV, maxV uint16, err error) {
+	if len(b) < HelloLen {
+		return 0, 0, fmt.Errorf("wire: hello is %d bytes, want %d", len(b), HelloLen)
+	}
+	if [4]byte(b[:4]) != Magic {
+		return 0, 0, ErrBadMagic
+	}
+	return binary.BigEndian.Uint16(b[4:6]), binary.BigEndian.Uint16(b[6:8]), nil
+}
+
+// AppendHelloReply appends the 8-byte server reply carrying the
+// negotiated version (0 = negotiation failed, connection closing).
+func AppendHelloReply(dst []byte, version uint16) []byte {
+	dst = append(dst, Magic[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, version)
+	return binary.BigEndian.AppendUint16(dst, 0) // flags, reserved
+}
+
+// ParseHelloReply decodes the server hello reply.
+func ParseHelloReply(b []byte) (version uint16, err error) {
+	if len(b) < HelloLen {
+		return 0, fmt.Errorf("wire: hello reply is %d bytes, want %d", len(b), HelloLen)
+	}
+	if [4]byte(b[:4]) != Magic {
+		return 0, ErrBadMagic
+	}
+	return binary.BigEndian.Uint16(b[4:6]), nil
+}
+
+// AppendQuery appends one encoded query.
+func AppendQuery(dst []byte, q oracle.Query) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(q.U))
+	return binary.BigEndian.AppendUint32(dst, uint32(q.V))
+}
+
+// DecodeQuery decodes a MsgDist payload.
+func DecodeQuery(b []byte) (oracle.Query, error) {
+	if len(b) != queryLen {
+		return oracle.Query{}, fmt.Errorf("wire: dist payload is %d bytes, want %d", len(b), queryLen)
+	}
+	return oracle.Query{
+		U: int32(binary.BigEndian.Uint32(b[0:4])),
+		V: int32(binary.BigEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// AppendQueries appends a count-prefixed query slice (a MsgBatch payload).
+func AppendQueries(dst []byte, qs []oracle.Query) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(qs)))
+	for _, q := range qs {
+		dst = AppendQuery(dst, q)
+	}
+	return dst
+}
+
+// DecodeQueries decodes a MsgBatch payload. The declared count must
+// account for the payload exactly — a count that disagrees with the
+// bytes actually present errors instead of trusting either side, so the
+// count can never drive an allocation beyond the (already length-bounded)
+// payload.
+func DecodeQueries(b []byte) ([]oracle.Query, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: batch payload is %d bytes, want >= 4", len(b))
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(count)*queryLen != uint64(len(rest)) {
+		return nil, fmt.Errorf("wire: batch declares %d queries but carries %d bytes", count, len(rest))
+	}
+	qs := make([]oracle.Query, count)
+	for i := range qs {
+		qs[i] = oracle.Query{
+			U: int32(binary.BigEndian.Uint32(rest[i*queryLen:])),
+			V: int32(binary.BigEndian.Uint32(rest[i*queryLen+4:])),
+		}
+	}
+	return qs, nil
+}
+
+const answerFlagExact = 1 << 0
+
+// AppendAnswer appends one encoded answer.
+func AppendAnswer(dst []byte, a oracle.Answer) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.U))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.V))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.Dist))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.Bound))
+	var flags byte
+	if a.Exact {
+		flags |= answerFlagExact
+	}
+	return append(dst, flags)
+}
+
+func decodeAnswer(b []byte) oracle.Answer {
+	return oracle.Answer{
+		U:     int32(binary.BigEndian.Uint32(b[0:4])),
+		V:     int32(binary.BigEndian.Uint32(b[4:8])),
+		Dist:  int32(binary.BigEndian.Uint32(b[8:12])),
+		Bound: int32(binary.BigEndian.Uint32(b[12:16])),
+		Exact: b[16]&answerFlagExact != 0,
+	}
+}
+
+// DecodeAnswer decodes a MsgDistR payload.
+func DecodeAnswer(b []byte) (oracle.Answer, error) {
+	if len(b) != answerLen {
+		return oracle.Answer{}, fmt.Errorf("wire: answer payload is %d bytes, want %d", len(b), answerLen)
+	}
+	return decodeAnswer(b), nil
+}
+
+// AppendAnswers appends a count-prefixed answer slice (a MsgBatchR
+// payload).
+func AppendAnswers(dst []byte, as []oracle.Answer) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(as)))
+	for _, a := range as {
+		dst = AppendAnswer(dst, a)
+	}
+	return dst
+}
+
+// DecodeAnswers decodes a MsgBatchR payload under the same
+// count-must-match-bytes rule as DecodeQueries.
+func DecodeAnswers(b []byte) ([]oracle.Answer, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: batch answer payload is %d bytes, want >= 4", len(b))
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(count)*answerLen != uint64(len(rest)) {
+		return nil, fmt.Errorf("wire: batch answer declares %d answers but carries %d bytes", count, len(rest))
+	}
+	as := make([]oracle.Answer, count)
+	for i := range as {
+		as[i] = decodeAnswer(rest[i*answerLen:])
+	}
+	return as, nil
+}
+
+// Info is the MsgInfoR payload: the serving shape a client needs before
+// generating traffic.
+type Info struct {
+	N        int // vertex count; queries must have endpoints in [0, N)
+	MaxBatch int // largest accepted batch
+}
+
+// AppendInfo appends an encoded Info.
+func AppendInfo(dst []byte, info Info) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(info.N))
+	return binary.BigEndian.AppendUint32(dst, uint32(info.MaxBatch))
+}
+
+// DecodeInfo decodes a MsgInfoR payload.
+func DecodeInfo(b []byte) (Info, error) {
+	if len(b) != 8 {
+		return Info{}, fmt.Errorf("wire: info payload is %d bytes, want 8", len(b))
+	}
+	return Info{
+		N:        int(binary.BigEndian.Uint32(b[0:4])),
+		MaxBatch: int(binary.BigEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// BatchFrameBytes returns the frame-body size of a batch request or
+// response carrying n entries — what a Config needs to size its frame
+// limit so its own batch limit fits.
+func BatchFrameBytes(n int) int {
+	return frameBodyMin + 4 + n*answerLen
+}

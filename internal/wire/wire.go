@@ -1,0 +1,133 @@
+// Package wire is protocol version 2 of the serving wire format: a
+// versioned, length-prefixed binary frame protocol carrying dist/batch/
+// stats/info requests with pipelining. Version 1 is the human-readable
+// line protocol of internal/server; v2 exists for the fleet tier —
+// cmd/dcrouter fans batches out to workers over pooled v2 connections and
+// cmd/dcload drives either server flavor at load.
+//
+// # Connection establishment
+//
+// A v2 connection opens with an 8-byte client hello
+//
+//	magic[4] | minVersion uint16 | maxVersion uint16
+//
+// and the server answers an 8-byte reply
+//
+//	magic[4] | version uint16 | flags uint16
+//
+// where version is the highest protocol version both sides support
+// (Negotiate, modeled on udpx's ProtocolVersionAtLeast discipline:
+// versions are ordered, and each side states the interval it speaks). A
+// reply version of 0 means no overlap; the server closes after sending
+// it. The first magic byte is deliberately non-ASCII, so a server
+// serving both protocols on one port classifies a connection from a
+// single peeked byte: 0xD5 is v2, anything else is the text protocol.
+//
+// # Frames
+//
+// After the handshake both directions speak frames:
+//
+//	length uint32 | type uint8 | id uint64 | payload…
+//
+// length counts everything after itself (1 + 8 + len(payload)) and is
+// bounded by the receiver's frame limit — an oversized length is a
+// protocol error answered before any allocation, never an allocation.
+// All integers are big-endian. id is assigned by the client and echoed
+// verbatim in the matching response; clients may keep any number of
+// requests in flight and servers may answer them out of order
+// (pipelining), which is what makes one pooled connection carry many
+// concurrent batches.
+//
+// # Messages
+//
+//	MsgDist   -> MsgDistR   one distance query / one Answer
+//	MsgBatch  -> MsgBatchR  count-prefixed query slice / Answer slice
+//	MsgStats  -> MsgStatsR  server stats report (UTF-8 text)
+//	MsgInfo   -> MsgInfoR   vertex count + batch limit of the server
+//	          <- MsgErr     UTF-8 error text for the echoed id
+//
+// Batch answers mirror oracle.AnswerBatch exactly — invalid queries
+// answer the Unreachable sentinel at their index instead of failing the
+// batch — so a routed batch is byte-identical to a single-process one
+// (the property internal/check's router differential gates on).
+package wire
+
+import "fmt"
+
+// Magic prefixes every v2 connection in both directions. MagicByte (the
+// first byte) is the protocol discriminator: no text-protocol request
+// can begin with it.
+var Magic = [4]byte{0xD5, 'C', 'P', '2'}
+
+// MagicByte is Magic[0], exported for single-byte protocol sniffing.
+const MagicByte = 0xD5
+
+// The protocol versions this package speaks. Version 1 is the text line
+// protocol (never spoken in frames); the binary format starts at 2.
+const (
+	VersionMin uint16 = 2
+	VersionMax uint16 = 2
+)
+
+// Frame types. Requests have the high bit clear, responses set; MsgErr
+// answers any request type.
+const (
+	MsgDist   byte = 0x01
+	MsgBatch  byte = 0x02
+	MsgStats  byte = 0x03
+	MsgInfo   byte = 0x04
+	MsgDistR  byte = 0x81
+	MsgBatchR byte = 0x82
+	MsgStatsR byte = 0x83
+	MsgInfoR  byte = 0x84
+	MsgErr    byte = 0xFF
+)
+
+// Sizes of the fixed wire structures.
+const (
+	HelloLen = 8 // magic[4] + two uint16
+	// frameHeaderLen is the length prefix itself.
+	frameHeaderLen = 4
+	// frameBodyMin is type + id, the smallest legal frame body.
+	frameBodyMin = 1 + 8
+	// queryLen is one encoded Query (u, v int32).
+	queryLen = 8
+	// answerLen is one encoded Answer (u, v, dist, bound int32 + flags).
+	answerLen = 17
+)
+
+// DefaultMaxFrameBytes bounds one frame body (type + id + payload) when
+// the caller does not choose a limit. It comfortably holds the default
+// server batch limit (16384 answers ≈ 272 KiB).
+const DefaultMaxFrameBytes = 1 << 20
+
+// Negotiate resolves the version spoken on a connection: the highest
+// version inside both [cMin, cMax] and [sMin, sMax]. ok is false when
+// the intervals do not overlap (or either is empty).
+func Negotiate(cMin, cMax, sMin, sMax uint16) (version uint16, ok bool) {
+	lo, hi := cMin, cMax
+	if sMin > lo {
+		lo = sMin
+	}
+	if sMax < hi {
+		hi = sMax
+	}
+	if lo > hi {
+		return 0, false
+	}
+	return hi, true
+}
+
+// RemoteError is a MsgErr response: the server answered the request with
+// a protocol-level error instead of a result.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// protocol corruption errors (distinct from io errors: the connection
+// cannot be resynced and must close).
+var (
+	ErrBadMagic    = fmt.Errorf("wire: bad magic")
+	ErrFrameTooBig = fmt.Errorf("wire: frame exceeds size limit")
+	ErrShortFrame  = fmt.Errorf("wire: frame shorter than its fixed header")
+)

@@ -26,8 +26,9 @@ go test -race -count=1 ./internal/server/
 echo "== dccheck differential sweep (optimized == naive references, all gen families)"
 go run ./cmd/dccheck -quick
 
-echo "== fuzz smoke (line protocol + graphio reader, 5s each)"
+echo "== fuzz smoke (line protocol + wire frames + graphio reader, 5s each)"
 go test -run '^$' -fuzz '^FuzzServerProtocol$' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz '^FuzzGraphioRead$' -fuzztime 5s ./internal/check/
 
 echo "== dcserve demo (512-node expander, 10k mixed queries)"
@@ -66,6 +67,33 @@ kill -INT "$SRV_PID"
 wait "$SRV_PID" || { echo "dcserve did not drain cleanly"; exit 1; }
 trap - EXIT
 echo "scraped $(grep -c '^[a-z]' /tmp/dcserve.verify.metrics) samples from /metrics"
+
+echo "== fleet e2e smoke (2-worker dcrouter + dcload over the binary protocol)"
+go build -o /tmp/dcrouter.verify ./cmd/dcrouter
+go build -o /tmp/dcload.verify ./cmd/dcload
+rm -f /tmp/dcrouter.verify.log
+# -d 64 keeps the 256-node graph inside the Theorem 2 expander regime
+# (core.Build requires degree > n^{2/3}).
+/tmp/dcrouter.verify -spawn 2 -n 256 -d 64 -listen 127.0.0.1:0 \
+    >/tmp/dcrouter.verify.log 2>&1 &
+RTR_PID=$!
+trap 'kill "$RTR_PID" 2>/dev/null || true' EXIT
+RTR_ADDR=""
+for _ in $(seq 1 300); do
+    RTR_ADDR=$(sed -n 's/^router serving on \([^ ]*\).*/\1/p' /tmp/dcrouter.verify.log)
+    [ -n "$RTR_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RTR_ADDR" ] || { echo "dcrouter never announced its address"; cat /tmp/dcrouter.verify.log; exit 1; }
+# dcload exits 1 on zero answered requests or >1% errors, so its exit
+# status is the assertion.
+/tmp/dcload.verify -addr "$RTR_ADDR" -duration 2s -conns 4 -batch 1:3,16:1 -zipf 0.9 \
+    || { echo "dcload run against the router failed"; cat /tmp/dcrouter.verify.log; exit 1; }
+kill -TERM "$RTR_PID"
+wait "$RTR_PID" || { echo "dcrouter did not drain cleanly"; cat /tmp/dcrouter.verify.log; exit 1; }
+trap - EXIT
+grep -q '^drained, exiting' /tmp/dcrouter.verify.log || { echo "dcrouter missing drain banner"; cat /tmp/dcrouter.verify.log; exit 1; }
+echo "fleet e2e: router drained cleanly"
 
 echo "== dcspan CPU profile smoke"
 rm -f /tmp/dcspan.verify.pprof
