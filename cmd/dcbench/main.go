@@ -4,11 +4,18 @@
 // Usage:
 //
 //	dcbench [-quick] [-seed N] [-workers N] [-iters N] [-warmup N]
-//	        [-run a,b,...] [-out DIR] [-list]
+//	        [-run a,b,...] [-out DIR] [-compare DIR] [-tolerance F] [-list]
 //
 // Results for a fixed seed are deterministic across worker counts (the
 // harness verifies this per run and records it in the JSON); timings, of
 // course, are not. See DESIGN.md §9 for the schema and methodology.
+//
+// -compare DIR turns the run into a regression gate: each scenario's
+// fresh measurement is checked against DIR/BENCH_<name>.json and the
+// process exits non-zero when one is more than -tolerance (default 25%)
+// slower than its committed baseline, or when the determinism fingerprint
+// changed at an identical configuration. Scenarios without a baseline
+// file are noted and skipped.
 package main
 
 import (
@@ -29,6 +36,8 @@ func main() {
 		warmup  = flag.Int("warmup", 0, "untimed warmup iterations (0 = default 1)")
 		run     = flag.String("run", "", "comma-separated scenario names (default: all)")
 		out     = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		compare = flag.String("compare", "", "baseline directory of BENCH_<name>.json files to regression-gate against")
+		tol     = flag.Float64("tolerance", bench.DefaultTolerance, "allowed ns/op slowdown vs baseline before -compare fails")
 		list    = flag.Bool("list", false, "list scenarios and exit")
 	)
 	seed := cliutil.RegisterSeedFlag(flag.CommandLine, bench.DefaultSeed)
@@ -83,6 +92,16 @@ func main() {
 		if !m.Deterministic {
 			fmt.Fprintf(os.Stderr, "dcbench: %s: serial and parallel fingerprints diverged\n", m.Name)
 			failed = true
+		}
+		if *compare != "" {
+			compared, err := bench.CompareDir(m, *compare, *tol)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+				failed = true
+			case !compared:
+				fmt.Fprintf(os.Stderr, "dcbench: %s: no baseline in %s, skipping comparison\n", m.Name, *compare)
+			}
 		}
 	}
 	if failed {

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultTolerance is the regression gate -compare applies: a scenario
+// more than 25% slower than its committed baseline fails the run.
+const DefaultTolerance = 0.25
+
+// Compare gates a fresh measurement against a committed baseline. It
+// returns an error when m regressed: ns/op more than tolerance above the
+// baseline's, or — when the two runs are configured identically (same
+// seed, size class, and schema) — a changed determinism fingerprint,
+// which means the kernels now compute different results, a bug no timing
+// tolerance excuses. Faster-than-baseline runs always pass; timings are
+// compared only between same-size runs, since quick and full inputs are
+// different workloads.
+func Compare(m, base *Measurement, tolerance float64) error {
+	if m.Name != base.Name {
+		return fmt.Errorf("bench: comparing %q against baseline for %q", m.Name, base.Name)
+	}
+	if m.Seed == base.Seed && m.Quick == base.Quick {
+		if m.Fingerprint != base.Fingerprint {
+			return fmt.Errorf("bench: %s: fingerprint %s differs from baseline %s at identical seed — results changed, not just timings",
+				m.Name, m.Fingerprint, base.Fingerprint)
+		}
+	}
+	if m.Quick != base.Quick {
+		return nil // different size classes: timings are not comparable
+	}
+	limit := float64(base.NsPerOp) * (1 + tolerance)
+	if float64(m.NsPerOp) > limit {
+		return fmt.Errorf("bench: %s: %d ns/op is %.1f%% above baseline %d ns/op (tolerance %.0f%%)",
+			m.Name, m.NsPerOp,
+			100*(float64(m.NsPerOp)/float64(base.NsPerOp)-1),
+			base.NsPerOp, 100*tolerance)
+	}
+	return nil
+}
+
+// CompareDir gates m against dir/BENCH_<name>.json. A missing baseline is
+// not a regression — new scenarios land before their first committed
+// baseline — so it reports (false, nil): not compared, no error.
+func CompareDir(m *Measurement, dir string, tolerance float64) (bool, error) {
+	path := filepath.Join(dir, Filename(m.Name))
+	base, err := ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return true, Compare(m, base, tolerance)
+}

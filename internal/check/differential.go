@@ -136,6 +136,62 @@ func runFamily(rep *Report, f Family, opts Options) {
 		checkVerifyKernels(rep, f.Name, v, g, distG, distH, opts, r.Split())
 		checkCongestion(rep, f.Name, v, opts, r.Split())
 	}
+
+	checkBFSKernels(rep, f.Name, g, opts, r.Split())
+}
+
+// checkBFSKernels is the multi-source kernel differential: the
+// bit-parallel kernel, the scalar parallel kernel, and the naive
+// per-source BFS must produce identical distance rows at every worker
+// count (bit-parallel == scalar == naive). Sources are a stride sample
+// wide enough to cross a 64-source word boundary plus a duplicate, so
+// group packing and the duplicate-source path are both exercised.
+func checkBFSKernels(rep *Report, family string, g *graph.Graph, opts Options, r *rng.RNG) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	count := 70 // crosses one bitGroup boundary
+	if count > 2*n {
+		count = 2 * n
+	}
+	srcs := make([]int32, 0, count+1)
+	for i := 0; i < count; i++ {
+		srcs = append(srcs, int32(r.Intn(n)))
+	}
+	srcs = append(srcs, srcs[0]) // duplicate source
+	naive := make([][]int32, len(srcs))
+	for i, s := range srcs {
+		naive[i] = g.BFS(s)
+	}
+	for _, w := range workerCounts {
+		ck := &checker{rep: rep, family: family,
+			check: fmt.Sprintf("bfs-kernels/workers=%d", w), seed: opts.Seed}
+		scalar := g.ParallelBFSFrom(srcs, w)
+		bitp := g.BitParallelBFSFrom(srcs, w)
+		for i := range srcs {
+			if !ck.assert(int32sEqual(scalar.Row(i), naive[i]),
+				"scalar kernel row %d (source %d) differs from naive BFS", i, srcs[i]) {
+				break
+			}
+			if !ck.assert(int32sEqual(bitp.Row(i), naive[i]),
+				"bit-parallel kernel row %d (source %d) differs from naive BFS", i, srcs[i]) {
+				break
+			}
+		}
+	}
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // forestSpanner returns a spanning forest of g plus a random ~30% of the
@@ -210,11 +266,11 @@ func sampleQueries(n, count int, r *rng.RNG) []oracle.Query {
 }
 
 // refBound recomputes the landmark upper bound min_l d(u,l) + d(l,v) from
-// the exact distance matrix and the oracle's own landmark choice.
-func refBound(distH [][]int32, lms []int32, u, v int32) int32 {
+// the exact distance table and the oracle's own landmark choice.
+func refBound(distH *graph.TriDist, lms []int32, u, v int32) int32 {
 	best := graph.Unreachable
 	for _, l := range lms {
-		du, dv := distH[l][u], distH[l][v]
+		du, dv := distH.At(l, u), distH.At(l, v)
 		if du == graph.Unreachable || dv == graph.Unreachable {
 			continue
 		}
@@ -230,14 +286,14 @@ func refBound(distH [][]int32, lms []int32, u, v int32) int32 {
 // otherwise the bounded-search contract applies: an inexact answer is
 // allowed only when the true distance exceeds the bound, and it must then
 // serve exactly the landmark bound.
-func checkAnswer(ck *checker, a oracle.Answer, distH [][]int32, lms []int32, maxDist int32) {
+func checkAnswer(ck *checker, a oracle.Answer, distH *graph.TriDist, lms []int32, maxDist int32) {
 	u, v := a.U, a.V
 	if u == v {
 		ck.assert(a.Dist == 0 && a.Bound == 0 && a.Exact,
 			"(%d,%d): self-query got dist=%d bound=%d exact=%v", u, v, a.Dist, a.Bound, a.Exact)
 		return
 	}
-	ref := distH[u][v]
+	ref := distH.At(u, v)
 	bound := refBound(distH, lms, u, v)
 	if !ck.assert(a.Bound == bound,
 		"(%d,%d): bound=%d, reference landmark bound=%d", u, v, a.Bound, bound) {
@@ -264,7 +320,7 @@ func checkAnswer(ck *checker, a oracle.Answer, distH [][]int32, lms []int32, max
 // landmark count × cache configuration, two passes (cold then cache-warm),
 // the bounded-search mode, AnswerBatch at every worker count, and invalid
 // queries.
-func checkOracle(rep *Report, family string, v variant, distH [][]int32, opts Options, r *rng.RNG) {
+func checkOracle(rep *Report, family string, v variant, distH *graph.TriDist, opts Options, r *rng.RNG) {
 	n := v.h.N()
 	qn := 150
 	if !opts.Quick {
@@ -369,7 +425,7 @@ func checkOracle(rep *Report, family string, v variant, distH [][]int32, opts Op
 // reports computed from the exact distance matrices. Agreement is exact
 // (float bit equality), not approximate — the references reduce in the
 // same order as the kernels.
-func checkVerifyKernels(rep *Report, family string, v variant, g *graph.Graph, distG, distH [][]int32, opts Options, r *rng.RNG) {
+func checkVerifyKernels(rep *Report, family string, v variant, g *graph.Graph, distG, distH *graph.TriDist, opts Options, r *rng.RNG) {
 	edgeRef := EdgeStretch(g, distH, alpha)
 	for _, w := range workerCounts {
 		ck := &checker{rep: rep, family: family,

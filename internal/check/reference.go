@@ -15,27 +15,34 @@ import (
 // path, one mutex-free linked-list LRU. Do not optimize them — their
 // value is that a reviewer can see they are correct at a glance.
 
-// AllPairs returns the exact all-pairs hop-distance matrix of g via one
-// independent BFS per source (graph.BFS, the simplest BFS in the repo).
-// dist[u][v] is graph.Unreachable for disconnected pairs.
-func AllPairs(g *graph.Graph) [][]int32 {
-	out := make([][]int32, g.N())
-	for v := 0; v < g.N(); v++ {
-		out[v] = g.BFS(int32(v))
+// AllPairs returns the exact all-pairs hop-distance table of g via one
+// independent BFS per source (graph.BFS, the simplest BFS in the repo) —
+// deliberately not the bit-parallel kernel, which this table is the
+// reference for. At(u, v) is graph.Unreachable for disconnected pairs; the
+// triangular layout stores each unordered pair once (symmetry is a BFS
+// theorem, not an implementation detail the reference relies on).
+func AllPairs(g *graph.Graph) *graph.TriDist {
+	n := g.N()
+	out := graph.NewTriDist(n)
+	for v := 0; v < n; v++ {
+		row := g.BFS(int32(v))
+		for w := v + 1; w < n; w++ {
+			out.Set(int32(v), int32(w), row[w])
+		}
 	}
 	return out
 }
 
 // EdgeStretch recomputes spanner.VerifyEdgeStretch's report from an exact
-// distance matrix of h: for every edge (u, v) of g, the per-edge stretch
+// distance table of h: for every edge (u, v) of g, the per-edge stretch
 // is dist_H(u, v) (the edge has length 1 in G), +Inf when h disconnects
 // the endpoints. The reduction runs in g's edge order with the same
 // arithmetic as the optimized kernel, so agreement is exact, not
 // approximate.
-func EdgeStretch(g *graph.Graph, distH [][]int32, alpha int) spanner.StretchReport {
+func EdgeStretch(g *graph.Graph, distH *graph.TriDist, alpha int) spanner.StretchReport {
 	stretch := make([]float64, 0, g.M())
 	for _, e := range g.Edges() {
-		d := distH[e.U][e.V]
+		d := distH.At(e.U, e.V)
 		if d == graph.Unreachable {
 			stretch = append(stretch, math.Inf(1))
 		} else {
@@ -46,14 +53,14 @@ func EdgeStretch(g *graph.Graph, distH [][]int32, alpha int) spanner.StretchRepo
 }
 
 // PairStretch recomputes spanner.VerifyPairStretch's report for an
-// explicit pair sample from exact distance matrices of g and h, with the
+// explicit pair sample from exact distance tables of g and h, with the
 // optimized kernel's value conventions: both-unreachable counts as
 // stretch 1, h-only-unreachable as +Inf.
-func PairStretch(distG, distH [][]int32, pairs [][2]int32) spanner.StretchReport {
+func PairStretch(distG, distH *graph.TriDist, pairs [][2]int32) spanner.StretchReport {
 	stretch := make([]float64, 0, len(pairs))
 	for _, p := range pairs {
-		dg := distG[p[0]][p[1]]
-		dh := distH[p[0]][p[1]]
+		dg := distG.At(p[0], p[1])
+		dh := distH.At(p[0], p[1])
 		switch {
 		case dg == graph.Unreachable && dh == graph.Unreachable:
 			stretch = append(stretch, 1)

@@ -13,49 +13,61 @@ import (
 // TestBuildPhaseTrace: a traced build yields a span tree whose phases
 // nest under the root and whose per-phase durations sum to approximately
 // the root's total (everything expensive in Build is inside a span).
+//
+// The coverage assertion is about wall time on a sub-millisecond build,
+// so a single scheduler preemption between spans can push the unspanned
+// share past the budget on a loaded host. The structural assertions run
+// on every attempt; the timing one only needs to hold once.
 func TestBuildPhaseTrace(t *testing.T) {
 	g := gen.MustRandomRegular(216, 60, rng.New(3))
-	root := obs.StartSpan("build")
-	_, err := Build(g, Options{
-		Algorithm: AlgoExpander,
-		Seed:      3,
-		Expander:  spanner.ExpanderOptions{EnsureConnected: true},
-		Trace:     root,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	root.End()
+	const attempts = 5
+	covered := false
+	var sum, total time.Duration
+	for try := 0; try < attempts && !covered; try++ {
+		root := obs.StartSpan("build")
+		_, err := Build(g, Options{
+			Algorithm: AlgoExpander,
+			Seed:      3,
+			Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+			Trace:     root,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.End()
 
-	kids := root.Children()
-	if len(kids) != 2 || kids[0].Name() != "expander" || kids[1].Name() != "validate" {
-		names := make([]string, len(kids))
-		for i, k := range kids {
-			names[i] = k.Name()
+		kids := root.Children()
+		if len(kids) != 2 || kids[0].Name() != "expander" || kids[1].Name() != "validate" {
+			names := make([]string, len(kids))
+			for i, k := range kids {
+				names[i] = k.Name()
+			}
+			t.Fatalf("top-level phases = %v, want [expander validate]", names)
 		}
-		t.Fatalf("top-level phases = %v, want [expander validate]", names)
-	}
-	var sum time.Duration
-	for _, k := range kids {
-		if k.Duration() > root.Duration() {
-			t.Errorf("phase %s (%v) exceeds total (%v)", k.Name(), k.Duration(), root.Duration())
+		sum, total = 0, root.Duration()
+		for _, k := range kids {
+			if k.Duration() > total {
+				t.Errorf("phase %s (%v) exceeds total (%v)", k.Name(), k.Duration(), total)
+			}
+			sum += k.Duration()
 		}
-		sum += k.Duration()
+		if sum > total {
+			t.Errorf("phase sum %v exceeds total %v", sum, total)
+		}
+		// The phases cover the build: at most 20% of the total is unspanned.
+		covered = sum >= total*4/5
+		// The expander phase itself decomposes into sample/connectivity spans.
+		sub := kids[0].Children()
+		if len(sub) < 2 || sub[0].Name() != "sample-edges" || sub[1].Name() != "connectivity-check" {
+			t.Fatalf("expander sub-phases wrong: %v", sub)
+		}
+		if sub[0].KVs()["kept"] == "" {
+			t.Error("sample-edges span missing kept KV")
+		}
 	}
-	if sum > root.Duration() {
-		t.Errorf("phase sum %v exceeds total %v", sum, root.Duration())
-	}
-	// The phases cover the build: at most 20% of the total is unspanned.
-	if sum < root.Duration()*4/5 {
-		t.Errorf("phase sum %v < 80%% of total %v — a phase is missing a span", sum, root.Duration())
-	}
-	// The expander phase itself decomposes into sample/connectivity spans.
-	sub := kids[0].Children()
-	if len(sub) < 2 || sub[0].Name() != "sample-edges" || sub[1].Name() != "connectivity-check" {
-		t.Fatalf("expander sub-phases wrong: %v", sub)
-	}
-	if sub[0].KVs()["kept"] == "" {
-		t.Error("sample-edges span missing kept KV")
+	if !covered {
+		t.Errorf("phase sum %v < 80%% of total %v on all %d attempts — a phase is missing a span",
+			sum, total, attempts)
 	}
 }
 

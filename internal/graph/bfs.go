@@ -30,8 +30,9 @@ func (g *Graph) BFSWithin(src int32, limit int32) []int32 {
 // Unreachable). If parent is non-nil it records BFS-tree parents (parent of
 // src is src). Vertices beyond limit hops are not explored when limit >= 0.
 // The queue is reused storage allocated per call; for bulk workloads use
-// NewBFSScratch.
-func (g *Graph) bfsInto(src, limit int32, dist, parent []int32) {
+// NewBFSScratch. It returns the number of queue entries scanned — the
+// work-counting seam the depth-limit test pins the early break on.
+func (g *Graph) bfsInto(src, limit int32, dist, parent []int32) int {
 	queue := make([]int32, 0, 64)
 	queue = append(queue, src)
 	dist[src] = 0
@@ -42,7 +43,10 @@ func (g *Graph) bfsInto(src, limit int32, dist, parent []int32) {
 		v := queue[head]
 		dv := dist[v]
 		if limit >= 0 && dv >= limit {
-			continue
+			// Queue distances are monotone non-decreasing, so every later
+			// entry is at or beyond the limit level too: stop instead of
+			// scanning the rest of the queue one by one.
+			return head + 1
 		}
 		for _, w := range g.Neighbors(v) {
 			if dist[w] == Unreachable {
@@ -54,10 +58,14 @@ func (g *Graph) bfsInto(src, limit int32, dist, parent []int32) {
 			}
 		}
 	}
+	return len(queue)
 }
 
 // Dist returns the hop distance between u and v, or Unreachable if they are
-// in different components. It runs a bidirectional-ish early-exit BFS from u.
+// in different components. It runs a plain unidirectional BFS from u that
+// exits as soon as v is discovered; callers that need the bidirectional
+// machinery (meet-in-the-middle frontiers) use the oracle's bounded
+// bidirectional search, which carries its own scratch.
 func (g *Graph) Dist(u, v int32) int32 {
 	if u == v {
 		return 0

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// bitGroup is the number of sources one BitBFS pass advances: one bit per
+// source in a machine word.
+const bitGroup = 64
+
+// BitBFS is the bit-parallel multi-source BFS kernel: it advances up to 64
+// sources per pass, one bit per source packed into a uint64 per vertex.
+//
+// Layout (word-major): frontier[v], next[v], and visited[v] each hold one
+// word for vertex v whose bit j means "source j's search has reached v".
+// One sweep over the CSR adjacency then advances all 64 searches at once —
+// for every frontier vertex v, OR frontier[v] into next[w] for each
+// neighbor w — so the per-level cost is one graph scan regardless of how
+// many of the 64 sources are still active. A commit pass turns newly set
+// bits into distance entries.
+//
+// A BitBFS serves one goroutine at a time; the parallel drivers give each
+// worker its own instance from an internal pool.
+type BitBFS struct {
+	n        int
+	frontier []uint64
+	next     []uint64
+	visited  []uint64
+	rows     [][]int32 // per-run row cache, avoids Row() math in the hot loop
+}
+
+// NewBitBFS allocates scratch for graphs with n vertices.
+func NewBitBFS(n int) *BitBFS {
+	return &BitBFS{
+		n:        n,
+		frontier: make([]uint64, n),
+		next:     make([]uint64, n),
+		visited:  make([]uint64, n),
+		rows:     make([][]int32, 0, bitGroup),
+	}
+}
+
+// Run executes BFS from up to 64 sources simultaneously on g, writing hop
+// distances into out rows [row, row+len(sources)): out.Row(row+j) becomes
+// g.BFS(sources[j]) element for element (Unreachable for vertices source j
+// cannot reach). Duplicate sources are allowed and produce identical rows.
+//
+// The result is a pure function of (g, sources), which is what lets the
+// parallel drivers above it keep the byte-identical-at-any-worker-count
+// determinism contract.
+func (b *BitBFS) Run(g *Graph, sources []int32, out *FlatDist, row int) {
+	k := len(sources)
+	if k == 0 {
+		return
+	}
+	if k > bitGroup {
+		panic(fmt.Sprintf("graph: BitBFS.Run with %d sources > %d", k, bitGroup))
+	}
+	if g.n != b.n {
+		panic(fmt.Sprintf("graph: BitBFS sized for n=%d run on n=%d", b.n, g.n))
+	}
+	for i := range b.frontier {
+		b.frontier[i] = 0
+		b.next[i] = 0
+		b.visited[i] = 0
+	}
+	rows := b.rows[:0]
+	for j, s := range sources {
+		r := out.Row(row + j)
+		for i := range r {
+			r[i] = Unreachable
+		}
+		r[s] = 0
+		rows = append(rows, r)
+		bit := uint64(1) << uint(j)
+		b.frontier[s] |= bit
+		b.visited[s] |= bit
+	}
+	for level := int32(1); ; level++ {
+		// Scatter: one sweep over the adjacency of the current frontier
+		// advances every search whose bit is set.
+		for v := int32(0); v < int32(g.n); v++ {
+			fv := b.frontier[v]
+			if fv == 0 {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				b.next[w] |= fv
+			}
+		}
+		// Commit: newly reached (vertex, source) bits become distances and
+		// form the next frontier.
+		active := false
+		for v := range b.next {
+			nv := b.next[v] &^ b.visited[v]
+			b.next[v] = 0
+			b.frontier[v] = nv
+			if nv == 0 {
+				continue
+			}
+			b.visited[v] |= nv
+			active = true
+			for rem := nv; rem != 0; rem &= rem - 1 {
+				rows[bits.TrailingZeros64(rem)][v] = level
+			}
+		}
+		if !active {
+			return
+		}
+	}
+}
+
+// bitBFSPool recycles BitBFS scratch (and block tables for the sweep
+// driver) across kernel invocations so steady-state multi-source sweeps
+// allocate nothing. Entries sized for a different n are discarded.
+var bitBFSPool sync.Pool
+
+type bitScratch struct {
+	bfs   *BitBFS
+	block *FlatDist // sweep-driver group table, bitGroup rows max
+}
+
+func getBitScratch(n int) *bitScratch {
+	if s, ok := bitBFSPool.Get().(*bitScratch); ok && s.bfs.n == n {
+		return s
+	}
+	return &bitScratch{bfs: NewBitBFS(n), block: NewFlatDist(0, n)}
+}
+
+func putBitScratch(s *bitScratch) { bitBFSPool.Put(s) }
+
+// BitParallelBFSFrom computes BFS distances from every source through the
+// bit-parallel kernel on a pool of `workers` goroutines (0 means
+// Workers()) and returns the flat distance table: row i equals
+// g.BFS(sources[i]) element for element. Sources are processed in groups
+// of 64 (one machine word per group), groups are distributed over the
+// pool, and each group writes only its own rows, so the table is
+// byte-identical for every worker count.
+func (g *Graph) BitParallelBFSFrom(sources []int32, workers int) *FlatDist {
+	out := NewFlatDist(len(sources), g.n)
+	g.BitParallelBFSInto(sources, workers, out)
+	return out
+}
+
+// BitParallelBFSInto is BitParallelBFSFrom writing into a caller-owned
+// table (Reset to len(sources)×g.N()) so steady-state sweeps reuse one
+// slab instead of reallocating per call.
+func (g *Graph) BitParallelBFSInto(sources []int32, workers int, out *FlatDist) {
+	if out.Rows() != len(sources) || out.N() != g.n {
+		panic(fmt.Sprintf("graph: BitParallelBFSInto table is %dx%d, want %dx%d",
+			out.Rows(), out.N(), len(sources), g.n))
+	}
+	groups := (len(sources) + bitGroup - 1) / bitGroup
+	ParallelRangeWorkers(groups, workers, func(w, lo, hi int) {
+		s := getBitScratch(g.n)
+		for gi := lo; gi < hi; gi++ {
+			start := gi * bitGroup
+			end := start + bitGroup
+			if end > len(sources) {
+				end = len(sources)
+			}
+			s.bfs.Run(g, sources[start:end], out, start)
+		}
+		putBitScratch(s)
+	})
+}
+
+// BitParallelBFSSweep is the streaming form of BitParallelBFSFrom: it
+// computes each source's distances in 64-source groups and hands every
+// completed row to visit(i, src, dist), where i is the source's index.
+// The dist slice is per-worker group scratch reused for later groups —
+// visit must not retain it. visit is called once per source, never
+// concurrently for the same index, and must write results only into
+// per-index slots (the determinism contract of ParallelBFSSweep, which
+// shares this signature).
+func (g *Graph) BitParallelBFSSweep(sources []int32, workers int, visit func(i int, src int32, dist []int32)) {
+	groups := (len(sources) + bitGroup - 1) / bitGroup
+	ParallelRangeWorkers(groups, workers, func(w, lo, hi int) {
+		s := getBitScratch(g.n)
+		for gi := lo; gi < hi; gi++ {
+			start := gi * bitGroup
+			end := start + bitGroup
+			if end > len(sources) {
+				end = len(sources)
+			}
+			s.block.Reset(end-start, g.n)
+			s.bfs.Run(g, sources[start:end], s.block, 0)
+			for i := start; i < end; i++ {
+				visit(i, sources[i], s.block.Row(i-start))
+			}
+		}
+		putBitScratch(s)
+	})
+}
+
+// bitParallelProfitable is the kernel-choice heuristic behind the
+// MultiSource* entry points. The bit-parallel kernel wins when searches
+// share levels — dense, small-diameter graphs — because one adjacency
+// sweep then advances 64 searches that would each have scanned the graph
+// alone. On sparse, high-diameter graphs (paths, trees) its per-level
+// commit pass over all n vertices makes a full 64-source group cost
+// O(diameter·n) words, which loses to 64 cheap scalar BFS runs; average
+// degree ≥ 8 is the cheap proxy separating the regimes. The choice
+// depends only on the graph and the source count, never on the worker
+// count, so it cannot perturb the determinism contract.
+func (g *Graph) bitParallelProfitable(k int) bool {
+	return k >= 2 && g.m >= 4*g.n && g.m >= 64
+}
+
+// MultiSourceBFSFrom computes one distance row per source, choosing
+// between the scalar per-source kernel (ParallelBFSFrom) and the
+// bit-parallel kernel (BitParallelBFSFrom) by the density heuristic
+// above. Both kernels produce identical tables; only the cost differs.
+func (g *Graph) MultiSourceBFSFrom(sources []int32, workers int) *FlatDist {
+	if g.bitParallelProfitable(len(sources)) {
+		return g.BitParallelBFSFrom(sources, workers)
+	}
+	return g.ParallelBFSFrom(sources, workers)
+}
+
+// MultiSourceBFSSweep streams one distance row per source to visit,
+// choosing the kernel like MultiSourceBFSFrom. The visit contract is that
+// of ParallelBFSSweep / BitParallelBFSSweep (shared signature).
+func (g *Graph) MultiSourceBFSSweep(sources []int32, workers int, visit func(i int, src int32, dist []int32)) {
+	if g.bitParallelProfitable(len(sources)) {
+		g.BitParallelBFSSweep(sources, workers, visit)
+		return
+	}
+	g.ParallelBFSSweep(sources, workers, visit)
+}

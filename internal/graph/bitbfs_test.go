@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// expectRowsMatchBFS asserts that table row i equals g.BFS(sources[i]) for
+// every source.
+func expectRowsMatchBFS(t *testing.T, g *Graph, sources []int32, table *FlatDist, label string) {
+	t.Helper()
+	if table.Rows() != len(sources) || table.N() != g.N() {
+		t.Fatalf("%s: table is %dx%d, want %dx%d",
+			label, table.Rows(), table.N(), len(sources), g.N())
+	}
+	for i, s := range sources {
+		want := g.BFS(s)
+		if !reflect.DeepEqual(table.Row(i), want) {
+			t.Fatalf("%s: row %d (source %d) differs from serial BFS\n got %v\nwant %v",
+				label, i, s, table.Row(i), want)
+		}
+	}
+}
+
+func TestBitBFSRunMatchesSerialBFS(t *testing.T) {
+	g := randomKernelGraph(300, 1200, 17)
+	r := rng.New(4)
+	sources := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32(r.Intn(g.N()))
+	}
+	table := NewFlatDist(len(sources), g.N())
+	NewBitBFS(g.N()).Run(g, sources, table, 0)
+	expectRowsMatchBFS(t, g, sources, table, "full 64-source group")
+
+	// Partial group, reusing the same scratch (state must fully reset).
+	small := []int32{0, int32(g.N() - 1), 5}
+	table.Reset(len(small), g.N())
+	bb := NewBitBFS(g.N())
+	bb.Run(g, []int32{1}, NewFlatDist(1, g.N()), 0) // dirty the scratch first
+	bb.Run(g, small, table, 0)
+	expectRowsMatchBFS(t, g, small, table, "partial group after reuse")
+}
+
+func TestBitBFSDuplicateSourcesProduceIdenticalRows(t *testing.T) {
+	g := randomKernelGraph(100, 400, 23)
+	sources := []int32{7, 7, 42, 7}
+	table := NewFlatDist(len(sources), g.N())
+	NewBitBFS(g.N()).Run(g, sources, table, 0)
+	expectRowsMatchBFS(t, g, sources, table, "duplicate sources")
+	if !reflect.DeepEqual(table.Row(0), table.Row(1)) || !reflect.DeepEqual(table.Row(0), table.Row(3)) {
+		t.Fatal("duplicate sources produced different rows")
+	}
+}
+
+func TestBitBFSDisconnectedComponents(t *testing.T) {
+	// Two disjoint triangles {0,1,2} and {3,4,5} plus an isolated vertex 6.
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g := b.BuildDedup()
+	sources := []int32{0, 3, 6}
+	table := NewFlatDist(len(sources), g.N())
+	NewBitBFS(g.N()).Run(g, sources, table, 0)
+	expectRowsMatchBFS(t, g, sources, table, "disconnected")
+	if d := table.At(0, 4); d != Unreachable {
+		t.Fatalf("cross-component distance = %d, want Unreachable", d)
+	}
+	if d := table.At(2, 2); d != Unreachable {
+		t.Fatalf("isolated-source distance to 2 = %d, want Unreachable", d)
+	}
+}
+
+func TestBitParallelBFSFromMultiGroupAcrossWorkers(t *testing.T) {
+	g := randomKernelGraph(250, 1000, 31)
+	r := rng.New(9)
+	// 150 sources: two full 64-source words plus a 22-source tail group.
+	sources := make([]int32, 150)
+	for i := range sources {
+		sources[i] = int32(r.Intn(g.N()))
+	}
+	want := g.BitParallelBFSFrom(sources, 1)
+	expectRowsMatchBFS(t, g, sources, want, "workers=1")
+	for _, workers := range []int{0, 2, 4, 9} {
+		got := g.BitParallelBFSFrom(sources, workers)
+		if !reflect.DeepEqual(got.Data(), want.Data()) {
+			t.Fatalf("workers=%d: bit-parallel table differs from workers=1", workers)
+		}
+	}
+}
+
+func TestBitParallelBFSIntoReusesTable(t *testing.T) {
+	g := randomKernelGraph(80, 320, 41)
+	sources := []int32{1, 2, 3, 70}
+	table := NewFlatDist(len(sources), g.N())
+	g.BitParallelBFSInto(sources, 2, table)
+	expectRowsMatchBFS(t, g, sources, table, "first fill")
+	// Reuse the same slab for a different source set.
+	sources2 := []int32{79, 0}
+	table.Reset(len(sources2), g.N())
+	g.BitParallelBFSInto(sources2, 1, table)
+	expectRowsMatchBFS(t, g, sources2, table, "after Reset reuse")
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched table did not panic")
+		}
+	}()
+	g.BitParallelBFSInto(sources, 1, table) // wrong row count now
+}
+
+func TestBitParallelBFSSweepMatchesSerialAcrossWorkers(t *testing.T) {
+	g := randomKernelGraph(180, 800, 51)
+	r := rng.New(12)
+	sources := make([]int32, 100) // crosses a group boundary
+	for i := range sources {
+		sources[i] = int32(r.Intn(g.N()))
+	}
+	want := make([][]int32, len(sources))
+	for i, s := range sources {
+		want[i] = g.BFS(s)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		got := make([][]int32, len(sources))
+		g.BitParallelBFSSweep(sources, workers, func(i int, src int32, dist []int32) {
+			if src != sources[i] {
+				t.Errorf("index %d: got source %d, want %d", i, src, sources[i])
+			}
+			got[i] = append([]int32(nil), dist...)
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: bit-parallel sweep differs from serial BFS", workers)
+		}
+	}
+}
+
+func TestBitBFSEmptyAndTinyGraphs(t *testing.T) {
+	// Zero sources: no-op.
+	g := randomKernelGraph(10, 20, 3)
+	NewBitBFS(g.N()).Run(g, nil, NewFlatDist(0, g.N()), 0)
+
+	// One-vertex graph.
+	one := NewBuilder(1).BuildDedup()
+	table := NewFlatDist(1, 1)
+	NewBitBFS(1).Run(one, []int32{0}, table, 0)
+	if table.At(0, 0) != 0 {
+		t.Fatalf("one-vertex self distance = %d, want 0", table.At(0, 0))
+	}
+
+	// Empty graph through the driver: zero sources, zero rows.
+	empty := NewBuilder(0).BuildDedup()
+	out := empty.BitParallelBFSFrom(nil, 2)
+	if out.Rows() != 0 || out.N() != 0 {
+		t.Fatalf("empty-graph table is %dx%d, want 0x0", out.Rows(), out.N())
+	}
+}
+
+func TestBitBFSPathGraphHighDiameter(t *testing.T) {
+	// A pure path stresses the level loop: diameter n-1 levels.
+	n := 200
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.BuildDedup()
+	sources := []int32{0, int32(n - 1), int32(n / 2)}
+	table := g.BitParallelBFSFrom(sources, 2)
+	expectRowsMatchBFS(t, g, sources, table, "path graph")
+	if g.bitParallelProfitable(len(sources)) {
+		t.Fatal("sparse path graph should not select the bit-parallel kernel")
+	}
+}
+
+func TestBitBFSRejectsOversizedGroupAndWrongN(t *testing.T) {
+	g := randomKernelGraph(70, 200, 7)
+	bb := NewBitBFS(g.N())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("65-source group did not panic")
+			}
+		}()
+		bb.Run(g, make([]int32, 65), NewFlatDist(65, g.N()), 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("n-mismatched scratch did not panic")
+			}
+		}()
+		NewBitBFS(g.N()+1).Run(g, []int32{0}, NewFlatDist(1, g.N()), 0)
+	}()
+}
+
+func TestMultiSourceBFSDispatchMatchesBothKernels(t *testing.T) {
+	// Dense graph: heuristic picks bit-parallel; sparse: scalar. Either way
+	// the table must equal both kernels' output.
+	dense := randomKernelGraph(120, 3000, 61) // m >= 4n, bit-parallel regime
+	sparse := randomKernelGraph(300, 100, 62) // m < 4n, scalar regime
+	if !dense.bitParallelProfitable(8) {
+		t.Fatalf("dense graph (n=%d m=%d) should be bit-parallel profitable", dense.N(), dense.M())
+	}
+	if sparse.bitParallelProfitable(8) {
+		t.Fatalf("sparse graph (n=%d m=%d) should not be bit-parallel profitable", sparse.N(), sparse.M())
+	}
+	for _, g := range []*Graph{dense, sparse} {
+		r := rng.New(77)
+		sources := make([]int32, 70)
+		for i := range sources {
+			sources[i] = int32(r.Intn(g.N()))
+		}
+		want := g.ParallelBFSFrom(sources, 1)
+		for _, workers := range []int{1, 3} {
+			got := g.MultiSourceBFSFrom(sources, workers)
+			if !reflect.DeepEqual(got.Data(), want.Data()) {
+				t.Fatalf("n=%d m=%d workers=%d: MultiSourceBFSFrom differs from scalar kernel",
+					g.N(), g.M(), workers)
+			}
+			sweep := NewFlatDist(len(sources), g.N())
+			g.MultiSourceBFSSweep(sources, workers, func(i int, src int32, dist []int32) {
+				copy(sweep.Row(i), dist)
+			})
+			if !reflect.DeepEqual(sweep.Data(), want.Data()) {
+				t.Fatalf("n=%d m=%d workers=%d: MultiSourceBFSSweep differs from scalar kernel",
+					g.N(), g.M(), workers)
+			}
+		}
+	}
+}
+
+func TestBitParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := randomKernelGraph(220, 1500, 91)
+	r := rng.New(15)
+	sources := make([]int32, 130)
+	for i := range sources {
+		sources[i] = int32(r.Intn(g.N()))
+	}
+	base := g.BitParallelBFSFrom(sources, 1)
+	scalar := g.ParallelBFSFrom(sources, 1)
+	if !reflect.DeepEqual(base.Data(), scalar.Data()) {
+		t.Fatal("bit-parallel table differs from scalar table")
+	}
+	for _, workers := range []int{0, 2, 4, 9} {
+		got := g.BitParallelBFSFrom(sources, workers)
+		if !reflect.DeepEqual(got.Data(), base.Data()) {
+			t.Fatalf("workers=%d: table not byte-identical to workers=1", workers)
+		}
+	}
+}

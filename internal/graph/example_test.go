@@ -6,10 +6,10 @@ import (
 	"repro/internal/graph"
 )
 
-// ParallelBFSFrom computes one full BFS distance slice per source over a
-// worker pool. Results are index-aligned with the sources and identical
-// for every worker count — the determinism contract all evaluation
-// kernels build on (DESIGN.md §9).
+// ParallelBFSFrom computes one full BFS distance row per source over a
+// worker pool into a flat row-major table. Rows are index-aligned with
+// the sources and identical for every worker count — the determinism
+// contract all evaluation kernels build on (DESIGN.md §9).
 func ExampleGraph_ParallelBFSFrom() {
 	// A path graph 0-1-2-3-4.
 	b := graph.NewBuilder(5)
@@ -19,9 +19,33 @@ func ExampleGraph_ParallelBFSFrom() {
 	g := b.BuildDedup()
 
 	dists := g.ParallelBFSFrom([]int32{0, 4}, 2)
-	fmt.Println(dists[0])
-	fmt.Println(dists[1])
+	fmt.Println(dists.Row(0))
+	fmt.Println(dists.Row(1))
 	// Output:
 	// [0 1 2 3 4]
 	// [4 3 2 1 0]
+}
+
+// BitBFS advances up to 64 BFS searches at once, one bit per source in a
+// uint64 word per vertex, writing hop distances into a FlatDist table.
+// Each row equals the plain per-source BFS — the bit-parallel kernel is a
+// faster route to the same answers (DESIGN.md §12).
+func ExampleBitBFS() {
+	// A 4-cycle 0-1-2-3-0.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.BuildDedup()
+
+	sources := []int32{0, 2}
+	table := graph.NewFlatDist(len(sources), g.N())
+	bb := graph.NewBitBFS(g.N())
+	bb.Run(g, sources, table, 0)
+	fmt.Println(table.Row(0))
+	fmt.Println(table.Row(1))
+	// Output:
+	// [0 1 2 1]
+	// [2 1 0 1]
 }

@@ -1,0 +1,110 @@
+package graph
+
+import "fmt"
+
+// FlatDist is a row-major multi-source distance table: Rows() sources by
+// N() vertices in one contiguous []int32 slab. It replaces the old
+// [][]int32 slice-of-slices returned by the multi-source BFS kernels —
+// one allocation instead of one per source, cache-friendly row scans, and
+// a Reset that reuses the backing slab arena-style across sweeps.
+type FlatDist struct {
+	rows, n int
+	data    []int32
+}
+
+// NewFlatDist allocates a rows×n table. Entries are zero; the BFS kernels
+// overwrite every cell of the rows they fill.
+func NewFlatDist(rows, n int) *FlatDist {
+	d := &FlatDist{}
+	d.Reset(rows, n)
+	return d
+}
+
+// Reset resizes the table to rows×n, reusing the backing slab when it is
+// large enough (no allocation) and growing it otherwise. Cell contents
+// after Reset are unspecified — callers fill every row they read.
+func (d *FlatDist) Reset(rows, n int) {
+	if rows < 0 || n < 0 {
+		panic(fmt.Sprintf("graph: FlatDist.Reset(%d, %d) with negative dimension", rows, n))
+	}
+	need := rows * n
+	if cap(d.data) < need {
+		d.data = make([]int32, need)
+	}
+	d.data = d.data[:need]
+	d.rows, d.n = rows, n
+}
+
+// Rows returns the number of source rows.
+func (d *FlatDist) Rows() int { return d.rows }
+
+// N returns the number of vertices per row.
+func (d *FlatDist) N() int { return d.n }
+
+// Row returns row i as a slice aliasing the backing slab. The full-slice
+// expression caps it so an append cannot bleed into the next row.
+func (d *FlatDist) Row(i int) []int32 {
+	lo := i * d.n
+	return d.data[lo : lo+d.n : lo+d.n]
+}
+
+// At returns the distance entry for source row i and vertex v.
+func (d *FlatDist) At(i int, v int32) int32 { return d.data[i*d.n+int(v)] }
+
+// Data returns the whole row-major slab (row i occupies [i*N(), (i+1)*N())).
+// It aliases internal storage; serializers iterate it directly.
+func (d *FlatDist) Data() []int32 { return d.data }
+
+// TriMatrixLength returns the number of entries a strictly-triangular
+// symmetric matrix over n vertices needs: C(n, 2).
+func TriMatrixLength(n int) int { return n * (n - 1) / 2 }
+
+// TriMatrixIndex maps an unordered pair of distinct vertices to its slot
+// in a triangular slab: with i < j the slot is j*(j-1)/2 + i, so the
+// entries for larger vertex j pack contiguously after all smaller ones.
+// Argument order does not matter.
+func TriMatrixIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return j*(j-1)/2 + i
+}
+
+// TriDist is a compact symmetric all-pairs distance table: one int32 per
+// unordered vertex pair in a TriMatrixIndex-addressed slab, with the zero
+// diagonal implicit. It stores exactly half the cells of a full n×n
+// matrix, which is what makes exact all-pairs references affordable as
+// graphs grow.
+type TriDist struct {
+	n    int
+	data []int32
+}
+
+// NewTriDist allocates an all-pairs table over n vertices with every pair
+// initialized to Unreachable.
+func NewTriDist(n int) *TriDist {
+	data := make([]int32, TriMatrixLength(n))
+	for i := range data {
+		data[i] = Unreachable
+	}
+	return &TriDist{n: n, data: data}
+}
+
+// N returns the number of vertices the table covers.
+func (t *TriDist) N() int { return t.n }
+
+// At returns the stored distance between u and v (0 when u == v).
+func (t *TriDist) At(u, v int32) int32 {
+	if u == v {
+		return 0
+	}
+	return t.data[TriMatrixIndex(int(u), int(v))]
+}
+
+// Set records the distance between the distinct vertices u and v.
+func (t *TriDist) Set(u, v int32, d int32) {
+	if u == v {
+		panic(fmt.Sprintf("graph: TriDist.Set on the diagonal (%d)", u))
+	}
+	t.data[TriMatrixIndex(int(u), int(v))] = d
+}

@@ -1,0 +1,126 @@
+package graph
+
+import "testing"
+
+// Pinned to the SNIPPETS.md §3 triangular layout: entries for pair (i, j)
+// with i < j live at j*(j-1)/2 + i.
+func TestTriMatrixLength(t *testing.T) {
+	want := []int{0, 0, 1, 3, 6, 10, 15}
+	for n, w := range want {
+		if got := TriMatrixLength(n); got != w {
+			t.Errorf("TriMatrixLength(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestTriMatrixIndex(t *testing.T) {
+	cases := []struct{ i, j, want int }{
+		{0, 1, 0},
+		{0, 2, 1},
+		{1, 2, 2},
+		{0, 3, 3},
+		{1, 3, 4},
+		{2, 3, 5},
+		{0, 4, 6},
+	}
+	for _, c := range cases {
+		if got := TriMatrixIndex(c.i, c.j); got != c.want {
+			t.Errorf("TriMatrixIndex(%d, %d) = %d, want %d", c.i, c.j, got, c.want)
+		}
+		if got := TriMatrixIndex(c.j, c.i); got != c.want {
+			t.Errorf("TriMatrixIndex(%d, %d) = %d, want %d (argument order)", c.j, c.i, got, c.want)
+		}
+	}
+	// Bijection onto [0, C(n,2)) for a fixed n.
+	const n = 9
+	seen := make([]bool, TriMatrixLength(n))
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			idx := TriMatrixIndex(i, j)
+			if idx < 0 || idx >= len(seen) || seen[idx] {
+				t.Fatalf("TriMatrixIndex(%d, %d) = %d: out of range or duplicate", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestFlatDistRowsAndReset(t *testing.T) {
+	d := NewFlatDist(3, 4)
+	if d.Rows() != 3 || d.N() != 4 {
+		t.Fatalf("dims %dx%d, want 3x4", d.Rows(), d.N())
+	}
+	for i := 0; i < 3; i++ {
+		row := d.Row(i)
+		if len(row) != 4 {
+			t.Fatalf("row %d length %d, want 4", i, len(row))
+		}
+		for v := range row {
+			row[v] = int32(10*i + v)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for v := int32(0); v < 4; v++ {
+			if got := d.At(i, v); got != int32(10*i)+v {
+				t.Fatalf("At(%d, %d) = %d, want %d", i, v, got, int32(10*i)+v)
+			}
+		}
+	}
+	// Rows must be capped: appending to one cannot bleed into the next.
+	r0 := d.Row(0)
+	r0 = append(r0, 99)
+	if d.At(1, 0) == 99 {
+		t.Fatal("append to Row(0) overwrote Row(1)")
+	}
+	_ = r0
+
+	// Shrinking Reset reuses the slab (no allocation), growing one extends it.
+	slab := &d.Data()[0]
+	d.Reset(2, 3)
+	if d.Rows() != 2 || d.N() != 3 || len(d.Data()) != 6 {
+		t.Fatalf("after shrink: dims %dx%d data %d", d.Rows(), d.N(), len(d.Data()))
+	}
+	if &d.Data()[0] != slab {
+		t.Fatal("shrinking Reset reallocated the slab")
+	}
+	d.Reset(10, 10)
+	if len(d.Data()) != 100 {
+		t.Fatalf("after grow: data %d, want 100", len(d.Data()))
+	}
+	// Zero-row and zero-n tables are fine.
+	d.Reset(0, 5)
+	if d.Rows() != 0 || len(d.Data()) != 0 {
+		t.Fatal("zero-row Reset broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Reset did not panic")
+		}
+	}()
+	d.Reset(-1, 5)
+}
+
+func TestTriDistStoresSymmetricPairs(t *testing.T) {
+	td := NewTriDist(5)
+	if td.N() != 5 {
+		t.Fatalf("N = %d, want 5", td.N())
+	}
+	for u := int32(0); u < 5; u++ {
+		if td.At(u, u) != 0 {
+			t.Fatalf("diagonal At(%d,%d) = %d, want 0", u, u, td.At(u, u))
+		}
+	}
+	if td.At(1, 3) != Unreachable {
+		t.Fatalf("fresh pair = %d, want Unreachable", td.At(1, 3))
+	}
+	td.Set(3, 1, 7)
+	if td.At(1, 3) != 7 || td.At(3, 1) != 7 {
+		t.Fatalf("symmetric read failed: %d / %d", td.At(1, 3), td.At(3, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diagonal Set did not panic")
+		}
+	}()
+	td.Set(2, 2, 1)
+}

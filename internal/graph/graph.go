@@ -12,14 +12,18 @@
 // slice lists each edge once with U < V.
 //
 // The package also hosts the worker-pool evaluation kernels the measurement
-// layers build on (parallel.go): ParallelBFSFrom / ParallelBFSSweep for
-// multi-source BFS with per-worker reusable scratch, ParallelEdgeSweep for
-// per-edge work, and ParallelRangeWorkers as the generic chunked loop. All
-// of them honor one determinism contract — for a fixed input, results are
-// identical for every worker count — which is what lets the experiment
-// harness (internal/experiments), spanner validation (internal/spanner),
-// and congestion accounting (internal/routing) parallelize without
-// perturbing reported numbers. See DESIGN.md §9.
+// layers build on (parallel.go, bitbfs.go): ParallelBFSFrom /
+// ParallelBFSSweep for scalar multi-source BFS with per-worker reusable
+// scratch, BitBFS and its BitParallelBFS* drivers advancing 64 sources per
+// adjacency walk into row-major FlatDist tables, the adaptive
+// MultiSourceBFSFrom / MultiSourceBFSSweep dispatchers that pick between
+// the two by graph density alone, ParallelEdgeSweep for per-edge work, and
+// ParallelRangeWorkers as the generic chunked loop. All of them honor one
+// determinism contract — for a fixed input, results are identical for
+// every worker count — which is what lets the experiment harness
+// (internal/experiments), spanner validation (internal/spanner), and
+// congestion accounting (internal/routing) parallelize without perturbing
+// reported numbers. See DESIGN.md §9 and §12.
 package graph
 
 import (

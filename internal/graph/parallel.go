@@ -192,9 +192,11 @@ func (s *BFSScratch) DistWithin(g *Graph, u, v, limit int32) int32 {
 }
 
 // PathWithin returns a shortest u–v path of length at most limit using the
-// scratch space, or nil if none exists. Unlike DistWithin it must finish
-// the BFS level containing v to reconstruct parents, so it is slightly
-// slower; use DistWithin when only existence matters.
+// scratch space, or nil if none exists; limit < 0 means unlimited. Unlike
+// DistWithin it records parents while searching, and it stops the moment v
+// is discovered: BFS discovers v first at its true distance, and every
+// parent on the chain back to u was finalized at an earlier level, so the
+// reconstruction needs nothing from the rest of v's level.
 func (s *BFSScratch) PathWithin(g *Graph, u, v, limit int32, parent []int32) []int32 {
 	if u == v {
 		return []int32{u}
@@ -235,7 +237,10 @@ func (s *BFSScratch) PathWithin(g *Graph, u, v, limit int32, parent []int32) []i
 	if !found {
 		return nil
 	}
-	path := make([]int32, 0, limit+1)
+	// Size by the found distance, not the limit: limit may be -1 (or any
+	// negative "unlimited" value, for which limit+1 would be a negative
+	// capacity and panic) and is only an upper bound anyway.
+	path := make([]int32, 0, s.dist[v]+1)
 	for x := v; ; x = parent[x] {
 		path = append(path, x)
 		if x == u {
@@ -273,18 +278,18 @@ func (s *BFSScratch) BFSFrom(g *Graph, src int32, dist []int32) {
 }
 
 // ParallelBFSFrom computes BFS distances from every source on a pool of
-// `workers` goroutines (0 means Workers()) and returns one distance slice
-// per source, index-aligned with sources: out[i] equals g.BFS(sources[i])
-// element for element. Each worker owns a reusable queue, so the only
-// per-source allocation is the returned distance slice itself.
+// `workers` goroutines (0 means Workers()) and returns the flat distance
+// table, row-aligned with sources: out.Row(i) equals g.BFS(sources[i])
+// element for element. It is the scalar multi-source kernel — one plain
+// BFS per source with per-worker reusable queues — kept both as the
+// sparse-graph arm of MultiSourceBFSFrom and as the differential
+// reference the bit-parallel kernel is checked against in dccheck.
 //
 // The result is deterministic — byte-identical for every worker count at
 // a fixed input — because each source's BFS is independent and lands in
-// its own slot. This is the multi-source distance kernel behind the
-// Table 1 stretch sweeps, oracle landmark tables, and the bench harness's
-// parallel_bfs scenario.
-func (g *Graph) ParallelBFSFrom(sources []int32, workers int) [][]int32 {
-	out := make([][]int32, len(sources))
+// its own row.
+func (g *Graph) ParallelBFSFrom(sources []int32, workers int) *FlatDist {
+	out := NewFlatDist(len(sources), g.n)
 	scratch := make([]*BFSScratch, clampWorkers(workers, len(sources)))
 	ParallelRangeWorkers(len(sources), workers, func(w, lo, hi int) {
 		s := scratch[w]
@@ -293,9 +298,7 @@ func (g *Graph) ParallelBFSFrom(sources []int32, workers int) [][]int32 {
 			scratch[w] = s
 		}
 		for i := lo; i < hi; i++ {
-			dist := make([]int32, g.n)
-			s.BFSFrom(g, sources[i], dist)
-			out[i] = dist
+			s.BFSFrom(g, sources[i], out.Row(i))
 		}
 	})
 	return out
@@ -343,8 +346,8 @@ func (g *Graph) ParallelEdgeSweep(workers int, fn func(w, lo, hi int, edges []Ed
 }
 
 // ParallelAllDistancesFrom computes BFS distances from each source in
-// sources concurrently with the default worker count, returning one
-// distance slice per source. It is ParallelBFSFrom(sources, 0).
-func (g *Graph) ParallelAllDistancesFrom(sources []int32) [][]int32 {
+// sources concurrently with the default worker count, returning the flat
+// distance table. It is ParallelBFSFrom(sources, 0).
+func (g *Graph) ParallelAllDistancesFrom(sources []int32) *FlatDist {
 	return g.ParallelBFSFrom(sources, 0)
 }

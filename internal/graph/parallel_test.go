@@ -62,8 +62,14 @@ func TestParallelBFSFromMatchesSerialBFS(t *testing.T) {
 	}
 	for _, workers := range []int{0, 1, 2, 4, 9} {
 		got := g.ParallelBFSFrom(sources, workers)
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("workers=%d: ParallelBFSFrom differs from serial BFS", workers)
+		if got.Rows() != len(sources) || got.N() != g.N() {
+			t.Fatalf("workers=%d: table is %dx%d, want %dx%d",
+				workers, got.Rows(), got.N(), len(sources), g.N())
+		}
+		for i := range sources {
+			if !reflect.DeepEqual(got.Row(i), want[i]) {
+				t.Fatalf("workers=%d: ParallelBFSFrom row %d differs from serial BFS", workers, i)
+			}
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/graph"
 )
 
 // AnswerBatch answers a batch of distance queries on the oracle's worker
@@ -15,10 +17,16 @@ import (
 // Answers are identical to answering the queries sequentially: the exact
 // search is deterministic and the cache stores only exact values, so a
 // cache hit and a recomputation cannot disagree regardless of how workers
-// interleave.
+// interleave. Large batches on unbounded oracles are served by a bulk
+// multi-source BFS sweep (answerBulk) that produces the same answers by a
+// cheaper route: one BFS row per distinct source instead of one
+// bidirectional search per query.
 func (o *Oracle) AnswerBatch(qs []Query) []Answer {
 	out := make([]Answer, len(qs))
 	if len(qs) == 0 {
+		return out
+	}
+	if o.answerBulk(qs, out) {
 		return out
 	}
 	w := o.workers
@@ -69,4 +77,117 @@ func (o *Oracle) answerTimed(q Query) Answer {
 		o.latency.Observe(time.Since(t0).Seconds())
 	}
 	return a
+}
+
+// bulkMinBatch is the smallest batch the bulk sweep considers: below it
+// the per-query bidirectional path wins outright and the grouping
+// bookkeeping is not worth setting up.
+const bulkMinBatch = 128
+
+// answerBulk serves a batch through the multi-source BFS kernel: group
+// the queries by source vertex, run one full BFS row per distinct source
+// (64 sources per word through the bit-parallel kernel when the spanner
+// is dense enough), and read each query's answer out of its source's row.
+// It reports whether it handled the batch.
+//
+// Two gates keep it an exact drop-in for the per-query path:
+//
+//   - Unbounded oracles only (maxDist < 0). A full BFS row is always the
+//     exact spanner distance, matching the per-query search's every
+//     answer bit for bit. A bounded oracle's search can exhaust its depth
+//     budget and fall back to the landmark bound — whether it does
+//     depends on component radii in a way a full BFS cannot mirror — so
+//     bounded batches take the per-query path.
+//   - Enough source sharing (valid queries ≥ 2× distinct sources), since
+//     the sweep's cost is per-source while the per-query path's is
+//     per-query.
+//
+// The bulk path never touches the result cache (it neither reads nor
+// seeds it — the sweep is cheaper than n cache probes, and a full row
+// would flood the LRU); served queries land in the oracle_path_bulk
+// counter instead of the per-query resolution-path counters. Latency is
+// accounted as the batch's wall time amortized uniformly over the
+// accounted queries.
+func (o *Oracle) answerBulk(qs []Query, out []Answer) bool {
+	if o.maxDist >= 0 || len(qs) < bulkMinBatch {
+		return false
+	}
+	t0 := time.Now()
+	n := int32(o.h.N())
+	invalid := func(q Query) bool {
+		return q.U < 0 || q.V < 0 || q.U >= n || q.V >= n
+	}
+	// Count swept queries per source vertex (invalid and self queries are
+	// handled in the accounting loop, not the sweep).
+	cnt := make([]int32, n)
+	valid := 0
+	for _, q := range qs {
+		if invalid(q) || q.U == q.V {
+			continue
+		}
+		cnt[q.U]++
+		valid++
+	}
+	srcs := make([]int32, 0, 64)
+	for v := int32(0); v < n; v++ {
+		if cnt[v] > 0 {
+			srcs = append(srcs, v)
+		}
+	}
+	if len(srcs) == 0 || valid < 2*len(srcs) {
+		return false
+	}
+	// Counting sort of query indices by source, so each BFS row is
+	// consumed in one contiguous run: order[off[i]:off[i+1]] holds the
+	// batch indices whose source is srcs[i].
+	rowOf := make([]int32, n)
+	off := make([]int32, len(srcs)+1)
+	for i, s := range srcs {
+		rowOf[s] = int32(i)
+		off[i+1] = off[i] + cnt[s]
+	}
+	pos := append([]int32(nil), off[:len(srcs)]...)
+	order := make([]int32, valid)
+	for qi, q := range qs {
+		if invalid(q) || q.U == q.V {
+			continue
+		}
+		r := rowOf[q.U]
+		order[pos[r]] = int32(qi)
+		pos[r]++
+	}
+	// The sweep writes only out slots owned by its own row's queries, so
+	// the batch result is byte-identical at any worker count.
+	o.h.MultiSourceBFSSweep(srcs, o.workers, func(i int, src int32, dist []int32) {
+		for _, qi := range order[off[i]:off[i+1]] {
+			q := qs[qi]
+			out[qi] = Answer{
+				U: q.U, V: q.V,
+				Dist:  dist[q.V],
+				Bound: o.lm.upperBound(q.U, q.V),
+				Exact: true,
+			}
+		}
+	})
+	// Serial accounting mirroring the per-query path's semantics: invalid
+	// queries get the sentinel Answer and no accounting, self queries
+	// count as queries but take no resolution path, swept queries count
+	// and feed the deterministic stretch sampler in batch order.
+	perQuery := time.Since(t0).Seconds() / float64(len(qs))
+	for qi, q := range qs {
+		switch {
+		case invalid(q):
+			out[qi] = Answer{U: q.U, V: q.V, Dist: graph.Unreachable, Bound: graph.Unreachable}
+		case q.U == q.V:
+			out[qi] = Answer{U: q.U, V: q.V, Exact: true}
+			o.queries.Add(1)
+			o.latency.Observe(perQuery)
+		default:
+			seq := o.queries.Add(1)
+			o.pathBulk.Inc()
+			o.maybeSampleStretch(seq, q.U, q.V, out[qi].Dist)
+			o.latency.Observe(perQuery)
+		}
+	}
+	return true
 }

@@ -10,11 +10,11 @@ func TestCacheCapacityExact(t *testing.T) {
 	cases := []struct {
 		capacity, shards int
 	}{
-		{100, 16},   // non-multiple: old code realized 112
-		{1000, 12},  // shards rounds to 16; 1000 = 16*62 + 8
-		{7, 16},     // fewer slots than shards: shard count must clamp
-		{5, 4},      // 5 = 4*1 + 1
-		{1, 8},      // degenerate: one slot, one shard
+		{100, 16},     // non-multiple: old code realized 112
+		{1000, 12},    // shards rounds to 16; 1000 = 16*62 + 8
+		{7, 16},       // fewer slots than shards: shard count must clamp
+		{5, 4},        // 5 = 4*1 + 1
+		{1, 8},        // degenerate: one slot, one shard
 		{1 << 16, 64}, // power-of-two happy path stays exact
 		{3, 1},
 	}

@@ -48,16 +48,26 @@ func TestAnswerBatchConcurrentHammer(t *testing.T) {
 		go func(h int) {
 			defer wg.Done()
 			// Each hammer runs a rotated view of the pool so different
-			// goroutines compute the same keys in different orders.
+			// goroutines compute the same keys in different orders. Batches
+			// stay below bulkMinBatch so every query takes the per-query
+			// cache path — the contract this test hammers; the bulk sweep
+			// path has its own differential in batch_test.go.
 			qs := make([]Query, len(pool))
 			for i := range pool {
 				qs[i] = pool[(i+h*251)%len(pool)]
 			}
-			got := o.AnswerBatch(qs)
-			for i := range qs {
-				if got[i] != want[(i+h*251)%len(pool)] {
-					errs <- "concurrent answer diverged from sequential"
-					return
+			const chunk = bulkMinBatch - 1
+			for lo := 0; lo < len(qs); lo += chunk {
+				hi := lo + chunk
+				if hi > len(qs) {
+					hi = len(qs)
+				}
+				got := o.AnswerBatch(qs[lo:hi])
+				for i := range got {
+					if got[i] != want[(lo+i+h*251)%len(pool)] {
+						errs <- "concurrent answer diverged from sequential"
+						return
+					}
 				}
 			}
 		}(h)

@@ -12,8 +12,8 @@ import (
 // an upper bound min_l d(u,l) + d(l,v) in O(k), which both serves fast
 // approximate queries and prunes the exact bidirectional search.
 type landmarkTable struct {
-	roots []int32   // sorted landmark vertex ids
-	dist  [][]int32 // dist[i][v] = d_H(roots[i], v); graph.Unreachable if disconnected
+	roots []int32         // sorted landmark vertex ids
+	dist  *graph.FlatDist // Row(i)[v] = d_H(roots[i], v); graph.Unreachable if disconnected
 }
 
 // buildLandmarkTable selects k landmarks on h and BFS-labels the graph
@@ -21,10 +21,18 @@ type landmarkTable struct {
 // vertex (lowest id on ties) is always a landmark — hub coverage matters
 // most for the bound's quality — and the remaining k−1 are a uniform
 // sample from the rest of the vertex set drawn from a seed-keyed stream.
-// The k BFS runs execute on the parallel worker pool; each tree is
-// independent, so the table is identical regardless of worker count.
+// The k BFS runs execute through the multi-source kernel (bit-parallel on
+// dense spanners, scalar per-source otherwise); both kernels produce
+// identical tables at any worker count, so the table is deterministic in
+// (seed, h) alone.
 func buildLandmarkTable(h *graph.Graph, k int, seed uint64) *landmarkTable {
 	n := h.N()
+	if n == 0 {
+		// Vertex-free graph: no landmarks, an empty 0×0 table. Only
+		// reachable from tests — NewFromGraphs rejects n == 0 — but Bytes
+		// and upperBound must not panic on it.
+		return &landmarkTable{dist: graph.NewFlatDist(0, 0)}
+	}
 	if k > n {
 		k = n
 	}
@@ -51,14 +59,15 @@ func buildLandmarkTable(h *graph.Graph, k int, seed uint64) *landmarkTable {
 		}
 	}
 	sortInt32(roots)
-	return &landmarkTable{roots: roots, dist: h.ParallelAllDistancesFrom(roots)}
+	return &landmarkTable{roots: roots, dist: h.MultiSourceBFSFrom(roots, 0)}
 }
 
 // upperBound returns min over landmarks of d(u,l)+d(l,v), or
 // graph.Unreachable if no landmark reaches both endpoints.
 func (t *landmarkTable) upperBound(u, v int32) int32 {
 	best := graph.Unreachable
-	for _, d := range t.dist {
+	for i := 0; i < t.dist.Rows(); i++ {
+		d := t.dist.Row(i)
 		du, dv := d[u], d[v]
 		if du == graph.Unreachable || dv == graph.Unreachable {
 			continue
@@ -76,8 +85,8 @@ func (t *landmarkTable) upperBound(u, v int32) int32 {
 // tables.
 func (t *landmarkTable) Bytes() []byte {
 	n := 0
-	if len(t.dist) > 0 {
-		n = len(t.dist[0])
+	if t.dist.Rows() > 0 {
+		n = t.dist.N()
 	}
 	out := make([]byte, 0, 8+4*len(t.roots)+4*len(t.roots)*n)
 	var buf [4]byte
@@ -90,8 +99,8 @@ func (t *landmarkTable) Bytes() []byte {
 	for _, r := range t.roots {
 		put(r)
 	}
-	for _, row := range t.dist {
-		for _, d := range row {
+	for i := 0; i < t.dist.Rows(); i++ {
+		for _, d := range t.dist.Row(i) {
 			put(d)
 		}
 	}

@@ -45,6 +45,7 @@ const (
 	metricPathCacheHit  = "oracle_path_cache_hit"
 	metricPathLandmark  = "oracle_path_landmark"
 	metricPathBiBFS     = "oracle_path_bibfs"
+	metricPathBulk      = "oracle_path_bulk"
 	metricFrontierMax   = "oracle_bibfs_frontier_max"
 	metricDistLatency   = "oracle_dist_latency_seconds"
 	metricRouteLatency  = "oracle_route_latency_seconds"
@@ -171,11 +172,14 @@ type Oracle struct {
 
 	// Telemetry: the registry all serving metrics live in, the per-query
 	// resolution-path counters (every resolve ends in exactly one of the
-	// three), and the exact-search frontier-size histogram.
+	// three; batch queries served by the bulk multi-source sweep land in
+	// pathBulk instead and never touch the cache), and the exact-search
+	// frontier-size histogram.
 	reg          *obs.Registry
 	pathCacheHit *obs.Counter
 	pathLandmark *obs.Counter
 	pathBiBFS    *obs.Counter
+	pathBulk     *obs.Counter
 	frontier     *stats.Histogram
 
 	stretchMu  sync.Mutex
@@ -283,6 +287,7 @@ func (o *Oracle) registerMetrics(reg *obs.Registry) {
 	o.pathCacheHit = reg.Counter(metricPathCacheHit, "Resolutions served from the result cache.")
 	o.pathLandmark = reg.Counter(metricPathLandmark, "Resolutions falling back to the landmark upper bound.")
 	o.pathBiBFS = reg.Counter(metricPathBiBFS, "Resolutions answered exactly by bidirectional BFS.")
+	o.pathBulk = reg.Counter(metricPathBulk, "Batch queries answered exactly by the bulk multi-source BFS sweep.")
 	o.frontier = reg.Histogram(metricFrontierMax,
 		"Largest single-side BFS frontier per exact search (vertices).",
 		stats.ExpBuckets(1, 2, 22))

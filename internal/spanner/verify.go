@@ -41,38 +41,39 @@ func VerifyEdgeStretch(g, h *graph.Graph, alpha int) StretchReport {
 // g: for every edge (u,v) of G, dist_H(u,v) must be at most alpha. Because
 // replacing each edge of any path by its detour multiplies lengths by at
 // most the per-edge stretch (Lemma 1's argument), this certifies h as an
-// alpha-distance spanner. The sweep runs one bounded BFS per edge of G on
-// opt.Workers goroutines via the graph package's parallel edge-sweep
-// kernel, with per-worker reusable BFS scratch.
+// alpha-distance spanner.
+//
+// G's edge list is sorted by (U, V), so edges sharing a source form
+// contiguous runs; the sweep runs one full BFS on h per distinct source
+// through the multi-source kernel (bit-parallel on dense spanners, scalar
+// otherwise) and reads every edge of the run out of that row. The per-edge
+// values are identical to the old per-edge bounded-BFS kernel — the full
+// spanner distance, +Inf when disconnected — and the reduction consumes
+// them in edge order, so reports are byte-identical at any worker count
+// and across kernels.
 func VerifyEdgeStretchOpts(g, h *graph.Graph, alpha int, opt VerifyOptions) StretchReport {
 	m := g.M()
 	sp := opt.Trace.Start("edge-stretch-sweep")
 	defer sp.End()
 	sp.SetKV("edges", m)
 	sp.SetKV("workers", effectiveWorkers(opt.Workers, m))
-	// Compute per-edge stretch into a shared slice in parallel, reduce after.
+	edges := g.Edges()
 	stretch := make([]float64, m)
-	scratch := make([]*graph.BFSScratch, effectiveWorkers(opt.Workers, m))
-	g.ParallelEdgeSweep(opt.Workers, func(w, lo, hi int, edges []graph.Edge) {
-		s := scratch[w]
-		if s == nil {
-			s = graph.NewBFSScratch(g.N())
-			scratch[w] = s
+	srcs := make([]int32, 0, 64)
+	starts := make([]int, 0, 64)
+	for i := 0; i < m; i++ {
+		if i == 0 || edges[i].U != edges[i-1].U {
+			srcs = append(srcs, edges[i].U)
+			starts = append(starts, i)
 		}
-		for i := lo; i < hi; i++ {
-			e := edges[i]
-			d := s.DistWithin(h, e.U, e.V, int32(alpha))
-			if d == graph.Unreachable {
-				// Beyond alpha (or disconnected): measure the real distance
-				// for reporting.
-				full := s.DistWithin(h, e.U, e.V, -1)
-				if full == graph.Unreachable {
-					stretch[i] = math.Inf(1)
-				} else {
-					stretch[i] = float64(full)
-				}
+	}
+	starts = append(starts, m)
+	h.MultiSourceBFSSweep(srcs, opt.Workers, func(i int, src int32, dist []int32) {
+		for j := starts[i]; j < starts[i+1]; j++ {
+			if d := dist[edges[j].V]; d == graph.Unreachable {
+				stretch[j] = math.Inf(1)
 			} else {
-				stretch[i] = float64(d)
+				stretch[j] = float64(d)
 			}
 		}
 	})
@@ -103,35 +104,63 @@ func VerifyPairStretchOpts(g, h *graph.Graph, pairs int, r *rng.RNG, opt VerifyO
 	if total := int64(n) * int64(n-1) / 2; int64(pairs) > total {
 		pairs = int(total)
 	}
+	// The sample is the first (and only) RNG draw: it must happen before
+	// any sweep so the pair set is a pure function of the RNG state.
 	ps := r.SamplePairs(n, pairs)
 	sp := opt.Trace.Start("pair-stretch-sweep")
 	defer sp.End()
 	sp.SetKV("pairs", pairs)
 	sp.SetKV("workers", effectiveWorkers(opt.Workers, pairs))
-	type scratchPair struct{ sg, sh *graph.BFSScratch }
-	scratch := make([]scratchPair, effectiveWorkers(opt.Workers, pairs))
-	stretch := make([]float64, pairs)
-	graph.ParallelRangeWorkers(pairs, opt.Workers, func(w, lo, hi int) {
-		s := &scratch[w]
-		if s.sg == nil {
-			s.sg = graph.NewBFSScratch(n)
-			s.sh = graph.NewBFSScratch(n)
+	// Bucket pair indices by first endpoint (counting sort) so one BFS row
+	// per distinct anchor serves every pair anchored there — on g and h
+	// alike, since both sweeps share the grouping.
+	cnt := make([]int32, n)
+	for _, p := range ps {
+		cnt[p[0]]++
+	}
+	srcs := make([]int32, 0, 64)
+	for v := 0; v < n; v++ {
+		if cnt[v] > 0 {
+			srcs = append(srcs, int32(v))
 		}
-		for i := lo; i < hi; i++ {
-			dg := s.sg.DistWithin(g, ps[i][0], ps[i][1], -1)
-			dh := s.sh.DistWithin(h, ps[i][0], ps[i][1], -1)
-			switch {
-			case dg == graph.Unreachable && dh == graph.Unreachable:
-				stretch[i] = 1
-			case dh == graph.Unreachable:
-				stretch[i] = math.Inf(1)
-			case dg == 0:
-				stretch[i] = 1
-			default:
-				stretch[i] = float64(dh) / float64(dg)
+	}
+	rowOf := make([]int32, n)
+	off := make([]int32, len(srcs)+1)
+	for i, s := range srcs {
+		rowOf[s] = int32(i)
+		off[i+1] = off[i] + cnt[s]
+	}
+	pos := append([]int32(nil), off[:len(srcs)]...)
+	order := make([]int32, len(ps))
+	for i, p := range ps {
+		ri := rowOf[p[0]]
+		order[pos[ri]] = int32(i)
+		pos[ri]++
+	}
+	dg := make([]int32, len(ps))
+	dh := make([]int32, len(ps))
+	fill := func(dst []int32) func(i int, src int32, dist []int32) {
+		return func(i int, src int32, dist []int32) {
+			for _, pi := range order[off[i]:off[i+1]] {
+				dst[pi] = dist[ps[pi][1]]
 			}
 		}
-	})
+	}
+	g.MultiSourceBFSSweep(srcs, opt.Workers, fill(dg))
+	h.MultiSourceBFSSweep(srcs, opt.Workers, fill(dh))
+	stretch := make([]float64, len(ps))
+	for i := range ps {
+		switch {
+		case dg[i] == graph.Unreachable && dh[i] == graph.Unreachable:
+			stretch[i] = 1
+		case dh[i] == graph.Unreachable:
+			stretch[i] = math.Inf(1)
+		case dg[i] == 0:
+			stretch[i] = 1
+		default:
+			stretch[i] = float64(dh[i]) / float64(dg[i])
+		}
+	}
 	return reduceStretch(stretch, math.Inf(1))
 }
 

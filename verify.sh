@@ -14,9 +14,9 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== evaluation-kernel determinism suite under -race (serial vs workers=N)"
+echo "== evaluation-kernel determinism suite under -race (serial vs workers=N, incl. bit-parallel BFS)"
 go test -race -count=1 \
-    -run 'Determinis|AcrossWorker|IdenticalAcross|SamplePairs|Parallel' \
+    -run 'Determinis|AcrossWorker|IdenticalAcross|SamplePairs|Parallel|BitBFS|MultiSource' \
     ./internal/graph/ ./internal/rng/ ./internal/spanner/ \
     ./internal/routing/ ./internal/experiments/ ./internal/bench/
 
@@ -113,6 +113,21 @@ for f in "$BENCH_DIR"/BENCH_*.json; do
     done
 done
 echo "dcbench: $BENCH_COUNT scenarios validated in $BENCH_DIR"
+
+echo "== dcbench -compare regression gate (self-compare must pass, slowed baseline must fail)"
+go run ./cmd/dcbench -quick -workers 2 -iters 1 -run parallel_bfs \
+    -out "$BENCH_DIR" -compare "$BENCH_DIR" \
+    || { echo "self-comparison against just-written baselines failed"; exit 1; }
+# Corrupt one baseline's ns_per_op to 1 so any real timing regresses >25%.
+sed 's/"ns_per_op": [0-9]*/"ns_per_op": 1/' "$BENCH_DIR/BENCH_parallel_bfs.json" \
+    > "$BENCH_DIR/BENCH_parallel_bfs.json.tmp"
+mv "$BENCH_DIR/BENCH_parallel_bfs.json.tmp" "$BENCH_DIR/BENCH_parallel_bfs.json"
+if go run ./cmd/dcbench -quick -workers 2 -iters 1 -run parallel_bfs \
+    -out /tmp -compare "$BENCH_DIR" 2>/dev/null; then
+    echo "-compare did not fail against an impossible baseline"; exit 1
+fi
+rm -f /tmp/BENCH_parallel_bfs.json
+echo "dcbench -compare: gate behaves"
 rm -rf "$BENCH_DIR"
 
 echo "verify: OK"
