@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -50,6 +51,7 @@ func main() {
 	zipfS := flag.Float64("zipf", 0, "Zipf skew of query endpoints (0 = uniform)")
 	batchMix := flag.String("batch", "1:3,16:1", "batch-size mix as size:weight,...")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	traceN := flag.Int("trace", 0, "request sampling of every Nth request (sets the wire v3 sampling bit; 0 disables)")
 	flag.Parse()
 
 	mix, err := parseMix(*batchMix)
@@ -97,28 +99,39 @@ func main() {
 	}
 
 	lat := stats.NewLatencyHistogram()
-	var answered, queries, errs atomic.Int64
+	var answered, queries, errs, sent, traced atomic.Int64
 	zipf := rng.NewZipf(*zipfS, info.N)
 	deadline := time.Now().Add(*duration)
 
 	// run issues one request on c and records it; latency is measured
 	// from t0 (the intended start in open loop, the actual start in
-	// closed loop).
+	// closed loop). Every -trace'th request carries the wire sampling
+	// bit; the server answers with the sampled bit set when it traced the
+	// request (a v2 target never does — the trace field doesn't survive
+	// the downgrade).
 	run := func(c *wire.Client, r *rng.RNG, t0 time.Time) {
 		size := mix.pick(r)
+		var tc wire.TraceContext
+		if *traceN > 0 && sent.Add(1)%int64(*traceN) == 0 {
+			tc = wire.SampledContext(obs.NewTraceID())
+		}
+		var rtc wire.TraceContext
 		var err error
 		if size == 1 {
-			_, err = c.Dist(int32(zipf.Sample(r)), int32(zipf.Sample(r)))
+			_, rtc, err = c.DistTraced(int32(zipf.Sample(r)), int32(zipf.Sample(r)), tc)
 		} else {
 			qs := make([]oracle.Query, size)
 			for i := range qs {
 				qs[i] = oracle.Query{U: int32(zipf.Sample(r)), V: int32(zipf.Sample(r))}
 			}
-			_, err = c.Batch(qs)
+			_, rtc, err = c.BatchTraced(qs, tc)
 		}
 		if err != nil {
 			errs.Add(1)
 			return
+		}
+		if rtc.Sampled() {
+			traced.Add(1)
 		}
 		lat.Observe(time.Since(t0).Seconds())
 		answered.Add(1)
@@ -186,6 +199,9 @@ func main() {
 	b := lat.Buckets()
 	n := answered.Load()
 	fmt.Printf("answered %d requests (%d queries) with %d errors in %v\n", n, queries.Load(), errs.Load(), elapsed.Round(time.Millisecond))
+	if *traceN > 0 {
+		fmt.Printf("traced: %d requests confirmed sampled by the target\n", traced.Load())
+	}
 	fmt.Printf("throughput: %.0f req/s, %.0f queries/s\n",
 		float64(n)/elapsed.Seconds(), float64(queries.Load())/elapsed.Seconds())
 	fmt.Printf("latency: p50=%s p95=%s p99=%s p999=%s max=%s mean=%s\n",

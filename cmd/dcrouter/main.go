@@ -63,7 +63,9 @@ func main() {
 	maxBatch := flag.Int("maxbatch", server.DefaultMaxBatch, "largest accepted batch at the front door")
 	idle := flag.Duration("idle", server.DefaultIdleTimeout, "per-connection idle read deadline (negative disables)")
 	drain := flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown budget")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof on this HTTP address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/requests on this HTTP address")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth binary request at the front door (0 = only client-requested traces)")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug|info|warn|error")
 	flag.Parse()
 
 	if (*spawn > 0) == (*connect != "") {
@@ -71,20 +73,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	logger.Info("dcrouter starting", "pid", os.Getpid())
+
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
+	flight := obs.NewFlightRecorder(0, 0, 0)
+	flight.AttachMetrics(reg)
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+		ds, err := obs.ServeDebug(*debugAddr, reg, flight)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer ds.Close()
 		fmt.Printf("debug listening on %s\n", ds.Addr())
-	}
-
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 
 	var addrs []string
@@ -117,7 +125,7 @@ func main() {
 			})
 		}, server.Config{
 			MaxBatch: *maxBatch,
-			Logf:     logf,
+			Log:      logger,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -141,7 +149,7 @@ func main() {
 		HealthInterval: *health,
 		RequestTimeout: *reqTimeout,
 		Registry:       reg,
-		Logf:           logf,
+		Log:            logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -156,8 +164,10 @@ func main() {
 		MaxBatch:     *maxBatch,
 		IdleTimeout:  *idle,
 		DrainTimeout: *drain,
-		Logf:         logf,
+		Log:          logger,
 		Registry:     reg,
+		Flight:       flight,
+		TraceSample:  *traceSample,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

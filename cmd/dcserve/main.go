@@ -63,18 +63,32 @@ func main() {
 	idle := flag.Duration("idle", server.DefaultIdleTimeout, "per-connection idle read deadline (negative disables)")
 	writeTO := flag.Duration("writetimeout", server.DefaultWriteTimeout, "per-response write deadline (negative disables)")
 	drain := flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown budget before force-closing connections")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this HTTP address (e.g. 127.0.0.1:0)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/requests on this HTTP address (e.g. 127.0.0.1:0)")
+	traceSample := flag.Int("trace-sample", 0, "server-side trace every Nth binary request (0 = only client-requested traces)")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug|info|warn|error")
 	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.MustStart()()
 
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	logger.Info("dcserve starting", "pid", os.Getpid())
+
 	// One process-wide registry: the oracle, the server, and the Go
 	// runtime all register here, so the wire "stats" line, the -demo
-	// report, and /metrics render from the same counters.
+	// report, and /metrics render from the same counters. The flight
+	// recorder rides along: sampled request traces land there and are
+	// served at /debug/requests.
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
+	flight := obs.NewFlightRecorder(0, 0, 0)
+	flight.AttachMetrics(reg)
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+		ds, err := obs.ServeDebug(*debugAddr, reg, flight)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -124,10 +138,10 @@ func main() {
 		IdleTimeout:  *idle,
 		WriteTimeout: *writeTO,
 		DrainTimeout: *drain,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-		Registry: reg,
+		Log:          logger,
+		Registry:     reg,
+		Flight:       flight,
+		TraceSample:  *traceSample,
 	}
 	switch {
 	case *demo:

@@ -32,6 +32,7 @@ func main() {
 	out := flag.String("out", "", "write the spanner to this file")
 	format := flag.String("format", "edgelist", "output format: edgelist|dot|spannerdot")
 	trace := flag.Bool("trace", false, "print the construction phase tree (wall clock, allocations, per-phase payloads)")
+	traceOut := flag.String("trace-out", "", "write the construction phase tree as Chrome trace-event JSON to this file (load in Perfetto / chrome://tracing)")
 	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	defer prof.MustStart()()
@@ -41,7 +42,7 @@ func main() {
 	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
 
 	var root *obs.Span
-	if *trace {
+	if *trace || *traceOut != "" {
 		root = obs.StartSpan("build")
 	}
 	dc, err := core.Build(g, core.Options{
@@ -57,8 +58,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if root != nil {
+	if root != nil && *trace {
 		fmt.Print(root.Tree())
+	}
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr == nil {
+			ferr = obs.WriteTraceEvents(f, root)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", ferr)
+			os.Exit(1)
+		}
+		fmt.Printf("phase trace written to %s\n", *traceOut)
 	}
 	h := dc.Graph()
 	fmt.Printf("H (%s): m=%d (%.1f%% of G), maxDeg=%d\n",

@@ -97,6 +97,11 @@ var registry = []Scenario{
 		Prepare:     prepareRouterFanout,
 	},
 	{
+		Name:        "tracing_overhead",
+		Description: "request-tracing cost on the oracle serving path: each iteration answers the batch workload untraced (nil ReqTrace) and fully sampled (live ReqTrace into a flight recorder); the fingerprint proves tracing never changes answers",
+		Prepare:     prepareTracingOverhead,
+	},
+	{
 		Name:        "packetsim_round",
 		Description: "store-and-forward packet round (packetsim.Simulate) incl. parallel congestion lower-bound accounting",
 		Prepare:     preparePacketsimRound,

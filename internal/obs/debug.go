@@ -11,10 +11,12 @@ import (
 
 // NewDebugMux builds the debug endpoint's handler tree:
 //
-//	/metrics       Prometheus text exposition of reg
-//	/healthz       "ok" once the process is serving
-//	/debug/pprof/  the standard net/http/pprof handlers
-func NewDebugMux(reg *Registry) *http.ServeMux {
+//	/metrics         Prometheus text exposition of reg
+//	/healthz         "ok" once the process is serving
+//	/debug/requests  the flight recorder's recent + slow traces (JSON;
+//	                 only when fr is non-nil)
+//	/debug/pprof/    the standard net/http/pprof handlers
+func NewDebugMux(reg *Registry, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -28,6 +30,9 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 			return
 		}
 	})
+	if fr != nil {
+		mux.Handle("/debug/requests", fr.Handler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -43,15 +48,16 @@ type DebugServer struct {
 }
 
 // ServeDebug listens on addr (":0" picks a free port) and serves the
-// debug mux in a background goroutine. The caller owns the returned
-// server and should Close it on shutdown.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// debug mux in a background goroutine. fr may be nil (no
+// /debug/requests endpoint). The caller owns the returned server and
+// should Close it on shutdown.
+func ServeDebug(addr string, reg *Registry, fr *FlightRecorder) (*DebugServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           NewDebugMux(reg),
+		Handler:           NewDebugMux(reg, fr),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go srv.Serve(lis) //nolint:errcheck // returns ErrServerClosed on Close

@@ -12,7 +12,9 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("oracle_dist_queries", "Dist queries answered.").Add(5)
 	RegisterProcessMetrics(reg)
-	ts := httptest.NewServer(NewDebugMux(reg))
+	fr := NewFlightRecorder(0, 0, 0)
+	fr.Record(&TraceRecord{ID: "00000000000000ab", Verb: "dist", Path: "bibfs"})
+	ts := httptest.NewServer(NewDebugMux(reg, fr))
 	defer ts.Close()
 
 	get := func(path string) (int, string) {
@@ -45,11 +47,20 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d", code)
 	}
+	code, body = get("/debug/requests")
+	if code != 200 {
+		t.Fatalf("/debug/requests = %d", code)
+	}
+	for _, want := range []string{`"recorded": 1`, `"00000000000000ab"`, `"verb": "dist"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/requests missing %q in %s", want, body)
+		}
+	}
 }
 
 func TestServeDebug(t *testing.T) {
 	reg := NewRegistry()
-	ds, err := ServeDebug("127.0.0.1:0", reg)
+	ds, err := ServeDebug("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one completed request trace, immutable once recorded —
+// the unit the flight recorder retains and /debug/requests serves.
+type TraceRecord struct {
+	ID         string      `json:"id"`
+	Verb       string      `json:"verb"`
+	Detail     string      `json:"detail,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationUS float64     `json:"duration_us"`
+	Path       string      `json:"path"`
+	Err        string      `json:"err,omitempty"`
+	Hops       []HopRecord `json:"hops"`
+}
+
+// HopRecord is one hop of a TraceRecord, offsets/durations in
+// microseconds.
+type HopRecord struct {
+	Name     string  `json:"name"`
+	OffsetUS float64 `json:"offset_us"`
+	DurUS    float64 `json:"dur_us"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// FlightRecorder keeps the last N completed request traces plus a
+// separate ring of requests slower than a threshold (the slow-query
+// log), both always on. Record is lock-free — one atomic counter bump
+// and one pointer store per ring — so it sits on the serving path
+// without a mutex; Snapshot readers may observe a ring slot mid-update
+// and simply get either the old or the new record, never a torn one.
+//
+// Memory is strictly bounded: recentCap+slowCap pointers plus the
+// records they reference. A record costs ~200 bytes + ~80 per hop, so
+// the defaults (256 recent + 64 slow, hop counts in single digits)
+// hold the recorder under ~200 KiB regardless of traffic.
+type FlightRecorder struct {
+	recent     []atomic.Pointer[TraceRecord]
+	recentNext atomic.Uint64
+	slow       []atomic.Pointer[TraceRecord]
+	slowNext   atomic.Uint64
+	threshold  time.Duration
+	recorded   atomic.Int64
+}
+
+// DefaultSlowThreshold marks a request for the slow-query ring.
+const DefaultSlowThreshold = 10 * time.Millisecond
+
+// NewFlightRecorder sizes the rings (<=0 picks 256 recent / 64 slow)
+// and sets the slow-query threshold (<=0 picks DefaultSlowThreshold).
+func NewFlightRecorder(recentCap, slowCap int, threshold time.Duration) *FlightRecorder {
+	if recentCap <= 0 {
+		recentCap = 256
+	}
+	if slowCap <= 0 {
+		slowCap = 64
+	}
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	return &FlightRecorder{
+		recent:    make([]atomic.Pointer[TraceRecord], recentCap),
+		slow:      make([]atomic.Pointer[TraceRecord], slowCap),
+		threshold: threshold,
+	}
+}
+
+// Record retains a completed trace. Safe on a nil recorder or record.
+func (fr *FlightRecorder) Record(rec *TraceRecord) {
+	if fr == nil || rec == nil {
+		return
+	}
+	fr.recorded.Add(1)
+	fr.recent[(fr.recentNext.Add(1)-1)%uint64(len(fr.recent))].Store(rec)
+	if rec.DurationUS >= float64(fr.threshold.Microseconds()) || rec.Err != "" {
+		fr.slow[(fr.slowNext.Add(1)-1)%uint64(len(fr.slow))].Store(rec)
+	}
+}
+
+// Recorded returns the total number of traces ever recorded.
+func (fr *FlightRecorder) Recorded() int64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.recorded.Load()
+}
+
+// Recent returns the retained recent traces, newest first.
+func (fr *FlightRecorder) Recent() []*TraceRecord {
+	if fr == nil {
+		return nil
+	}
+	return drain(fr.recent, fr.recentNext.Load())
+}
+
+// Slow returns the retained slow/errored traces, newest first.
+func (fr *FlightRecorder) Slow() []*TraceRecord {
+	if fr == nil {
+		return nil
+	}
+	return drain(fr.slow, fr.slowNext.Load())
+}
+
+func drain(ring []atomic.Pointer[TraceRecord], next uint64) []*TraceRecord {
+	out := make([]*TraceRecord, 0, len(ring))
+	n := uint64(len(ring))
+	for i := uint64(0); i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		rec := ring[(next+n-1-i)%n].Load()
+		if rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Threshold returns the slow-query threshold.
+func (fr *FlightRecorder) Threshold() time.Duration {
+	if fr == nil {
+		return 0
+	}
+	return fr.threshold
+}
+
+// AttachMetrics exposes the recorder's volume counter on a registry.
+func (fr *FlightRecorder) AttachMetrics(reg *Registry) {
+	if fr == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("obs_traces_recorded", "Request traces retained by the flight recorder.", fr.Recorded)
+}
+
+// Handler serves the recorder as JSON — the /debug/requests endpoint:
+//
+//	{"recorded": 812, "slow_threshold_us": 10000,
+//	 "requests": [newest-first TraceRecords…],
+//	 "slow": [newest-first slow/errored TraceRecords…]}
+func (fr *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Best-effort debug endpoint: an encode error means the client hung
+		// up mid-response, and there is no one left to tell.
+		_ = enc.Encode(struct {
+			Recorded        int64          `json:"recorded"`
+			SlowThresholdUS int64          `json:"slow_threshold_us"`
+			Requests        []*TraceRecord `json:"requests"`
+			Slow            []*TraceRecord `json:"slow"`
+		}{fr.Recorded(), fr.Threshold().Microseconds(), fr.Recent(), fr.Slow()})
+	})
+}

@@ -1,0 +1,59 @@
+package obs
+
+// This file is the serving tier's structured logging, on stdlib
+// log/slog. One process builds a single root logger (NewLogger) and each
+// subsystem derives a component-scoped child (Component), so every
+// record carries a `component` attribute the fleet's log pipeline can
+// route on. All helpers are nil-tolerant: a nil *slog.Logger anywhere
+// means "discard", which keeps tests and library defaults quiet without
+// conditionals at call sites.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the process root logger writing slog text lines to w
+// at the given level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// ParseLogLevel maps a CLI flag value to a slog level. Accepts
+// debug/info/warn/error in any case.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Component derives a child logger tagged with a component attribute;
+// nil in, discard logger out — callers log unconditionally.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l.With("component", name)
+}
+
+// Discard returns a logger that drops every record (level checks short-
+// circuit, so a discarded Debug costs one virtual call).
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"debug", slog.LevelDebug},
+		{"info", slog.LevelInfo},
+		{"", slog.LevelInfo},
+		{"  Warn ", slog.LevelWarn},
+		{"WARNING", slog.LevelWarn},
+		{"error", slog.LevelError},
+	}
+	for _, c := range cases {
+		got, err := ParseLogLevel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil || !strings.Contains(err.Error(), "loud") {
+		t.Errorf("bad level err = %v", err)
+	}
+}
+
+func TestNewLoggerLevelAndText(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, slog.LevelWarn)
+	l.Info("hidden", "k", 1)
+	l.Warn("shown", "worker", 3)
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info leaked through a warn-level logger:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=shown") || !strings.Contains(out, "worker=3") {
+		t.Errorf("warn record malformed:\n%s", out)
+	}
+}
+
+func TestComponentTagsRecords(t *testing.T) {
+	var b strings.Builder
+	l := Component(NewLogger(&b, slog.LevelInfo), "router")
+	l.Info("worker down", "worker", 1, "reason", "dial failed")
+	out := b.String()
+	for _, want := range []string{"component=router", "msg=\"worker down\"", "reason=\"dial failed\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("record misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestComponentNilDiscards: nil in, discard logger out — call sites log
+// unconditionally, so the returned logger must be non-nil and silent.
+func TestComponentNilDiscards(t *testing.T) {
+	l := Component(nil, "server")
+	if l == nil {
+		t.Fatal("Component(nil) returned nil")
+	}
+	l.Debug("a")
+	l.Info("b")
+	l.Error("c") // nothing to assert beyond "does not panic"
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+	d := Discard().With("k", 1).WithGroup("g")
+	d.Error("still silent")
+	if d.Enabled(nil, slog.LevelError) {
+		t.Error("derived discard logger claims to be enabled")
+	}
+}

@@ -62,14 +62,47 @@ const (
 	kindHistogram
 )
 
+// Exemplar is an optional trace-id attachment for a histogram: the last
+// sampled observation's trace id and value, rendered after the +Inf
+// bucket in the exposition (OpenMetrics-style `# {trace_id="…"} v`).
+// Store is one atomic pointer swap; an Exemplar is nil-safe so unsampled
+// hot paths skip it entirely.
+type Exemplar struct{ p atomic.Pointer[exemplarSample] }
+
+type exemplarSample struct {
+	traceID uint64
+	value   float64
+}
+
+// Observe records the observation value for trace id — the latest sample
+// wins, which is all an exemplar needs to make a histogram bucket
+// clickable back to a concrete trace.
+func (e *Exemplar) Observe(traceID uint64, v float64) {
+	if e == nil {
+		return
+	}
+	e.p.Store(&exemplarSample{traceID: traceID, value: v})
+}
+
 // metric is one registered entry: a read function for scalar kinds, the
-// histogram itself for kindHistogram.
+// histogram itself for kindHistogram. labels is the pre-rendered
+// inside-the-braces label text (`dir="up"`), empty for plain metrics.
 type metric struct {
-	name, help string
-	kind       metricKind
-	readInt    func() int64
-	readFloat  func() float64
-	hist       *stats.Histogram
+	name, labels, help string
+	kind               metricKind
+	readInt            func() int64
+	readFloat          func() float64
+	hist               *stats.Histogram
+	ex                 *Exemplar
+}
+
+// key is the registration key: name plus the label set, so the same
+// family name may carry several label values.
+func (m *metric) key() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
 }
 
 // Registry is a named-metric table safe for concurrent registration,
@@ -87,17 +120,30 @@ func NewRegistry() *Registry {
 }
 
 // register validates and stores m; it panics on duplicate or invalid
-// names.
+// names (labels distinguish entries within one family).
 func (r *Registry) register(m *metric) {
 	if !validMetricName(m.name) {
 		panic("obs: invalid metric name " + strconv.Quote(m.name))
 	}
+	key := m.key()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.metrics[m.name]; dup {
-		panic("obs: duplicate metric " + m.name)
+	if _, dup := r.metrics[key]; dup {
+		panic("obs: duplicate metric " + key)
 	}
-	r.metrics[m.name] = m
+	r.metrics[key] = m
+}
+
+// renderLabels builds the inside-the-braces label text for one
+// key/value pair, escaping the value per the exposition format.
+func renderLabels(label, value string) string {
+	if !validMetricName(label) {
+		panic("obs: invalid label name " + strconv.Quote(label))
+	}
+	v := strings.ReplaceAll(value, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return label + `="` + v + `"`
 }
 
 // validMetricName reports whether name matches the Prometheus metric name
@@ -133,6 +179,22 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 	r.register(&metric{name: name, help: help, kind: kindCounter, readInt: fn})
 }
 
+// CounterLabeled creates a counter under name with one label pair, so a
+// family like router_worker_transitions can split into dir="up" /
+// dir="down" series. The family's HELP/TYPE header is emitted once.
+func (r *Registry) CounterLabeled(name, help, label, value string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, labels: renderLabels(label, value), help: help,
+		kind: kindCounter, readInt: c.Load})
+	return c
+}
+
+// CounterFuncLabeled is CounterFunc with one label pair.
+func (r *Registry) CounterFuncLabeled(name, help, label, value string, fn func() int64) {
+	r.register(&metric{name: name, labels: renderLabels(label, value), help: help,
+		kind: kindCounter, readInt: fn})
+}
+
 // Gauge creates, registers, and returns a new owned gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
@@ -163,6 +225,17 @@ func (r *Registry) RegisterHistogram(name, help string, h *stats.Histogram) {
 	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
 }
 
+// HistogramExemplar creates and registers a histogram with an attached
+// exemplar slot: observations go to the histogram as usual, and sampled
+// requests additionally call Exemplar.Observe with their trace id so the
+// exposition links the latency distribution to a concrete recent trace.
+func (r *Registry) HistogramExemplar(name, help string, bounds []float64) (*stats.Histogram, *Exemplar) {
+	h := stats.NewHistogram(bounds)
+	ex := &Exemplar{}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h, ex: ex})
+	return h, ex
+}
+
 // AttachCounters registers every counter of a stats.Counters set as
 // prefix_<name>, reading through Snapshot order. The serving layer uses
 // this to expose its request/error counters without changing its hot
@@ -175,14 +248,31 @@ func (r *Registry) AttachCounters(prefix string, c *stats.Counters) {
 	}
 }
 
+// snapEntry is one metric's point-in-time value plus the metadata needed
+// to render it, captured by Snapshot.
+type snapEntry struct {
+	name, labels, help string
+	kind               metricKind
+	intVal             int64
+	floatVal           float64
+	hist               stats.HistogramBuckets
+	ex                 *exemplarSample
+}
+
 // Snapshot is a point-in-time read of every registered metric: each
 // scalar loaded exactly once, each histogram captured via
 // stats.Histogram.Buckets (itself internally consistent). Derived ratios
-// computed from one Snapshot therefore agree with each other.
+// computed from one Snapshot therefore agree with each other, and
+// WritePrometheus renders from the same capture — so a scrape, the text
+// `stats` verb, and any report derived from one Snapshot all describe
+// the same instant. Labeled series appear in the maps under
+// `name{label="value"}` keys.
 type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]stats.HistogramBuckets
+
+	entries []snapEntry // sorted by (name, labels); drives WritePrometheus
 }
 
 // Snapshot captures all metrics.
@@ -193,56 +283,101 @@ func (r *Registry) Snapshot() Snapshot {
 		Histograms: make(map[string]stats.HistogramBuckets),
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for name, m := range r.metrics {
+	s.entries = make([]snapEntry, 0, len(r.metrics))
+	for key, m := range r.metrics {
+		e := snapEntry{name: m.name, labels: m.labels, help: m.help, kind: m.kind}
 		switch m.kind {
 		case kindCounter:
-			s.Counters[name] = m.readInt()
+			e.intVal = m.readInt()
+			s.Counters[key] = e.intVal
 		case kindGauge:
-			s.Gauges[name] = m.readFloat()
+			e.floatVal = m.readFloat()
+			s.Gauges[key] = e.floatVal
 		case kindHistogram:
-			s.Histograms[name] = m.hist.Buckets()
+			e.hist = m.hist.Buckets()
+			s.Histograms[key] = e.hist
+			if m.ex != nil {
+				e.ex = m.ex.p.Load()
+			}
 		}
+		s.entries = append(s.entries, e)
 	}
+	r.mu.RUnlock()
+	sort.Slice(s.entries, func(i, j int) bool {
+		if s.entries[i].name != s.entries[j].name {
+			return s.entries[i].name < s.entries[j].name
+		}
+		return s.entries[i].labels < s.entries[j].labels
+	})
 	return s
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4): HELP/TYPE headers, counters suffixed _total,
-// histograms as cumulative _bucket series with le labels plus _sum and
-// _count, all families sorted by name.
+// format (version 0.0.4) from one Snapshot, so every sample in the
+// scrape was read at the same instant.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.RLock()
-	ordered := make([]*metric, 0, len(r.metrics))
-	for _, m := range r.metrics {
-		ordered = append(ordered, m)
-	}
-	r.mu.RUnlock()
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+	return r.Snapshot().WritePrometheus(w)
+}
 
+// WritePrometheus renders the snapshot: HELP/TYPE headers once per
+// family, counters suffixed _total, histograms as cumulative _bucket
+// series with le labels plus _sum and _count, families sorted by name
+// and label sets within a family sorted lexically. A histogram with a
+// captured exemplar renders it OpenMetrics-style after its +Inf bucket.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
-	for _, m := range ordered {
-		switch m.kind {
+	prevFamily := ""
+	for _, e := range s.entries {
+		switch e.kind {
 		case kindCounter:
-			name := m.name + "_total"
-			writeHeader(&b, name, m.help, "counter")
-			fmt.Fprintf(&b, "%s %d\n", name, m.readInt())
-		case kindGauge:
-			writeHeader(&b, m.name, m.help, "gauge")
-			fmt.Fprintf(&b, "%s %s\n", m.name, formatSample(m.readFloat()))
-		case kindHistogram:
-			writeHeader(&b, m.name, m.help, "histogram")
-			bk := m.hist.Buckets()
-			for i, bound := range bk.Bounds {
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatSample(bound), bk.Cumulative[i])
+			name := e.name + "_total"
+			if name != prevFamily {
+				writeHeader(&b, name, e.help, "counter")
+				prevFamily = name
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, bk.Count)
-			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatSample(bk.Sum))
-			fmt.Fprintf(&b, "%s_count %d\n", m.name, bk.Count)
+			fmt.Fprintf(&b, "%s %d\n", name+braced(e.labels), e.intVal)
+		case kindGauge:
+			if e.name != prevFamily {
+				writeHeader(&b, e.name, e.help, "gauge")
+				prevFamily = e.name
+			}
+			fmt.Fprintf(&b, "%s %s\n", e.name+braced(e.labels), formatSample(e.floatVal))
+		case kindHistogram:
+			if e.name != prevFamily {
+				writeHeader(&b, e.name, e.help, "histogram")
+				prevFamily = e.name
+			}
+			bk := e.hist
+			for i, bound := range bk.Bounds {
+				fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", e.name, labelPrefix(e.labels), formatSample(bound), bk.Cumulative[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d", e.name, labelPrefix(e.labels), bk.Count)
+			if e.ex != nil {
+				fmt.Fprintf(&b, " # {trace_id=\"%016x\"} %s", e.ex.traceID, formatSample(e.ex.value))
+			}
+			b.WriteByte('\n')
+			fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, braced(e.labels), formatSample(bk.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, braced(e.labels), bk.Count)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// braced wraps non-empty label text in braces for a sample name.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// labelPrefix renders labels for merging with a bucket's le label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
 }
 
 // writeHeader emits the # HELP / # TYPE pair with help-text escaping per

@@ -46,6 +46,55 @@ zeta_requests_total 3
 	}
 }
 
+// TestPrometheusExemplarGolden pins the trace-aware exposition pieces:
+// a histogram's captured exemplar renders OpenMetrics-style after its
+// +Inf bucket with the zero-padded hex trace id, and a labeled counter
+// family emits one HELP/TYPE header with label sets sorted lexically.
+func TestPrometheusExemplarGolden(t *testing.T) {
+	reg := NewRegistry()
+	h, ex := reg.HistogramExemplar("stage_seconds", "A stage histogram.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	ex.Observe(0xabc123, 2)
+	up := reg.CounterLabeled("worker_transitions", "Worker health transitions, by direction.", "dir", "up")
+	down := reg.CounterLabeled("worker_transitions", "Worker health transitions, by direction.", "dir", "down")
+	up.Add(3)
+	down.Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP stage_seconds A stage histogram.
+# TYPE stage_seconds histogram
+stage_seconds_bucket{le="0.5"} 1
+stage_seconds_bucket{le="1"} 1
+stage_seconds_bucket{le="+Inf"} 2 # {trace_id="0000000000abc123"} 2
+stage_seconds_sum 2.25
+stage_seconds_count 2
+# HELP worker_transitions_total Worker health transitions, by direction.
+# TYPE worker_transitions_total counter
+worker_transitions_total{dir="down"} 1
+worker_transitions_total{dir="up"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Before any sampled observation the exemplar slot is empty and the
+	// +Inf line must stay plain.
+	reg2 := NewRegistry()
+	h2, _ := reg2.HistogramExemplar("quiet_seconds", "", []float64{1})
+	h2.Observe(0.5)
+	var b2 strings.Builder
+	if err := reg2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "trace_id") {
+		t.Errorf("empty exemplar rendered:\n%s", b2.String())
+	}
+}
+
 func TestCounterMonotonic(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("c", "")

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -81,6 +82,64 @@ func TestNilSpanSafe(t *testing.T) {
 	}
 	if s.Children() != nil || s.KVs() != nil {
 		t.Error("nil span collections not nil")
+	}
+}
+
+// TestSpanConcurrentChildren hammers one root from many goroutines —
+// child creation, grandchildren, SetKV, End — while another goroutine
+// renders Tree() mid-flight. Under -race this is the span tree's
+// thread-safety proof; afterwards the child count and rendered line
+// count must both be exact.
+func TestSpanConcurrentChildren(t *testing.T) {
+	const workers, perWorker = 8, 50
+	root := StartSpan("build")
+
+	stop := make(chan struct{})
+	var render sync.WaitGroup
+	render.Add(1)
+	go func() {
+		defer render.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = root.Tree() // racing against Start/End/SetKV
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := root.Start("child")
+				c.SetKV("worker", w)
+				gc := c.Start("grandchild")
+				gc.End()
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	render.Wait()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != workers*perWorker {
+		t.Fatalf("children = %d, want %d", len(kids), workers*perWorker)
+	}
+	for _, c := range kids {
+		if len(c.Children()) != 1 {
+			t.Fatalf("child %q has %d grandchildren, want 1", c.Name(), len(c.Children()))
+		}
+	}
+	lines := strings.Split(strings.TrimRight(root.Tree(), "\n"), "\n")
+	if want := 1 + 2*workers*perWorker; len(lines) != want {
+		t.Fatalf("tree lines = %d, want %d", len(lines), want)
 	}
 }
 

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event): what
+// chrome://tracing and Perfetto load. Timestamps and durations are
+// microseconds; pid/tid are synthetic (one process, one track).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTraceEvents renders a span tree in the Chrome trace-event JSON
+// format, offsets relative to the root's start — `dcspan -trace-out
+// build.json` produces a file Perfetto opens directly. Running spans
+// render with their elapsed-so-far duration.
+func WriteTraceEvents(w io.Writer, root *Span) error {
+	if root == nil {
+		return fmt.Errorf("obs: WriteTraceEvents on nil span")
+	}
+	var events []traceEvent
+	collectEvents(&events, root, root.start)
+	out := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func collectEvents(events *[]traceEvent, s *Span, epoch time.Time) {
+	s.mu.Lock()
+	name, start, dur, ended, alloc := s.name, s.start, s.dur, s.ended, s.alloc
+	kvs := append([]spanKV(nil), s.kv...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if !ended {
+		dur = time.Since(start)
+	}
+	ev := traceEvent{
+		Name: name,
+		Cat:  "build",
+		Ph:   "X",
+		TS:   us(start.Sub(epoch)),
+		Dur:  us(dur),
+		PID:  1,
+		TID:  1,
+	}
+	if alloc > 0 || len(kvs) > 0 {
+		ev.Args = make(map[string]any, len(kvs)+1)
+		if alloc > 0 {
+			ev.Args["alloc_bytes"] = alloc
+		}
+		for _, kv := range kvs {
+			ev.Args[kv.key] = fmt.Sprintf("%v", kv.value)
+		}
+	}
+	*events = append(*events, ev)
+	for _, c := range children {
+		collectEvents(events, c, epoch)
+	}
+}

@@ -1,11 +1,13 @@
 package oracle
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // AnswerBatch answers a batch of distance queries on the oracle's worker
@@ -22,61 +24,102 @@ import (
 // cheaper route: one BFS row per distinct source instead of one
 // bidirectional search per query.
 func (o *Oracle) AnswerBatch(qs []Query) []Answer {
+	return o.AnswerBatchTrace(qs, nil)
+}
+
+// AnswerBatchTrace is AnswerBatch with an optional request trace: the
+// answers are identical (the trace influences nothing the differential
+// harness can see), but the trace's path mask accumulates every
+// resolution path the batch took and an "oracle" hop records which arm
+// (bulk sweep vs per-query pool) served it. A nil trace costs only the
+// per-batch nil checks — path bits are folded into a local word per
+// worker either way, never per-query atomics.
+func (o *Oracle) AnswerBatchTrace(qs []Query, tr *obs.ReqTrace) []Answer {
+	t0 := time.Now()
 	out := make([]Answer, len(qs))
 	if len(qs) == 0 {
 		return out
 	}
+	arm := "perquery"
+	var mask uint8
 	if o.answerBulk(qs, out) {
-		return out
+		arm = "bulk"
+		mask = obs.PathBulk
+	} else {
+		mask = o.answerMany(qs, out)
 	}
+	if tr != nil {
+		tr.OrPath(mask)
+		tr.Hop("oracle", t0, fmt.Sprintf("n=%d arm=%s path=%s", len(qs), arm, obs.PathString(mask)))
+	}
+	return out
+}
+
+// answerMany runs the per-query arm over the worker pool and returns the
+// OR of the resolution-path bits taken.
+func (o *Oracle) answerMany(qs []Query, out []Answer) uint8 {
 	w := o.workers
 	if w > len(qs) {
 		w = len(qs)
 	}
 	if w <= 1 {
+		var mask uint8
 		for i, q := range qs {
-			out[i] = o.answerTimed(q)
+			var p uint8
+			out[i], p = o.answerTimed(q)
+			mask |= p
 		}
-		return out
+		return mask
 	}
 	// Work-stealing by chunked atomic counter: cheap, and per-answer cost
 	// varies enough (cache hit vs full search) that static chunking would
 	// straggle.
 	const chunk = 16
 	var next atomic.Int64
+	var paths atomic.Uint32
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var mask uint8
 			for {
 				lo := int(next.Add(chunk)) - chunk
 				if lo >= len(qs) {
-					return
+					// One atomic fold per worker, not per query.
+					for {
+						old := paths.Load()
+						if old|uint32(mask) == old || paths.CompareAndSwap(old, old|uint32(mask)) {
+							return
+						}
+					}
 				}
 				hi := lo + chunk
 				if hi > len(qs) {
 					hi = len(qs)
 				}
 				for j := lo; j < hi; j++ {
-					out[j] = o.answerTimed(qs[j])
+					var p uint8
+					out[j], p = o.answerTimed(qs[j])
+					mask |= p
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return uint8(paths.Load())
 }
 
 // answerTimed is one batch element: answer with latency accounting,
-// swallowing the out-of-range error into the Answer sentinel.
-func (o *Oracle) answerTimed(q Query) Answer {
+// swallowing the out-of-range error into the Answer sentinel. The second
+// return is the resolution-path bit taken.
+func (o *Oracle) answerTimed(q Query) (Answer, uint8) {
 	t0 := time.Now()
-	a, err := o.answer(q.U, q.V)
+	a, path, err := o.answer(q.U, q.V)
 	if err == nil {
 		o.latency.Observe(time.Since(t0).Seconds())
 	}
-	return a
+	return a, path
 }
 
 // bulkMinBatch is the smallest batch the bulk sweep considers: below it

@@ -41,7 +41,7 @@ func TestAnswerBulkMatchesPerQueryPath(t *testing.T) {
 	ref := mk(1)
 	want := make([]Answer, len(qs))
 	for i, q := range qs {
-		a, err := ref.answer(q.U, q.V)
+		a, _, err := ref.answer(q.U, q.V)
 		if err != nil {
 			a = Answer{U: q.U, V: q.V, Dist: graph.Unreachable, Bound: graph.Unreachable}
 		}

@@ -354,41 +354,55 @@ func (o *Oracle) LandmarkBytes() []byte { return o.lm.Bytes() }
 
 // Dist answers a single distance query. Safe for concurrent use.
 func (o *Oracle) Dist(u, v int32) (Answer, error) {
+	return o.DistTrace(u, v, nil)
+}
+
+// DistTrace is Dist with an optional request trace: the resolution path
+// taken lands in the trace's path mask and the resolution itself is
+// recorded as an "oracle" hop. A nil trace costs nothing beyond the nil
+// checks — Dist calls through with nil.
+func (o *Oracle) DistTrace(u, v int32, tr *obs.ReqTrace) (Answer, error) {
 	t0 := time.Now()
-	a, err := o.answer(u, v)
+	a, path, err := o.answer(u, v)
 	if err == nil {
 		o.latency.Observe(time.Since(t0).Seconds())
+	}
+	if tr != nil {
+		tr.OrPath(path)
+		tr.Hop("oracle", t0, "path="+obs.PathString(path))
 	}
 	return a, err
 }
 
 // answer is Dist without latency accounting (shared with AnswerBatch): it
 // resolves the distance and charges the query to the Dist counters and the
-// stretch sampler.
-func (o *Oracle) answer(u, v int32) (Answer, error) {
-	ans, err := o.resolve(u, v)
+// stretch sampler. The second return is the obs.Path* bit the resolution
+// took (0 for self/invalid queries).
+func (o *Oracle) answer(u, v int32) (Answer, uint8, error) {
+	ans, path, err := o.resolve(u, v)
 	if err != nil {
-		return ans, err
+		return ans, path, err
 	}
 	seq := o.queries.Add(1)
 	if ans.Exact && u != v {
 		o.maybeSampleStretch(seq, u, v, ans.Dist)
 	}
-	return ans, nil
+	return ans, path, nil
 }
 
 // resolve computes the distance answer with no serving accounting beyond
 // the cache's own hit/miss counters — Route rides on it so route lookups
-// do not inflate Stats.Queries or the Dist latency histogram.
-func (o *Oracle) resolve(u, v int32) (Answer, error) {
+// do not inflate Stats.Queries or the Dist latency histogram. It reports
+// which resolution path answered (an obs.Path* bit; 0 when no path ran).
+func (o *Oracle) resolve(u, v int32) (Answer, uint8, error) {
 	n := int32(o.h.N())
 	if u < 0 || v < 0 || u >= n || v >= n {
-		return Answer{U: u, V: v, Dist: graph.Unreachable, Bound: graph.Unreachable},
+		return Answer{U: u, V: v, Dist: graph.Unreachable, Bound: graph.Unreachable}, 0,
 			fmt.Errorf("oracle: query (%d,%d) out of range [0,%d)", u, v, n)
 	}
 	ans := Answer{U: u, V: v, Exact: true}
 	if u == v {
-		return ans, nil
+		return ans, 0, nil
 	}
 	ans.Bound = o.lm.upperBound(u, v)
 	key := packKey(u, v)
@@ -396,7 +410,7 @@ func (o *Oracle) resolve(u, v int32) (Answer, error) {
 		if d, ok := o.cache.get(key); ok {
 			o.pathCacheHit.Inc()
 			ans.Dist = d
-			return ans, nil
+			return ans, obs.PathCache, nil
 		}
 	}
 	sc := o.searchPool.Get().(*biScratch)
@@ -408,14 +422,14 @@ func (o *Oracle) resolve(u, v int32) (Answer, error) {
 		o.pathLandmark.Inc()
 		ans.Dist = ans.Bound
 		ans.Exact = false
-		return ans, nil
+		return ans, obs.PathLandmark, nil
 	}
 	o.pathBiBFS.Inc()
 	ans.Dist = d
 	if o.cache != nil {
 		o.cache.put(key, d)
 	}
-	return ans, nil
+	return ans, obs.PathBiBFS, nil
 }
 
 // maybeSampleStretch re-answers every sampleEvery-th query exactly on G
@@ -450,7 +464,7 @@ func (o *Oracle) maybeSampleStretch(seq int64, u, v, dh int32) {
 // histogram instead.
 func (o *Oracle) Route(u, v int32) (routing.Path, Answer, error) {
 	t0 := time.Now()
-	ans, err := o.resolve(u, v)
+	ans, _, err := o.resolve(u, v)
 	if err != nil {
 		return nil, ans, err
 	}
@@ -490,7 +504,14 @@ func (o *Oracle) finishRoute(t0 time.Time) {
 // finished queries; the hit counters are clamped to the query totals and
 // HitRate to [0, 1] so no consumer sees an impossible figure.
 func (o *Oracle) Stats() Stats {
-	snap := o.reg.Snapshot()
+	return o.StatsFrom(o.reg.Snapshot())
+}
+
+// StatsFrom derives the Stats view from an already-taken registry
+// snapshot — the path by which a serving layer that also owns counters
+// in the same registry (internal/server) renders its whole stats line
+// from one capture instant.
+func (o *Oracle) StatsFrom(snap obs.Snapshot) Stats {
 	s := Stats{
 		Queries:        snap.Counters[metricDistQueries],
 		Routes:         snap.Counters[metricRouteQueries],

@@ -23,6 +23,7 @@ package router
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,10 +66,13 @@ type Options struct {
 	// redial then happens inline on use).
 	HealthInterval time.Duration
 	// Registry, when set, exposes router_* counters and per-shard
-	// router_shard<i>_* counters plus healthy-worker gauges.
+	// router_shard<i>_* counters plus healthy-worker gauges and the
+	// router_worker_transitions{dir="up"|"down"} transition counters.
 	Registry *obs.Registry
-	// Logf, when set, receives health-loop diagnostics.
-	Logf func(format string, args ...any)
+	// Log, when set, receives worker health transitions and fan-out
+	// diagnostics as structured records under component=router. Nil
+	// discards.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +119,12 @@ type Router struct {
 
 	rr       atomic.Uint64 // round-robin cursor for single-query dispatch
 	counters *stats.Counters
+	log      *slog.Logger
+
+	// Worker health transitions observed by markHealth, split by
+	// direction (the router_worker_transitions metric family).
+	transUp   atomic.Int64
+	transDown atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -132,6 +142,7 @@ func New(opts Options) (*Router, error) {
 	}
 	r := &Router{
 		opts: opts,
+		log:  obs.Component(opts.Log, "router"),
 		stop: make(chan struct{}),
 		counters: stats.NewCounters(
 			"dist", "batches", "chunks", "retries", "failures"),
@@ -183,6 +194,12 @@ func New(opts Options) (*Router, error) {
 			func() float64 { return float64(len(r.shards)) })
 		reg.GaugeFunc("router_healthy_workers", "workers currently marked healthy",
 			func() float64 { return float64(r.HealthyWorkers()) })
+		reg.CounterFuncLabeled("router_worker_transitions",
+			"Worker health transitions observed, by direction.",
+			"dir", "up", r.transUp.Load)
+		reg.CounterFuncLabeled("router_worker_transitions",
+			"Worker health transitions observed, by direction.",
+			"dir", "down", r.transDown.Load)
 	}
 
 	if opts.HealthInterval > 0 {
@@ -192,10 +209,28 @@ func New(opts Options) (*Router, error) {
 	return r, nil
 }
 
-func (r *Router) logf(format string, args ...any) {
-	if r.opts.Logf != nil {
-		r.opts.Logf(format, args...)
+// markHealth sets one worker's health state, and — only when the state
+// actually flips — counts and logs the transition. Every health write in
+// the package goes through here (except the initial all-healthy marking
+// in New, which is not a transition), so the transition counters and the
+// up/down log lines can never disagree with the gauge.
+func (r *Router) markHealth(sh *shard, up bool, reason string) {
+	if sh.healthy.Swap(up) == up {
+		return
 	}
+	if up {
+		r.transUp.Add(1)
+		r.log.Info("worker up", "worker", sh.idx, "addr", sh.addr, "reason", reason)
+	} else {
+		r.transDown.Add(1)
+		r.log.Warn("worker down", "worker", sh.idx, "addr", sh.addr, "reason", reason)
+	}
+}
+
+// TransitionCounts returns the cumulative worker health transitions seen
+// so far (up = unhealthy→healthy, down = healthy→unhealthy).
+func (r *Router) TransitionCounts() (up, down int64) {
+	return r.transUp.Load(), r.transDown.Load()
 }
 
 // N implements server.Backend.
@@ -302,13 +337,13 @@ func (r *Router) healthyShards() []*shard {
 func (r *Router) tryShard(sh *shard, fn func(c *wire.Client) error) bool {
 	c := r.conn(sh)
 	if c == nil {
-		sh.healthy.Store(false)
+		r.markHealth(sh, false, "dial failed")
 		sh.counters.Add("errs", 1)
 		return false
 	}
 	err := fn(c)
 	if err == nil {
-		sh.healthy.Store(true)
+		r.markHealth(sh, true, "request ok")
 		return true
 	}
 	sh.counters.Add("errs", 1)
@@ -320,27 +355,49 @@ func (r *Router) tryShard(sh *shard, fn func(c *wire.Client) error) bool {
 		return false
 	}
 	// Transport error: the worker (or this connection) is gone.
-	sh.healthy.Store(false)
+	r.markHealth(sh, false, "transport error")
 	return false
+}
+
+// reqCtx is the wire trace context a traced request propagates to a
+// worker: the trace id with the sampling bit, or the zero context for
+// untraced requests (v3 workers see id 0 / unsampled; v2 workers see no
+// trace field at all).
+func reqCtx(tr *obs.ReqTrace) wire.TraceContext {
+	if tr == nil {
+		return wire.TraceContext{}
+	}
+	return wire.SampledContext(tr.ID())
 }
 
 // Dist implements server.Backend: one query, tried on every worker in
 // rotation until one answers.
 func (r *Router) Dist(u, v int32) (oracle.Answer, error) {
+	return r.DistTrace(u, v, nil)
+}
+
+// DistTrace implements server.TracedBackend: the answer is identical to
+// Dist, and a non-nil trace gains one hop per worker attempt (send
+// through merge of the wire round trip), retry events, and the worker's
+// resolution-path bits carried back in the v3 response flags.
+func (r *Router) DistTrace(u, v int32, tr *obs.ReqTrace) (oracle.Answer, error) {
 	r.counters.Add("dist", 1)
 	var ans oracle.Answer
 	var lastErr error
 	for _, sh := range r.healthyShards() {
+		t0 := time.Now()
 		ok := r.tryShard(sh, func(c *wire.Client) error {
-			a, err := c.Dist(u, v)
+			a, rtc, err := c.DistTraced(u, v, reqCtx(tr))
 			if err != nil {
 				lastErr = err
 				return err
 			}
+			tr.OrPath(rtc.PathMask())
 			ans = a
 			return nil
 		})
 		if ok {
+			tr.Hop(fmt.Sprintf("shard%d", sh.idx), t0, "q=1")
 			sh.counters.Add("requests", 1)
 			sh.counters.Add("queries", 1)
 			return ans, nil
@@ -351,6 +408,7 @@ func (r *Router) Dist(u, v int32) (oracle.Answer, error) {
 			// agree, stop retrying and surface the worker's answer.
 			return oracle.Answer{}, errors.New(re.Msg)
 		}
+		tr.Event("retry", fmt.Sprintf("worker=%d", sh.idx))
 		r.counters.Add("retries", 1)
 	}
 	r.counters.Add("failures", 1)
@@ -378,6 +436,15 @@ type chunk struct {
 // exactly. A chunk that fails on its worker retries on the others; if any
 // chunk exhausts the fleet the whole batch errors.
 func (r *Router) AnswerBatch(qs []oracle.Query) ([]oracle.Answer, error) {
+	return r.AnswerBatchTrace(qs, nil)
+}
+
+// AnswerBatchTrace implements server.TracedBackend: answers are
+// byte-identical to AnswerBatch (internal/check gates on that), and a
+// non-nil trace gains a "split" hop (chunking decision), one concurrent
+// "shard<i>" hop per chunk attempt covering the wire round trip, retry
+// events, and a "merge" hop for the error fold after the fan-in.
+func (r *Router) AnswerBatchTrace(qs []oracle.Query, tr *obs.ReqTrace) ([]oracle.Answer, error) {
 	if r.closed.Load() {
 		return nil, errors.New("router: closed")
 	}
@@ -387,6 +454,7 @@ func (r *Router) AnswerBatch(qs []oracle.Query) ([]oracle.Answer, error) {
 		return out, nil
 	}
 
+	t0 := time.Now()
 	shards := r.healthyShards()
 	if len(shards) == 0 {
 		r.counters.Add("failures", 1)
@@ -406,6 +474,9 @@ func (r *Router) AnswerBatch(qs []oracle.Query) ([]oracle.Answer, error) {
 		chunks = append(chunks, chunk{lo, hi})
 	}
 	r.counters.Add("chunks", int64(len(chunks)))
+	if tr != nil {
+		tr.Hop("split", t0, fmt.Sprintf("n=%d chunks=%d workers=%d", len(qs), len(chunks), len(shards)))
+	}
 
 	var wg sync.WaitGroup
 	errc := make(chan error, len(chunks))
@@ -413,10 +484,11 @@ func (r *Router) AnswerBatch(qs []oracle.Query) ([]oracle.Answer, error) {
 		wg.Add(1)
 		go func(ci int, ck chunk) {
 			defer wg.Done()
-			errc <- r.answerChunk(qs[ck.lo:ck.hi], out[ck.lo:ck.hi], shards, ci)
+			errc <- r.answerChunk(qs[ck.lo:ck.hi], out[ck.lo:ck.hi], shards, ci, tr)
 		}(ci, ck)
 	}
 	wg.Wait()
+	tm := time.Now()
 	close(errc)
 	for err := range errc {
 		if err != nil {
@@ -424,12 +496,17 @@ func (r *Router) AnswerBatch(qs []oracle.Query) ([]oracle.Answer, error) {
 			return nil, err
 		}
 	}
+	if tr != nil {
+		tr.Hop("merge", tm, fmt.Sprintf("chunks=%d", len(chunks)))
+	}
 	return out, nil
 }
 
 // answerChunk answers qs into out (same length), starting at shard
 // ci%len(shards) and retrying on up to Retries further distinct workers.
-func (r *Router) answerChunk(qs []oracle.Query, out []oracle.Answer, shards []*shard, ci int) error {
+// Chunk answers land directly in out's slice window, so the merge is the
+// copy each worker response already performs.
+func (r *Router) answerChunk(qs []oracle.Query, out []oracle.Answer, shards []*shard, ci int, tr *obs.ReqTrace) error {
 	tries := r.opts.Retries + 1
 	if tries > len(shards) {
 		tries = len(shards)
@@ -437,16 +514,19 @@ func (r *Router) answerChunk(qs []oracle.Query, out []oracle.Answer, shards []*s
 	var lastErr error
 	for t := 0; t < tries; t++ {
 		sh := shards[(ci+t)%len(shards)]
+		t0 := time.Now()
 		ok := r.tryShard(sh, func(c *wire.Client) error {
-			as, err := c.Batch(qs)
+			as, rtc, err := c.BatchTraced(qs, reqCtx(tr))
 			if err != nil {
 				lastErr = err
 				return err
 			}
+			tr.OrPath(rtc.PathMask())
 			copy(out, as)
 			return nil
 		})
 		if ok {
+			tr.Hop(fmt.Sprintf("shard%d", sh.idx), t0, fmt.Sprintf("chunk=%d q=%d try=%d", ci, len(qs), t))
 			sh.counters.Add("requests", 1)
 			sh.counters.Add("queries", int64(len(qs)))
 			return nil
@@ -458,6 +538,7 @@ func (r *Router) answerChunk(qs []oracle.Query, out []oracle.Answer, shards []*s
 			break
 		}
 		if t+1 < tries {
+			tr.Event("retry", fmt.Sprintf("chunk=%d worker=%d", ci, sh.idx))
 			sh.counters.Add("retries", 1)
 			r.counters.Add("retries", 1)
 		}
@@ -497,7 +578,9 @@ func (r *Router) StatsLine() string {
 
 // healthLoop periodically pings healthy shards and redials unhealthy
 // ones, so a worker that restarts rejoins the rotation without traffic
-// having to trip over it first.
+// having to trip over it first. Transition logging and counting happen
+// inside markHealth (via tryShard), so a flip detected by the loop and a
+// flip detected by live traffic are recorded identically.
 func (r *Router) healthLoop() {
 	defer r.wg.Done()
 	t := time.NewTicker(r.opts.HealthInterval)
@@ -509,18 +592,10 @@ func (r *Router) healthLoop() {
 		case <-t.C:
 		}
 		for _, sh := range r.shards {
-			wasHealthy := sh.healthy.Load()
-			ok := r.tryShard(sh, func(c *wire.Client) error {
+			r.tryShard(sh, func(c *wire.Client) error {
 				_, err := c.Info()
 				return err
 			})
-			if ok != wasHealthy {
-				if ok {
-					r.logf("router: worker %d (%s) is back", sh.idx, sh.addr)
-				} else {
-					r.logf("router: worker %d (%s) is down", sh.idx, sh.addr)
-				}
-			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package router
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -173,7 +174,7 @@ func TestRouterMetrics(t *testing.T) {
 		t.Fatalf("AnswerBatch: %v", err)
 	}
 
-	srv := httptest.NewServer(obs.NewDebugMux(reg))
+	srv := httptest.NewServer(obs.NewDebugMux(reg, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -189,6 +190,125 @@ func TestRouterMetrics(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics misses %q", want)
 		}
+	}
+}
+
+// TestRouterWorkerTransitions kills a worker under traffic and checks
+// the health flip is counted, logged under component=router, and
+// exported as router_worker_transitions_total{dir="down"}; a recovery
+// flip (forced, since a stopped local worker cannot restart) counts and
+// logs the up direction the same way.
+func TestRouterWorkerTransitions(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf strings.Builder // slog's handler serializes writes
+	fleet, r := startFleet(t, 2, Options{
+		HealthInterval: -1,
+		Registry:       reg,
+		Log:            obs.NewLogger(&logBuf, slog.LevelInfo),
+		RequestTimeout: 5 * time.Second,
+	})
+
+	if _, err := r.AnswerBatch(testQueries(16)); err != nil {
+		t.Fatalf("warmup batch: %v", err)
+	}
+	if up, down := r.TransitionCounts(); up != 0 || down != 0 {
+		t.Fatalf("transitions before any fault = %d/%d (initial marking must not count)", up, down)
+	}
+
+	fleet.StopWorker(0)
+	var down int64
+	deadline := time.Now().Add(10 * time.Second)
+	for down == 0 && time.Now().Before(deadline) {
+		if _, err := r.AnswerBatch(testQueries(16)); err != nil {
+			t.Fatalf("batch with one dead worker: %v", err)
+		}
+		_, down = r.TransitionCounts()
+	}
+	if down != 1 {
+		t.Fatalf("down transitions = %d, want 1", down)
+	}
+	if !strings.Contains(logBuf.String(), "msg=\"worker down\"") ||
+		!strings.Contains(logBuf.String(), "component=router") {
+		t.Errorf("worker death not logged:\n%s", logBuf.String())
+	}
+
+	// Force the survivor unhealthy; the next successful request flips it
+	// back up through the same markHealth path.
+	r.markHealth(r.shards[1], false, "test")
+	if _, err := r.AnswerBatch(testQueries(8)); err != nil {
+		t.Fatalf("recovery batch: %v", err)
+	}
+	up, _ := r.TransitionCounts()
+	if up != 1 {
+		t.Fatalf("up transitions = %d, want 1", up)
+	}
+	if !strings.Contains(logBuf.String(), "msg=\"worker up\"") {
+		t.Errorf("worker recovery not logged:\n%s", logBuf.String())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`router_worker_transitions{dir="down"}`]; got != 2 {
+		// worker 0's death plus the forced flip on worker 1
+		t.Errorf(`transitions{dir="down"} = %d, want 2`, got)
+	}
+	if got := snap.Counters[`router_worker_transitions{dir="up"}`]; got != 1 {
+		t.Errorf(`transitions{dir="up"} = %d, want 1`, got)
+	}
+}
+
+// TestRouterTracedFanout threads a ReqTrace through the batch and dist
+// paths: the batch trace carries split → shard<i> → merge hops with the
+// fan-out noted, both traces pick up worker resolution-path bits, and
+// the traced answers stay byte-identical to the untraced ones.
+func TestRouterTracedFanout(t *testing.T) {
+	_, r := startFleet(t, 2, Options{HealthInterval: -1})
+	ref := refOracle(t)
+
+	qs := testQueries(64)
+	tr := obs.NewReqTrace(0)
+	got, err := r.AnswerBatchTrace(qs, tr)
+	if err != nil {
+		t.Fatalf("AnswerBatchTrace: %v", err)
+	}
+	want := ref.AnswerBatch(qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("traced answer %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	hops := tr.Hops()
+	if len(hops) < 3 || hops[0].Name != "split" || hops[len(hops)-1].Name != "merge" {
+		t.Fatalf("batch hops = %+v, want split … merge", hops)
+	}
+	if !strings.Contains(hops[0].Note, "n=64") || !strings.Contains(hops[0].Note, "workers=2") {
+		t.Errorf("split note = %q", hops[0].Note)
+	}
+	shardHops := 0
+	for _, h := range hops[1 : len(hops)-1] {
+		if strings.HasPrefix(h.Name, "shard") {
+			shardHops++
+			if !strings.Contains(h.Note, "chunk=") || !strings.Contains(h.Note, "try=0") {
+				t.Errorf("shard hop note = %q", h.Note)
+			}
+		}
+	}
+	if shardHops != 2 {
+		t.Errorf("shard hops = %d, want one per chunk (2)", shardHops)
+	}
+	if tr.Path() == 0 {
+		t.Error("batch trace carries no resolution-path bits")
+	}
+
+	tr2 := obs.NewReqTrace(0)
+	if _, err := r.DistTrace(3, 9, tr2); err != nil {
+		t.Fatalf("DistTrace: %v", err)
+	}
+	hops = tr2.Hops()
+	if len(hops) != 1 || !strings.HasPrefix(hops[0].Name, "shard") || hops[0].Note != "q=1" {
+		t.Fatalf("dist hops = %+v, want one shard hop (q=1)", hops)
+	}
+	if tr2.Path() == 0 {
+		t.Error("dist trace carries no resolution-path bits")
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/routing"
 )
@@ -30,9 +31,29 @@ type Backend interface {
 	StatsLine() string
 }
 
+// TracedBackend is the optional tracing surface: a Backend that also
+// implements it receives the per-request trace and annotates it with its
+// own hops (oracle resolution path, router fan-out timeline). Answers
+// must be identical to the untraced calls — tracing observes, never
+// steers. Backends without it still serve traced requests; the trace
+// just records server-side hops only.
+type TracedBackend interface {
+	DistTrace(u, v int32, tr *obs.ReqTrace) (oracle.Answer, error)
+	AnswerBatchTrace(qs []oracle.Query, tr *obs.ReqTrace) ([]oracle.Answer, error)
+}
+
+// SnapshotStatser is the optional single-snapshot stats surface: a
+// Backend whose counters live in the server's registry can render its
+// StatsLine from a caller-captured snapshot, letting the server derive
+// the whole stats response (backend half, server half, /metrics) from
+// one capture instant.
+type SnapshotStatser interface {
+	StatsLineFrom(snap obs.Snapshot) string
+}
+
 // OracleBackend adapts *oracle.Oracle to the Backend interface. The
-// oracle's own methods (N, Dist, Route) already match; only the
-// batch/stats shapes differ.
+// oracle's own methods (N, Dist, Route, DistTrace) already match; only
+// the batch/stats shapes differ.
 type OracleBackend struct {
 	*oracle.Oracle
 }
@@ -42,5 +63,17 @@ func (b OracleBackend) AnswerBatch(qs []oracle.Query) ([]oracle.Answer, error) {
 	return b.Oracle.AnswerBatch(qs), nil
 }
 
+// AnswerBatchTrace wraps oracle.AnswerBatchTrace, which cannot fail.
+func (b OracleBackend) AnswerBatchTrace(qs []oracle.Query, tr *obs.ReqTrace) ([]oracle.Answer, error) {
+	return b.Oracle.AnswerBatchTrace(qs, tr), nil
+}
+
 // StatsLine renders the oracle's serving report.
 func (b OracleBackend) StatsLine() string { return b.Oracle.Stats().String() }
+
+// StatsLineFrom renders the oracle's serving report from an existing
+// registry snapshot (the oracle registers its counters in the registry
+// the server snapshots).
+func (b OracleBackend) StatsLineFrom(snap obs.Snapshot) string {
+	return b.Oracle.StatsFrom(snap).String()
+}

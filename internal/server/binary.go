@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -18,13 +19,16 @@ import (
 // connection must not be able to occupy the whole process.
 const maxBinaryInflight = 8
 
-// binSession is one binary (wire v2) connection's state. Requests run
+// binSession is one binary (wire v2/v3) connection's state. Requests run
 // concurrently up to maxBinaryInflight and may complete out of order;
-// responses are serialized by wmu.
+// responses are serialized by wmu. Frames are encoded at the negotiated
+// version: a v3 session carries trace context both ways, a v2 session
+// frames identically to the pre-trace protocol.
 type binSession struct {
-	srv *Server
-	br  *bufio.Reader
-	dl  deadliner
+	srv     *Server
+	br      *bufio.Reader
+	dl      deadliner
+	version uint16
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -60,6 +64,7 @@ func (s *Server) runBinarySession(br *bufio.Reader, out io.Writer, dl deadliner)
 	if !bs.writeRaw(wire.AppendHelloReply(nil, version)) {
 		return
 	}
+	bs.version = version
 
 	sem := make(chan struct{}, maxBinaryInflight)
 	for {
@@ -69,7 +74,7 @@ func (s *Server) runBinarySession(br *bufio.Reader, out io.Writer, dl deadliner)
 		if dl != nil && s.cfg.IdleTimeout > 0 {
 			dl.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		f, err := wire.ReadFrame(br, s.cfg.MaxFrameBytes)
+		f, err := wire.ReadFrameV(br, s.cfg.MaxFrameBytes, version)
 		if err != nil {
 			switch {
 			case isTimeout(err) && !s.draining.Load():
@@ -83,56 +88,96 @@ func (s *Server) runBinarySession(br *bufio.Reader, out io.Writer, dl deadliner)
 			break
 		}
 		s.counters.Add("requests", 1)
+		// Trace decision happens at receipt so the queue hop covers the
+		// time spent waiting behind the pipelining semaphore.
+		tr := bs.maybeTrace(f)
 		sem <- struct{}{}
 		bs.wg.Add(1)
-		go func(f wire.Frame) {
+		go func(f wire.Frame, tr *obs.ReqTrace) {
 			defer func() { <-sem; bs.wg.Done() }()
-			bs.handle(f)
-		}(f)
+			bs.handle(f, tr)
+		}(f, tr)
 	}
 	bs.wg.Wait()
 }
 
+// maybeTrace decides whether this request is traced: data requests
+// (dist/batch) are traced when the client set the wire sampling bit, or
+// when the server-side 1-in-N sampler elects them. A client-carried trace
+// id is continued; server-elected traces mint a fresh id.
+func (bs *binSession) maybeTrace(f wire.Frame) *obs.ReqTrace {
+	if f.Type != wire.MsgDist && f.Type != wire.MsgBatch {
+		return nil
+	}
+	if f.Trace.Sampled() {
+		return obs.NewReqTrace(f.Trace.ID)
+	}
+	if bs.srv.shouldSample() {
+		return obs.NewReqTrace(0)
+	}
+	return nil
+}
+
 // handle answers one request frame. Runs on its own goroutine; everything
-// it touches is either owned (the frame — ReadFrame allocates per frame)
-// or internally synchronized.
-func (bs *binSession) handle(f wire.Frame) {
+// it touches is either owned (the frame — ReadFrameV allocates per frame)
+// or internally synchronized. tr is nil for untraced requests; all
+// tracing calls below are nil-safe, so the untraced path pays only the
+// nil checks.
+func (bs *binSession) handle(f wire.Frame, tr *obs.ReqTrace) {
 	srv := bs.srv
 	switch f.Type {
 	case wire.MsgDist:
 		q, err := wire.DecodeQuery(f.Payload)
 		if err != nil {
-			bs.respondErr(f.ID, err.Error())
+			bs.finishErr(f, tr, err.Error())
 			return
 		}
-		a, err := srv.b.Dist(q.U, q.V)
+		if tr != nil {
+			tr.SetVerb("dist", fmt.Sprintf("u=%d v=%d", q.U, q.V))
+			tr.Hop("queue", tr.Start(), "")
+			srv.stages.observe(srv.stages.queue, srv.stages.queueEx, tr.ID(), tr.Start())
+		}
+		tb := time.Now()
+		a, err := srv.distTrace(q.U, q.V, tr)
+		if tr != nil {
+			srv.stages.observe(srv.stages.backend, srv.stages.backendEx, tr.ID(), tb)
+		}
 		if err != nil {
-			bs.respondErr(f.ID, err.Error())
+			bs.finishErr(f, tr, err.Error())
 			return
 		}
-		bs.writeFrame(wire.Frame{Type: wire.MsgDistR, ID: f.ID, Payload: wire.AppendAnswer(nil, a)})
+		bs.respond(f, tr, wire.Frame{Type: wire.MsgDistR, ID: f.ID, Payload: wire.AppendAnswer(nil, a)})
 	case wire.MsgBatch:
 		qs, err := wire.DecodeQueries(f.Payload)
 		if err != nil {
-			bs.respondErr(f.ID, err.Error())
+			bs.finishErr(f, tr, err.Error())
 			return
 		}
 		if len(qs) > srv.cfg.MaxBatch {
-			bs.respondErr(f.ID, fmt.Sprintf("batch size must be in [1, %d]", srv.cfg.MaxBatch))
+			bs.finishErr(f, tr, fmt.Sprintf("batch size must be in [1, %d]", srv.cfg.MaxBatch))
 			return
+		}
+		if tr != nil {
+			tr.SetVerb("batch", fmt.Sprintf("n=%d", len(qs)))
+			tr.Hop("queue", tr.Start(), "")
+			srv.stages.observe(srv.stages.queue, srv.stages.queueEx, tr.ID(), tr.Start())
 		}
 		// Unlike the text path there is no per-line validation here: the
 		// batch goes to the backend as decoded, and invalid queries come
 		// back as Unreachable sentinels per oracle.AnswerBatch semantics.
 		// That is what keeps a routed batch byte-identical to a local one.
-		as, err := srv.b.AnswerBatch(qs)
+		tb := time.Now()
+		as, err := srv.batchTrace(qs, tr)
+		if tr != nil {
+			srv.stages.observe(srv.stages.backend, srv.stages.backendEx, tr.ID(), tb)
+		}
 		if err != nil {
-			bs.respondErr(f.ID, err.Error())
+			bs.finishErr(f, tr, err.Error())
 			return
 		}
 		srv.counters.Add("batches", 1)
 		srv.counters.Add("requests", int64(len(qs)))
-		bs.writeFrame(wire.Frame{Type: wire.MsgBatchR, ID: f.ID,
+		bs.respond(f, tr, wire.Frame{Type: wire.MsgBatchR, ID: f.ID,
 			Payload: wire.AppendAnswers(make([]byte, 0, wire.BatchFrameBytes(len(as))), as)})
 	case wire.MsgStats:
 		bs.writeFrame(wire.Frame{Type: wire.MsgStatsR, ID: f.ID, Payload: []byte(srv.statsLine())})
@@ -142,6 +187,38 @@ func (bs *binSession) handle(f wire.Frame) {
 	default:
 		bs.respondErr(f.ID, fmt.Sprintf("unknown frame type 0x%02x", f.Type))
 	}
+}
+
+// respond sends a successful data response, stamping the trace context
+// (trace id, sampled bit, resolution-path mask — dropped on the wire for
+// v2 peers) and completing the trace into the flight recorder.
+func (bs *binSession) respond(req wire.Frame, tr *obs.ReqTrace, resp wire.Frame) {
+	if tr == nil {
+		// Untraced: echo the client's trace id (if any) with no sampled
+		// bit, so a client that asked for sampling on a request the server
+		// dropped tracing for can still correlate.
+		resp.Trace = wire.ResponseContext(req.Trace.ID, false, 0)
+		bs.writeFrame(resp)
+		return
+	}
+	tw := time.Now()
+	resp.Trace = wire.ResponseContext(tr.ID(), true, tr.Path())
+	bs.writeFrame(resp)
+	tr.Hop("write", tw, "")
+	bs.srv.stages.observe(bs.srv.stages.write, bs.srv.stages.writeEx, tr.ID(), tw)
+	tr.Finish(bs.srv.cfg.Flight, "")
+}
+
+// finishErr answers a request with MsgErr, counts it, and completes the
+// trace (errored traces always land in the slow ring).
+func (bs *binSession) finishErr(f wire.Frame, tr *obs.ReqTrace, msg string) {
+	bs.srv.counters.Add("errs", 1)
+	resp := wire.Frame{Type: wire.MsgErr, ID: f.ID, Payload: []byte(msg)}
+	if tr != nil {
+		resp.Trace = wire.ResponseContext(tr.ID(), true, tr.Path())
+	}
+	bs.writeFrame(resp)
+	tr.Finish(bs.srv.cfg.Flight, msg)
 }
 
 // respondErr answers a request with MsgErr and counts it.
@@ -160,7 +237,7 @@ func (bs *binSession) writeFrame(f wire.Frame) {
 		return
 	}
 	bs.armWriteDeadline()
-	err := wire.WriteFrame(bs.w, f, bs.srv.cfg.MaxFrameBytes)
+	err := wire.WriteFrameV(bs.w, f, bs.srv.cfg.MaxFrameBytes, bs.version)
 	if err == nil {
 		err = bs.w.Flush()
 	}

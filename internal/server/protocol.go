@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 )
 
@@ -51,11 +52,38 @@ func (sess *session) handle(line string) error {
 			parts[i] = strconv.Itoa(int(x))
 		}
 		return sess.respond(fmt.Sprintf("route %d %d = %d path=%s", u, v, ans.Dist, strings.Join(parts, "-")))
+	case "trace":
+		return sess.handleTrace(fields)
 	case "batch":
 		return sess.handleBatch(fields)
 	default:
-		return sess.respondErrf("unknown command %q (want dist|route|batch|stats|quit)", fields[0])
+		return sess.respondErrf("unknown command %q (want dist|route|batch|trace|stats|quit)", fields[0])
 	}
+}
+
+// handleTrace answers "trace <u> <v>": a dist query with tracing forced
+// on, returning the answer plus the hop breakdown inline. The trace also
+// lands in the flight recorder (when configured), so the verb doubles as
+// a way to seed /debug/requests on demand.
+func (sess *session) handleTrace(fields []string) error {
+	u, v, err := parsePair(fields)
+	if err != nil {
+		return sess.respondErrf("%s", err)
+	}
+	srv := sess.srv
+	tr := obs.NewReqTrace(0)
+	tr.SetVerb("trace", fmt.Sprintf("u=%d v=%d", u, v))
+	ans, err := srv.distTrace(u, v, tr)
+	if err != nil {
+		tr.Finish(srv.cfg.Flight, err.Error())
+		return sess.respondErrf("%s", err)
+	}
+	rec := tr.Finish(srv.cfg.Flight, "")
+	dist := strconv.Itoa(int(ans.Dist))
+	if ans.Dist == graph.Unreachable {
+		dist = "unreachable"
+	}
+	return sess.respond(fmt.Sprintf("trace %d %d = %s %s", u, v, dist, rec.Line()))
 }
 
 // handleBatch reads n subsequent "dist <u> <v>" lines and answers them

@@ -19,6 +19,11 @@
 //	                   them through the oracle's worker pool: n response
 //	                   lines, index-aligned with the input, each in the
 //	                   dist format without the us= field
+//	trace <u> <v>  ->  answers the query with tracing forced on and
+//	                   returns the hop breakdown inline:
+//	                   trace <u> <v> = <d> id=<hex> path=<...> total=<µs>
+//	                   hops=[...]; the trace also lands in the flight
+//	                   recorder when one is configured
 //	stats          ->  stats <oracle report> | server <counter report>
 //	quit           ->  closes the connection
 //
@@ -32,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -79,13 +85,23 @@ type Config struct {
 	// MaxBatch-sized batch frame needs, so the two limits can never
 	// disagree.
 	MaxFrameBytes int
-	// Logf, when set, receives serve-loop diagnostics (accept errors).
-	Logf func(format string, args ...any)
+	// Log, when set, receives serve-loop and session diagnostics (accept
+	// errors, drain progress) as structured records under
+	// component=server. Nil discards.
+	Log *slog.Logger
 	// Registry, when set, exposes the serving counters as
 	// server_<name>_total metric families plus a server_active_conns
-	// gauge — dcserve points this at the process registry so the wire
-	// "stats" line and the /metrics endpoint render the same numbers.
+	// gauge and the per-stage request histograms — dcserve points this at
+	// the process registry so the wire "stats" line and the /metrics
+	// endpoint render the same numbers.
 	Registry *obs.Registry
+	// Flight, when set, retains completed request traces (sampled binary
+	// requests and every `trace` verb) for /debug/requests.
+	Flight *obs.FlightRecorder
+	// TraceSample, when > 0, server-side samples every Nth binary
+	// dist/batch request that did not itself carry the wire sampling bit.
+	// 0 traces only client-requested requests.
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,13 +137,56 @@ func (c Config) withDefaults() Config {
 // again.
 type Server struct {
 	b        Backend
+	tb       TracedBackend // b, when it supports traced calls; else nil
+	ss       SnapshotStatser
 	cfg      Config
+	log      *slog.Logger
 	counters *stats.Counters
 	sem      chan struct{}
 	draining atomic.Bool
+	traceSeq atomic.Uint64
+	stages   stageSet
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+}
+
+// stageSet holds the per-stage latency histograms (with trace-id
+// exemplars) sampled requests feed: time spent queued behind the
+// pipelining limit, in the backend, and writing the response. All nil
+// when no Registry is configured; observe is nil-safe.
+type stageSet struct {
+	queue, backend, write       *stats.Histogram
+	queueEx, backendEx, writeEx *obs.Exemplar
+}
+
+func newStageSet(reg *obs.Registry, prefix string) stageSet {
+	var ss stageSet
+	if reg == nil {
+		return ss
+	}
+	// Same latency bucket ladder as stats.NewLatencyHistogram: 100ns up
+	// through seconds.
+	bounds := stats.ExpBuckets(100e-9, 1.34, 60)
+	mk := func(stage, help string) (*stats.Histogram, *obs.Exemplar) {
+		return reg.HistogramExemplar(prefix+"_stage_"+stage+"_seconds", help, bounds)
+	}
+	ss.queue, ss.queueEx = mk("queue", "Sampled-request time between frame receipt and handler start.")
+	ss.backend, ss.backendEx = mk("backend", "Sampled-request time inside the backend (oracle or fleet fan-out).")
+	ss.write, ss.writeEx = mk("write", "Sampled-request time encoding and flushing the response frame.")
+	return ss
+}
+
+// observe records one stage duration with its trace-id exemplar; only
+// sampled requests call it, so the unsampled hot path never touches the
+// histograms.
+func (ss stageSet) observe(h *stats.Histogram, ex *obs.Exemplar, traceID uint64, start time.Time) {
+	if h == nil {
+		return
+	}
+	sec := time.Since(start).Seconds()
+	h.Observe(sec)
+	ex.Observe(traceID, sec)
 }
 
 // New builds a Server over a single in-process oracle — the common case,
@@ -143,18 +202,53 @@ func NewBackend(b Backend, cfg Config) *Server {
 	s := &Server{
 		b:   b,
 		cfg: cfg,
+		log: obs.Component(cfg.Log, "server"),
 		counters: stats.NewCounters(
 			"conns", "busy", "requests", "batches", "errs", "toolong", "timeouts", "binconns"),
 		sem:   make(chan struct{}, cfg.MaxConns),
 		conns: make(map[net.Conn]struct{}),
 	}
+	// Traced/snapshot capabilities are optional per backend; cache the
+	// assertions once so the hot path does a nil check, not a type switch.
+	s.tb, _ = b.(TracedBackend)
+	s.ss, _ = b.(SnapshotStatser)
 	if cfg.Registry != nil {
 		cfg.Registry.AttachCounters("server", s.counters)
 		cfg.Registry.GaugeFunc("server_active_conns",
 			"connections currently being served",
 			func() float64 { return float64(s.Active()) })
+		s.stages = newStageSet(cfg.Registry, "server")
 	}
 	return s
+}
+
+// shouldSample reports whether the server-side sampler elects the next
+// binary request for tracing (every TraceSample-th data request;
+// client-requested sampling bypasses this entirely).
+func (s *Server) shouldSample() bool {
+	n := s.cfg.TraceSample
+	if n <= 0 {
+		return false
+	}
+	return s.traceSeq.Add(1)%uint64(n) == 0
+}
+
+// distTrace answers one query through the traced backend surface when
+// the backend offers it, falling back to the plain call (the trace then
+// records server-side hops only).
+func (s *Server) distTrace(u, v int32, tr *obs.ReqTrace) (oracle.Answer, error) {
+	if s.tb != nil {
+		return s.tb.DistTrace(u, v, tr)
+	}
+	return s.b.Dist(u, v)
+}
+
+// batchTrace is distTrace's batch analogue.
+func (s *Server) batchTrace(qs []oracle.Query, tr *obs.ReqTrace) ([]oracle.Answer, error) {
+	if s.tb != nil {
+		return s.tb.AnswerBatchTrace(qs, tr)
+	}
+	return s.b.AnswerBatch(qs)
 }
 
 // Counter exposes a named serving counter (see NewBackend for the set) —
@@ -168,11 +262,6 @@ func (s *Server) Active() int {
 	return len(s.conns)
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
 
 // Serve accepts connections on l until ctx is cancelled, then drains
 // gracefully: the listener closes, blocked reads are woken, every session
@@ -184,6 +273,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	var wg sync.WaitGroup
 	stop := context.AfterFunc(ctx, func() {
 		s.draining.Store(true)
+		s.log.Info("drain started", "active", s.Active())
 		l.Close()
 		s.wakeAll()
 	})
@@ -198,10 +288,11 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				s.logf("server: transient accept error: %v", err)
+				s.log.Warn("transient accept error", "err", err)
 				continue
 			}
 			acceptErr = err
+			s.log.Error("accept failed, draining", "err", err)
 			s.draining.Store(true)
 			s.wakeAll()
 			break
@@ -232,10 +323,11 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	select {
 	case <-done:
 	case <-time.After(s.cfg.DrainTimeout):
-		s.logf("server: drain timeout, force-closing %d connections", s.Active())
+		s.log.Warn("drain timeout, force-closing connections", "conns", s.Active())
 		s.closeAll()
 		<-done
 	}
+	s.log.Info("drained")
 	return acceptErr
 }
 
@@ -297,11 +389,25 @@ func (s *Server) closeAll() {
 }
 
 // statsLine renders the extended stats response: the backend's serving
-// report plus the server's connection/request/error counters, each side
-// rendered from a single snapshot so the line never mixes counter values
-// from different instants within one source.
+// report plus the server's connection/request/error counters. When the
+// backend exports its report from a registry snapshot and the server's
+// counters feed the same registry, both halves (and the /metrics
+// endpoint, which renders from the identical snapshot shape) derive from
+// ONE capture instant — a stats line can never show an oracle that
+// answered a query the server half hasn't counted yet. Without a shared
+// registry it falls back to two per-source snapshots.
 func (s *Server) statsLine() string {
 	var b strings.Builder
+	if s.ss != nil && s.cfg.Registry != nil {
+		snap := s.cfg.Registry.Snapshot()
+		b.WriteString(s.ss.StatsLineFrom(snap))
+		b.WriteString(" | server")
+		for _, cv := range s.counters.Snapshot() {
+			fmt.Fprintf(&b, " %s=%d", cv.Name, snap.Counters["server_"+cv.Name])
+		}
+		fmt.Fprintf(&b, " active=%d", int(snap.Gauges["server_active_conns"]))
+		return b.String()
+	}
 	b.WriteString(s.b.StatsLine())
 	b.WriteString(" | server")
 	for _, cv := range s.counters.Snapshot() {

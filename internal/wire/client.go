@@ -22,6 +22,10 @@ type ClientOptions struct {
 	RequestTimeout time.Duration
 	// MaxFrameBytes bounds received frame bodies (0 = DefaultMaxFrameBytes).
 	MaxFrameBytes int
+	// MaxVersion caps the version the client advertises (0 = VersionMax).
+	// Pinning 2 yields a v2 connection against any server — the knob the
+	// cross-version interop tests and version-frozen deployments use.
+	MaxVersion uint16
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -33,6 +37,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.MaxFrameBytes <= 0 {
 		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if o.MaxVersion == 0 || o.MaxVersion > VersionMax {
+		o.MaxVersion = VersionMax
 	}
 	return o
 }
@@ -80,7 +87,7 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
 	opts = opts.withDefaults()
 	conn.SetDeadline(time.Now().Add(opts.DialTimeout))
-	if _, err := conn.Write(AppendHello(nil, VersionMin, VersionMax)); err != nil {
+	if _, err := conn.Write(AppendHello(nil, VersionMin, opts.MaxVersion)); err != nil {
 		return nil, fmt.Errorf("wire: hello: %w", err)
 	}
 	var reply [HelloLen]byte
@@ -92,7 +99,7 @@ func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	if version == 0 {
-		return nil, fmt.Errorf("wire: server rejected versions [%d, %d]", VersionMin, VersionMax)
+		return nil, fmt.Errorf("wire: server rejected versions [%d, %d]", VersionMin, opts.MaxVersion)
 	}
 	conn.SetDeadline(time.Time{})
 	c := &Client{
@@ -148,7 +155,7 @@ func (c *Client) fail(err error) {
 func (c *Client) readLoop() {
 	br := bufio.NewReaderSize(c.conn, 16<<10)
 	for {
-		f, err := ReadFrame(br, c.opts.MaxFrameBytes)
+		f, err := ReadFrameV(br, c.opts.MaxFrameBytes, c.version)
 		if err != nil {
 			c.fail(fmt.Errorf("wire: read: %w", err))
 			c.conn.Close()
@@ -168,8 +175,9 @@ func (c *Client) readLoop() {
 	}
 }
 
-// roundTrip sends one request frame and waits for its response.
-func (c *Client) roundTrip(typ byte, payload []byte) (Frame, error) {
+// roundTrip sends one request frame and waits for its response. tc is
+// the trace context to attach; it is silently dropped on v2 connections.
+func (c *Client) roundTrip(typ byte, payload []byte, tc TraceContext) (Frame, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan Frame, 1)
 	c.mu.Lock()
@@ -186,7 +194,7 @@ func (c *Client) roundTrip(typ byte, payload []byte) (Frame, error) {
 
 	c.wmu.Lock()
 	c.conn.SetWriteDeadline(time.Now().Add(c.opts.RequestTimeout))
-	err := WriteFrame(c.bw, Frame{Type: typ, ID: id, Payload: payload}, c.opts.MaxFrameBytes)
+	err := WriteFrameV(c.bw, Frame{Type: typ, ID: id, Trace: tc, Payload: payload}, c.opts.MaxFrameBytes, c.version)
 	if err == nil {
 		err = c.bw.Flush()
 	}
@@ -230,39 +238,56 @@ func expect(f Frame, want byte) error {
 
 // Dist answers one distance query.
 func (c *Client) Dist(u, v int32) (oracle.Answer, error) {
-	f, err := c.roundTrip(MsgDist, AppendQuery(nil, oracle.Query{U: u, V: v}))
+	a, _, err := c.DistTraced(u, v, TraceContext{})
+	return a, err
+}
+
+// DistTraced answers one distance query carrying a trace context and
+// returns the server's echoed context (resolution path, sampled bit).
+// On a v2 connection the context is dropped and the returned context is
+// zero.
+func (c *Client) DistTraced(u, v int32, tc TraceContext) (oracle.Answer, TraceContext, error) {
+	f, err := c.roundTrip(MsgDist, AppendQuery(nil, oracle.Query{U: u, V: v}), tc)
 	if err != nil {
-		return oracle.Answer{}, err
+		return oracle.Answer{}, TraceContext{}, err
 	}
 	if err := expect(f, MsgDistR); err != nil {
-		return oracle.Answer{}, err
+		return oracle.Answer{}, TraceContext{}, err
 	}
-	return DecodeAnswer(f.Payload)
+	a, err := DecodeAnswer(f.Payload)
+	return a, f.Trace, err
 }
 
 // Batch answers a query batch; the response is index-aligned with qs and
 // identical to oracle.AnswerBatch on the serving process.
 func (c *Client) Batch(qs []oracle.Query) ([]oracle.Answer, error) {
-	f, err := c.roundTrip(MsgBatch, AppendQueries(make([]byte, 0, 4+len(qs)*queryLen), qs))
+	as, _, err := c.BatchTraced(qs, TraceContext{})
+	return as, err
+}
+
+// BatchTraced answers a query batch carrying a trace context; see
+// DistTraced for the trace semantics.
+func (c *Client) BatchTraced(qs []oracle.Query, tc TraceContext) ([]oracle.Answer, TraceContext, error) {
+	f, err := c.roundTrip(MsgBatch, AppendQueries(make([]byte, 0, 4+len(qs)*queryLen), qs), tc)
 	if err != nil {
-		return nil, err
+		return nil, TraceContext{}, err
 	}
 	if err := expect(f, MsgBatchR); err != nil {
-		return nil, err
+		return nil, TraceContext{}, err
 	}
 	as, err := DecodeAnswers(f.Payload)
 	if err != nil {
-		return nil, err
+		return nil, TraceContext{}, err
 	}
 	if len(as) != len(qs) {
-		return nil, fmt.Errorf("wire: batch of %d answered with %d answers", len(qs), len(as))
+		return nil, TraceContext{}, fmt.Errorf("wire: batch of %d answered with %d answers", len(qs), len(as))
 	}
-	return as, nil
+	return as, f.Trace, nil
 }
 
 // Stats fetches the server's stats report line.
 func (c *Client) Stats() (string, error) {
-	f, err := c.roundTrip(MsgStats, nil)
+	f, err := c.roundTrip(MsgStats, nil, TraceContext{})
 	if err != nil {
 		return "", err
 	}
@@ -274,7 +299,7 @@ func (c *Client) Stats() (string, error) {
 
 // Info fetches the serving shape (vertex count, batch limit).
 func (c *Client) Info() (Info, error) {
-	f, err := c.roundTrip(MsgInfo, nil)
+	f, err := c.roundTrip(MsgInfo, nil, TraceContext{})
 	if err != nil {
 		return Info{}, err
 	}

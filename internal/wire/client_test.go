@@ -12,10 +12,16 @@ import (
 	"repro/internal/oracle"
 )
 
-// stubServer accepts one v2 connection and answers frames with fn (nil
-// return = drop the request silently). Responses go out as fn returns,
-// which lets tests answer out of order.
+// stubServer accepts one binary connection and answers frames with fn
+// (nil return = drop the request silently). Responses go out as fn
+// returns, which lets tests answer out of order.
 func stubServer(t *testing.T, fn func(f Frame) *Frame) (addr string) {
+	return stubServerV(t, VersionMin, VersionMax, fn)
+}
+
+// stubServerV is stubServer with an explicit served version range — the
+// cross-version matrix tests pin sMax to 2 to emulate an old fleet.
+func stubServerV(t *testing.T, sMin, sMax uint16, fn func(f Frame) *Frame) (addr string) {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -36,7 +42,7 @@ func stubServer(t *testing.T, fn func(f Frame) *Frame) (addr string) {
 		if err != nil {
 			return
 		}
-		v, _ := Negotiate(cMin, cMax, VersionMin, VersionMax)
+		v, _ := Negotiate(cMin, cMax, sMin, sMax)
 		conn.Write(AppendHelloReply(nil, v))
 		if v == 0 {
 			return
@@ -44,7 +50,7 @@ func stubServer(t *testing.T, fn func(f Frame) *Frame) (addr string) {
 		br := bufio.NewReader(conn)
 		var wmu sync.Mutex
 		for {
-			f, err := ReadFrame(br, DefaultMaxFrameBytes)
+			f, err := ReadFrameV(br, DefaultMaxFrameBytes, v)
 			if err != nil {
 				return
 			}
@@ -52,7 +58,7 @@ func stubServer(t *testing.T, fn func(f Frame) *Frame) (addr string) {
 				if resp := fn(f); resp != nil {
 					wmu.Lock()
 					defer wmu.Unlock()
-					WriteFrame(conn, *resp, DefaultMaxFrameBytes)
+					WriteFrameV(conn, *resp, DefaultMaxFrameBytes, v)
 				}
 			}(f)
 		}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+)
+
+// echoStub answers dist queries and echoes the request trace context
+// back with a fixed path mask, so tests can observe what survived the
+// negotiated version.
+func echoStub(t *testing.T, sMin, sMax uint16) string {
+	return stubServerV(t, sMin, sMax, func(f Frame) *Frame {
+		q, err := DecodeQuery(f.Payload)
+		if err != nil {
+			return &Frame{Type: MsgErr, ID: f.ID, Payload: []byte(err.Error())}
+		}
+		return &Frame{
+			Type:    MsgDistR,
+			ID:      f.ID,
+			Trace:   ResponseContext(f.Trace.ID, f.Trace.Sampled(), 0x4),
+			Payload: AppendAnswer(nil, oracle.Answer{U: q.U, V: q.V, Dist: q.U + q.V, Exact: true}),
+		}
+	})
+}
+
+func TestCrossVersionV3ClientV3Server(t *testing.T) {
+	addr := echoStub(t, VersionMin, VersionMax)
+	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != 3 {
+		t.Fatalf("negotiated %d, want 3", c.Version())
+	}
+	a, tc, err := c.DistTraced(2, 3, SampledContext(0xdeadbeef))
+	if err != nil || a.Dist != 5 {
+		t.Fatalf("DistTraced = (%+v, %v), want dist 5", a, err)
+	}
+	if tc.ID != 0xdeadbeef || !tc.Sampled() || tc.PathMask() != 0x4 {
+		t.Fatalf("echoed trace = %+v, want id 0xdeadbeef sampled path 0x4", tc)
+	}
+}
+
+func TestCrossVersionV3ClientV2Server(t *testing.T) {
+	// A modern client against an old fleet: negotiation lands on 2, the
+	// trace context is silently dropped, answers are unaffected.
+	addr := echoStub(t, 2, 2)
+	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != 2 {
+		t.Fatalf("negotiated %d, want 2", c.Version())
+	}
+	a, tc, err := c.DistTraced(2, 3, SampledContext(0xdeadbeef))
+	if err != nil || a.Dist != 5 {
+		t.Fatalf("DistTraced = (%+v, %v), want dist 5", a, err)
+	}
+	if tc != (TraceContext{}) {
+		t.Fatalf("v2 connection returned non-zero trace context %+v", tc)
+	}
+}
+
+func TestCrossVersionV2ClientV3Server(t *testing.T) {
+	// An old client against a modern fleet (MaxVersion pins the hello).
+	addr := echoStub(t, VersionMin, VersionMax)
+	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second, MaxVersion: 2})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != 2 {
+		t.Fatalf("negotiated %d, want 2", c.Version())
+	}
+	a, err := c.Dist(7, 8)
+	if err != nil || a.Dist != 15 {
+		t.Fatalf("Dist = (%+v, %v), want dist 15", a, err)
+	}
+}
+
+func TestFrameV3RoundTrip(t *testing.T) {
+	want := Frame{
+		Type:    MsgBatch,
+		ID:      42,
+		Trace:   TraceContext{ID: 0x0123456789abcdef, Flags: TraceFlagSampled},
+		Payload: []byte{1, 2, 3, 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrameV(&buf, want, 0, 3); err != nil {
+		t.Fatalf("WriteFrameV: %v", err)
+	}
+	got, err := ReadFrameV(&buf, 0, 3)
+	if err != nil {
+		t.Fatalf("ReadFrameV: %v", err)
+	}
+	if got.Type != want.Type || got.ID != want.ID || got.Trace != want.Trace || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+
+	// The same frame at v2 drops the trace context on the wire.
+	buf.Reset()
+	if err := WriteFrameV(&buf, want, 0, 2); err != nil {
+		t.Fatalf("WriteFrameV v2: %v", err)
+	}
+	got2, err := ReadFrameV(&buf, 0, 2)
+	if err != nil {
+		t.Fatalf("ReadFrameV v2: %v", err)
+	}
+	if got2.Trace != (TraceContext{}) {
+		t.Fatalf("v2 frame decoded trace %+v, want zero", got2.Trace)
+	}
+	if !bytes.Equal(got2.Payload, want.Payload) {
+		t.Fatalf("v2 payload = %v, want %v", got2.Payload, want.Payload)
+	}
+}
+
+func TestTraceContextFlags(t *testing.T) {
+	tc := ResponseContext(9, true, 0xA)
+	if !tc.Sampled() || tc.PathMask() != 0xA || tc.ID != 9 {
+		t.Fatalf("ResponseContext = %+v (sampled=%v mask=%#x)", tc, tc.Sampled(), tc.PathMask())
+	}
+	tc = ResponseContext(9, false, 0x1)
+	if tc.Sampled() {
+		t.Fatal("unsampled response context reports sampled")
+	}
+	if tc.PathMask() != 0x1 {
+		t.Fatalf("mask = %#x, want 0x1", tc.PathMask())
+	}
+	// Masks wider than four bits must not bleed into other flag bits.
+	tc = ResponseContext(9, false, 0xFF)
+	if tc.PathMask() != 0xF {
+		t.Fatalf("wide mask = %#x, want clamp to 0xF", tc.PathMask())
+	}
+	if tc.Sampled() {
+		t.Fatal("wide mask leaked into the sampled bit")
+	}
+}

@@ -1,8 +1,9 @@
-// Package wire is protocol version 2 of the serving wire format: a
-// versioned, length-prefixed binary frame protocol carrying dist/batch/
-// stats/info requests with pipelining. Version 1 is the human-readable
-// line protocol of internal/server; v2 exists for the fleet tier —
-// cmd/dcrouter fans batches out to workers over pooled v2 connections and
+// Package wire is the binary serving wire format: a versioned,
+// length-prefixed frame protocol carrying dist/batch/stats/info requests
+// with pipelining. Version 1 is the human-readable line protocol of
+// internal/server; the binary format starts at 2, and version 3 adds an
+// optional trace context to every frame. The fleet tier is the consumer —
+// cmd/dcrouter fans batches out to workers over pooled connections and
 // cmd/dcload drives either server flavor at load.
 //
 // # Connection establishment
@@ -25,18 +26,32 @@
 //
 // # Frames
 //
-// After the handshake both directions speak frames:
+// After the handshake both directions speak frames. At version 2:
 //
 //	length uint32 | type uint8 | id uint64 | payload…
 //
-// length counts everything after itself (1 + 8 + len(payload)) and is
-// bounded by the receiver's frame limit — an oversized length is a
-// protocol error answered before any allocation, never an allocation.
-// All integers are big-endian. id is assigned by the client and echoed
-// verbatim in the matching response; clients may keep any number of
-// requests in flight and servers may answer them out of order
-// (pipelining), which is what makes one pooled connection carry many
-// concurrent batches.
+// At version 3 every frame additionally carries a fixed trace context
+// between the id and the payload:
+//
+//	length uint32 | type uint8 | id uint64 | traceID uint64 | traceFlags uint8 | payload…
+//
+// length counts everything after itself and is bounded by the receiver's
+// frame limit — an oversized length is a protocol error answered before
+// any allocation, never an allocation. All integers are big-endian. id is
+// assigned by the client and echoed verbatim in the matching response;
+// clients may keep any number of requests in flight and servers may
+// answer them out of order (pipelining), which is what makes one pooled
+// connection carry many concurrent batches.
+//
+// The trace context is zero for untraced requests. traceFlags bit 0 is
+// the sampling bit: a request with it set asks the server to record a
+// hop-by-hop trace under traceID (see internal/obs.ReqTrace). Responses
+// echo the trace context with bits 1..4 reporting the oracle resolution
+// paths taken (the obs.Path* mask shifted left by one), so a router can
+// attribute a slow answer to cache/landmark/bibfs/bulk work without a
+// second round trip. A v3 peer talking to a v2 peer negotiates down to
+// v2 and the trace context is silently dropped — tracing degrades,
+// answers do not.
 //
 // # Messages
 //
@@ -66,7 +81,7 @@ const MagicByte = 0xD5
 // protocol (never spoken in frames); the binary format starts at 2.
 const (
 	VersionMin uint16 = 2
-	VersionMax uint16 = 2
+	VersionMax uint16 = 3
 )
 
 // Frame types. Requests have the high bit clear, responses set; MsgErr
@@ -88,13 +103,58 @@ const (
 	HelloLen = 8 // magic[4] + two uint16
 	// frameHeaderLen is the length prefix itself.
 	frameHeaderLen = 4
-	// frameBodyMin is type + id, the smallest legal frame body.
+	// frameBodyMin is type + id, the smallest legal v2 frame body.
 	frameBodyMin = 1 + 8
+	// traceLen is the v3 trace context: traceID uint64 + flags uint8.
+	traceLen = 8 + 1
+	// frameBodyMinV3 is type + id + trace, the smallest legal v3 body.
+	frameBodyMinV3 = frameBodyMin + traceLen
 	// queryLen is one encoded Query (u, v int32).
 	queryLen = 8
 	// answerLen is one encoded Answer (u, v, dist, bound int32 + flags).
 	answerLen = 17
 )
+
+// Trace-context flag bits (v3 frames).
+const (
+	// TraceFlagSampled marks the request for hop-by-hop recording; on a
+	// response it confirms the server traced the request.
+	TraceFlagSampled byte = 1 << 0
+	// tracePathShift positions the obs.Path* resolution mask (4 bits)
+	// inside response flags.
+	tracePathShift = 1
+	tracePathBits  = 0xF
+)
+
+// TraceContext is the per-frame trace field carried by v3 frames: a
+// client-assigned 64-bit trace id plus flag bits. The zero value means
+// "untraced" and encodes as nine zero bytes.
+type TraceContext struct {
+	ID    uint64
+	Flags byte
+}
+
+// Sampled reports whether the sampling bit is set.
+func (tc TraceContext) Sampled() bool { return tc.Flags&TraceFlagSampled != 0 }
+
+// PathMask extracts the resolution-path mask from response flags
+// (an obs.Path* bit set).
+func (tc TraceContext) PathMask() uint8 { return uint8(tc.Flags>>tracePathShift) & tracePathBits }
+
+// SampledContext builds a request trace context asking for recording.
+func SampledContext(id uint64) TraceContext {
+	return TraceContext{ID: id, Flags: TraceFlagSampled}
+}
+
+// ResponseContext builds the trace context a server echoes: the request
+// id, the sampled bit if it traced, and the resolution-path mask.
+func ResponseContext(id uint64, sampled bool, pathMask uint8) TraceContext {
+	tc := TraceContext{ID: id, Flags: byte(pathMask&tracePathBits) << tracePathShift}
+	if sampled {
+		tc.Flags |= TraceFlagSampled
+	}
+	return tc
+}
 
 // DefaultMaxFrameBytes bounds one frame body (type + id + payload) when
 // the caller does not choose a limit. It comfortably holds the default

@@ -26,7 +26,11 @@ go test -race -count=1 ./internal/server/
 echo "== dccheck differential sweep (optimized == naive references, all gen families)"
 go run ./cmd/dccheck -quick
 
-echo "== fuzz smoke (line protocol + wire frames + graphio reader, 5s each)"
+echo "== wire v2/v3 cross-version matrix (negotiation, trace-context downgrade)"
+go test -race -count=1 -run 'CrossVersion|FrameV3|TraceContext|TraceV2Dropped|BinaryTrace' \
+    ./internal/wire/ ./internal/server/
+
+echo "== fuzz smoke (line protocol + wire frames v2+v3 + graphio reader, 5s each)"
 go test -run '^$' -fuzz '^FuzzServerProtocol$' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz '^FuzzGraphioRead$' -fuzztime 5s ./internal/check/
@@ -68,13 +72,14 @@ wait "$SRV_PID" || { echo "dcserve did not drain cleanly"; exit 1; }
 trap - EXIT
 echo "scraped $(grep -c '^[a-z]' /tmp/dcserve.verify.metrics) samples from /metrics"
 
-echo "== fleet e2e smoke (2-worker dcrouter + dcload over the binary protocol)"
+echo "== fleet e2e smoke (2-worker dcrouter + traced dcload over the binary protocol)"
 go build -o /tmp/dcrouter.verify ./cmd/dcrouter
 go build -o /tmp/dcload.verify ./cmd/dcload
 rm -f /tmp/dcrouter.verify.log
 # -d 64 keeps the 256-node graph inside the Theorem 2 expander regime
 # (core.Build requires degree > n^{2/3}).
 /tmp/dcrouter.verify -spawn 2 -n 256 -d 64 -listen 127.0.0.1:0 \
+    -debug-addr 127.0.0.1:0 \
     >/tmp/dcrouter.verify.log 2>&1 &
 RTR_PID=$!
 trap 'kill "$RTR_PID" 2>/dev/null || true' EXIT
@@ -85,10 +90,45 @@ for _ in $(seq 1 300); do
     sleep 0.1
 done
 [ -n "$RTR_ADDR" ] || { echo "dcrouter never announced its address"; cat /tmp/dcrouter.verify.log; exit 1; }
+RTR_DEBUG=$(sed -n 's/^debug listening on //p' /tmp/dcrouter.verify.log)
+[ -n "$RTR_DEBUG" ] || { echo "dcrouter never announced its debug address"; cat /tmp/dcrouter.verify.log; exit 1; }
 # dcload exits 1 on zero answered requests or >1% errors, so its exit
-# status is the assertion.
-/tmp/dcload.verify -addr "$RTR_ADDR" -duration 2s -conns 4 -batch 1:3,16:1 -zipf 0.9 \
-    || { echo "dcload run against the router failed"; cat /tmp/dcrouter.verify.log; exit 1; }
+# status is the assertion; -trace 8 sets the wire v3 sampling bit on
+# every 8th request and verifies the target echoes it.
+/tmp/dcload.verify -addr "$RTR_ADDR" -duration 2s -conns 4 -batch 1:3,16:1 -zipf 0.9 -trace 8 \
+    >/tmp/dcload.verify.out 2>&1 \
+    || { echo "dcload run against the router failed"; cat /tmp/dcload.verify.out /tmp/dcrouter.verify.log; exit 1; }
+cat /tmp/dcload.verify.out
+grep -q '^traced: [1-9][0-9]* requests confirmed sampled' /tmp/dcload.verify.out \
+    || { echo "target never confirmed a sampled trace (v3 negotiation broken?)"; exit 1; }
+echo "== flight recorder e2e (/debug/requests holds well-formed fan-out traces)"
+curl -fsS "http://$RTR_DEBUG/debug/requests" >/tmp/dcrouter.verify.requests
+python3 - <<'PYEOF'
+import json
+d = json.load(open("/tmp/dcrouter.verify.requests"))
+assert d["recorded"] > 0, "flight recorder recorded nothing"
+recs = d["requests"]
+assert recs, "no requests drained from the recorder"
+# Every record must carry a nonzero 16-hex-digit id and sane hops
+# (hops append in completion order, so offsets need not be sorted).
+for r in recs:
+    assert len(r["id"]) == 16 and int(r["id"], 16) != 0, r["id"]
+    for h in r["hops"]:
+        assert h["offset_us"] >= 0 and h.get("dur_us", 0) >= 0, (r["id"], h)
+        assert h["offset_us"] <= r["duration_us"] + 1, (r["id"], h)
+# At least one fanned-out batch: split -> shard<i> -> merge hops with
+# the split note naming the chunk/worker counts.
+batch = next((r for r in recs
+              for names in [[h["name"] for h in r["hops"]]]
+              if "split" in names and "merge" in names
+              and any(n.startswith("shard") for n in names)), None)
+assert batch is not None, "no traced batch with split/shard/merge hops"
+split = next(h for h in batch["hops"] if h["name"] == "split")
+assert "chunks=" in split.get("note", "") and "workers=2" in split["note"], split
+assert batch["duration_us"] > 0 and batch["path"] != "none"
+print("flight recorder: %d traces, fan-out trace %s ok (%d hops, path=%s)"
+      % (d["recorded"], batch["id"], len(batch["hops"]), batch["path"]))
+PYEOF
 kill -TERM "$RTR_PID"
 wait "$RTR_PID" || { echo "dcrouter did not drain cleanly"; cat /tmp/dcrouter.verify.log; exit 1; }
 trap - EXIT
