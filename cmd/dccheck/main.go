@@ -31,6 +31,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "smoke-sized graphs and traces (CI / verify.sh)")
 		families = flag.String("families", "", "comma-separated family names (default: all)")
 		list     = flag.Bool("list", false, "list generator families and exit")
+		backend  = flag.String("backend", "", "restrict the oracle-backend sweep to one backend (landmark-bibfs|exact-cached|sparse-hub) and force it through the router differential; empty sweeps all")
 		verbose  = flag.Bool("v", false, "per-family progress lines")
 	)
 	seed := cliutil.RegisterSeedFlag(flag.CommandLine, check.DefaultSeed)
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	opts := check.Options{Seed: *seed, Quick: *quick}
+	opts := check.Options{Seed: *seed, Quick: *quick, Backend: *backend}
 	if *families != "" {
 		for _, name := range strings.Split(*families, ",") {
 			opts.Families = append(opts.Families, strings.TrimSpace(name))

@@ -46,6 +46,8 @@ func main() {
 	algo := flag.String("algo", "expander", "spanner: expander|regular|baswana-sen|greedy|sparsify-uniform|bounded-degree")
 	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
 	alpha := flag.Int("alpha", 3, "greedy spanner stretch")
+	backend := flag.String("oracle-backend", "auto",
+		"worker distance-resolution backend: landmark-bibfs|exact-cached|sparse-hub|auto (-spawn mode; auto tunes once on worker 0, replicas reuse the pick)")
 	landmarks := flag.Int("landmarks", 16, "landmark BFS trees per worker oracle (-spawn mode)")
 	cacheSize := flag.Int("cache", 1<<16, "per-worker LRU result-cache entries (negative disables; -spawn mode)")
 	workers := flag.Int("workers", 0, "per-worker batch pool size (0 = GOMAXPROCS; -spawn mode)")
@@ -117,12 +119,25 @@ func main() {
 		}
 		fmt.Printf("H (%s): m=%d, certified alpha=%d\n", *algo, dc.Graph().M(), dc.CertifiedAlpha())
 		t0 := time.Now()
+		// StartLocalFleet builds worker oracles sequentially, so worker 0
+		// can resolve "auto" once (running the tuner) and every replica
+		// after it reuses the concrete pick instead of re-benchmarking.
+		chosen := *backend
 		fleet, err := router.StartLocalFleet(*spawn, func(i int) (*oracle.Oracle, error) {
-			return oracle.New(dc, oracle.Options{
+			o, err := oracle.New(dc, oracle.Options{
+				Backend:   chosen,
 				Landmarks: *landmarks,
 				CacheSize: *cacheSize,
 				Workers:   *workers,
 			})
+			if err == nil && i == 0 {
+				if rep := o.TunerReport(); rep != nil {
+					fmt.Printf("oracle tuner (worker 0):\n%s", rep)
+				}
+				chosen = o.Backend()
+				fmt.Printf("worker oracle backend: %s\n", chosen)
+			}
+			return o, err
 		}, server.Config{
 			MaxBatch: *maxBatch,
 			Log:      logger,

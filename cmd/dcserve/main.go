@@ -49,7 +49,11 @@ func main() {
 	algo := flag.String("algo", "expander", "spanner: expander|regular|baswana-sen|greedy|sparsify-uniform|bounded-degree")
 	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
 	alpha := flag.Int("alpha", 3, "greedy spanner stretch")
-	landmarks := flag.Int("landmarks", 16, "landmark BFS trees precomputed on the spanner")
+	backend := flag.String("oracle-backend", "auto",
+		"distance-resolution backend: landmark-bibfs|exact-cached|sparse-hub|auto (benchmark at startup and pick)")
+	landmarks := flag.Int("landmarks", 16, "landmark BFS trees precomputed on the spanner (landmark-bibfs backend)")
+	sparseHubs := flag.Int("sparse-hubs", 0, "hub count for the sparse-hub backend (0 = ceil(sqrt(n)))")
+	memBudget := flag.Int64("oracle-mem", 0, "auto-tuner memory budget in bytes (0 = 128 MiB, negative = unlimited)")
 	cacheSize := flag.Int("cache", 1<<16, "LRU result-cache entries (negative disables)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	maxDist := flag.Int("maxdist", 0, "exact-search depth bound; deeper answers fall back to the landmark bound (0 = unbounded)")
@@ -117,18 +121,27 @@ func main() {
 
 	t0 := time.Now()
 	o, err := oracle.New(dc, oracle.Options{
-		Landmarks:   *landmarks,
-		CacheSize:   *cacheSize,
-		Workers:     *workers,
-		MaxDist:     *maxDist,
-		SampleEvery: *sample,
-		Registry:    reg,
+		Backend:      *backend,
+		Landmarks:    *landmarks,
+		SparseHubs:   *sparseHubs,
+		MemoryBudget: *memBudget,
+		CacheSize:    *cacheSize,
+		Workers:      *workers,
+		MaxDist:      *maxDist,
+		SampleEvery:  *sample,
+		Registry:     reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("oracle: %d landmarks precomputed in %v\n", len(o.Landmarks()), time.Since(t0).Round(time.Microsecond))
+	if rep := o.TunerReport(); rep != nil {
+		fmt.Printf("oracle tuner:\n%s", rep)
+	}
+	bs := o.BackendStats()
+	fmt.Printf("oracle: backend=%s (stretch-bound=%d, %.1f KiB, %d landmarks) ready in %v\n",
+		bs.Name, bs.StretchBound, float64(bs.MemoryBytes)/1024, len(o.Landmarks()),
+		time.Since(t0).Round(time.Microsecond))
 
 	o.MarkServingStart()
 	srvCfg := server.Config{

@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/spanner"
@@ -29,6 +30,8 @@ func main() {
 	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
 	alpha := flag.Int("alpha", 3, "greedy spanner stretch / verification stretch")
 	certify := flag.Bool("certify", false, "measure spectral expansion of G and H")
+	backend := flag.String("oracle-backend", "",
+		"also build a distance oracle over H with this backend (landmark-bibfs|exact-cached|sparse-hub|auto) and report its tuner/contract line; empty skips")
 	out := flag.String("out", "", "write the spanner to this file")
 	format := flag.String("format", "edgelist", "output format: edgelist|dot|spannerdot")
 	trace := flag.Bool("trace", false, "print the construction phase tree (wall clock, allocations, per-phase payloads)")
@@ -106,6 +109,20 @@ func main() {
 	rt := &routing.Routing{Problem: routing.MatchingProblem(m), Paths: paths}
 	fmt.Printf("matching routing: %d pairs, node congestion %d (identity=%d, 3-detours=%d, 2-detours=%d, fallbacks=%d)\n",
 		len(m), rt.NodeCongestion(g.N()), router.Identity, router.Detour3, router.Detour2, router.Fallbacks)
+
+	if *backend != "" {
+		o, err := oracle.New(dc, oracle.Options{Backend: *backend})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if rep := o.TunerReport(); rep != nil {
+			fmt.Printf("oracle tuner:\n%s", rep)
+		}
+		bs := o.BackendStats()
+		fmt.Printf("oracle: backend=%s stretch-bound=%d mem=%.1fKiB landmarks=%d\n",
+			bs.Name, bs.StretchBound, float64(bs.MemoryBytes)/1024, len(o.Landmarks()))
+	}
 
 	if *certify {
 		r := rng.New(*seed + 7)

@@ -151,9 +151,13 @@ func MinCongestion(g *Graph, prob Problem, seed uint64) (*Routing, error) {
 	return routing.MinCongestion(g, prob, routing.MinCongestionOptions{Seed: seed})
 }
 
-// Oracle re-exports: the concurrent DC-spanner query engine (landmark
-// tables + bounded bidirectional BFS + sharded LRU cache) serving
+// Oracle re-exports: the concurrent DC-spanner query engine serving
 // point-to-point Dist/Route queries with realized-stretch accounting.
+// Distance resolution is pluggable (OracleOptions.Backend): the default
+// landmark-bibfs engine (landmark tables + bounded bidirectional BFS +
+// sharded LRU cache), an exact all-pairs table for small graphs, a
+// stretch-3 hub/bunch structure for sparse graphs, or "auto" to
+// benchmark them at startup and serve the fastest within budget.
 type (
 	// Oracle answers distance and route queries over a DC-spanner.
 	Oracle = oracle.Oracle
@@ -165,6 +169,23 @@ type (
 	OracleAnswer = oracle.Answer
 	// OracleStats snapshots the oracle's serving metrics.
 	OracleStats = oracle.Stats
+)
+
+// Oracle backend names for OracleOptions.Backend (see the oracle package
+// for each engine's space/query-time/stretch contract).
+const (
+	// OracleBackendLandmarkBiBFS is the default landmark + bidirectional
+	// BFS engine: exact on the spanner, O(k·n) space.
+	OracleBackendLandmarkBiBFS = oracle.BackendLandmarkBiBFS
+	// OracleBackendExactCached precomputes the all-pairs table: O(n²)
+	// space, O(1) exact queries — the small-graph choice.
+	OracleBackendExactCached = oracle.BackendExactCached
+	// OracleBackendSparseHub is the hub/bunch structure: ~O(n^{3/2})
+	// space, O(√n) queries within stretch 3 — the sparse-graph choice.
+	OracleBackendSparseHub = oracle.BackendSparseHub
+	// OracleBackendAuto benchmarks every backend at startup on a sampled
+	// query mix and serves the fastest within the memory budget.
+	OracleBackendAuto = oracle.BackendAuto
 )
 
 // NewOracle builds a concurrent query oracle over a built DC-spanner:

@@ -51,6 +51,37 @@ func ExampleBuild_greedy() {
 	// sparsified: true, violations: 0
 }
 
+// ExampleNewOracle_backend serves distance queries through an explicitly
+// chosen oracle backend. The exact-cached backend precomputes the
+// all-pairs table, so every answer is the exact spanner distance — on
+// small graphs it is also what OracleBackendAuto would pick.
+func ExampleNewOracle_backend() {
+	g := dcspanner.MustRandomRegular(216, 60, 1)
+	dc, err := dcspanner.Build(g, dcspanner.Options{
+		Algorithm: dcspanner.AlgoExpander,
+		Seed:      1,
+		Expander:  dcspanner.ExpanderOptions{EnsureConnected: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	o, err := dcspanner.NewOracle(dc, dcspanner.OracleOptions{
+		Backend: dcspanner.OracleBackendExactCached,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ans, err := o.Dist(3, 77)
+	if err != nil {
+		panic(err)
+	}
+	s := o.Stats()
+	fmt.Printf("backend=%s stretchBound=%d exact=%v dist>0=%v\n",
+		s.Backend, s.BackendStretchBound, ans.Exact, ans.Dist > 0)
+	// Output:
+	// backend=exact-cached stretchBound=1 exact=true dist>0=true
+}
+
 // ExampleMinCongestion approximates the paper's C(R) — the smallest
 // congestion achievable by any routing — on a star workload whose optimum
 // is forced.

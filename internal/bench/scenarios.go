@@ -92,6 +92,11 @@ var registry = []Scenario{
 		Prepare:     prepareOracleBatch,
 	},
 	{
+		Name:        "backend_compare",
+		Description: "the three oracle backends (landmark-bibfs, exact-cached, sparse-hub) answering the same batch workload side by side; per-backend wall time lands in the bench_backend_ns counters",
+		Prepare:     prepareBackendCompare,
+	},
+	{
 		Name:        "router_fanout",
 		Description: "oracle batches fanned across an in-process worker fleet over the binary wire protocol (router.AnswerBatch); fleet size = workers, each worker a single-threaded replica, so speedup tracks available cores",
 		Prepare:     prepareRouterFanout,

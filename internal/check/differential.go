@@ -31,12 +31,24 @@ type Options struct {
 	Quick bool
 	// Families restricts the sweep to the named families; empty means all.
 	Families []string
+	// Backend restricts the backend sweep to one oracle backend (a
+	// Backend* name from the oracle package) and forces it into the
+	// router differential. Empty sweeps every backend. The
+	// landmark-specific differentials (checkOracle's per-path contract,
+	// the cache traces) run only when the landmark backend is in scope.
+	Backend string
 	// Logf, when non-nil, receives per-family progress lines.
 	Logf func(format string, args ...any)
 }
 
 // DefaultSeed is the run seed used when Options.Seed is zero.
 const DefaultSeed = 0xd15c0c0de
+
+// landmarkInScope reports whether the landmark backend's own
+// differentials should run under this configuration.
+func landmarkInScope(opts Options) bool {
+	return opts.Backend == "" || opts.Backend == oracle.BackendLandmarkBiBFS
+}
 
 // Run executes the differential sweep and returns its report. It only
 // returns a non-nil error for configuration problems (unknown family
@@ -60,8 +72,10 @@ func Run(opts Options) (Report, error) {
 		rep.Families++
 		logf("family %-18s checks=%d divergences=%d", f.Name, rep.Checks, len(rep.Divergences)-before)
 	}
-	runCacheTrace(&rep, opts)
-	logf("cache traces          checks=%d divergences=%d", rep.Checks, len(rep.Divergences))
+	if landmarkInScope(opts) {
+		runCacheTrace(&rep, opts)
+		logf("cache traces          checks=%d divergences=%d", rep.Checks, len(rep.Divergences))
+	}
 	runRouterDifferential(&rep, opts)
 	logf("router fleet          checks=%d divergences=%d", rep.Checks, len(rep.Divergences))
 	return rep, nil
@@ -132,7 +146,10 @@ func runFamily(rep *Report, f Family, opts Options) {
 		if v.h != g {
 			distH = AllPairs(v.h)
 		}
-		checkOracle(rep, f.Name, v, distH, opts, r.Split())
+		if landmarkInScope(opts) {
+			checkOracle(rep, f.Name, v, distH, opts, r.Split())
+		}
+		checkBackends(rep, f.Name, v, distH, opts, r.Split())
 		checkVerifyKernels(rep, f.Name, v, g, distG, distH, opts, r.Split())
 		checkCongestion(rep, f.Name, v, opts, r.Split())
 	}

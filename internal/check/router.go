@@ -30,9 +30,11 @@ func runRouterDifferential(rep *Report, opts Options) {
 
 	newOracle := func(i int) (*oracle.Oracle, error) {
 		// Same graph, same seed, per-worker instance: replicas by
-		// construction, each with its own (nil) registry.
+		// construction, each with its own (nil) registry. A forced
+		// opts.Backend rides through so the whole wire round trip is
+		// exercised per backend.
 		return oracle.NewFromGraphs(g, g, alpha, oracle.Options{
-			Landmarks: 4, Seed: oSeed, CacheSize: -1, Workers: 1, SampleEvery: -1,
+			Backend: opts.Backend, Landmarks: 4, Seed: oSeed, CacheSize: -1, Workers: 1, SampleEvery: -1,
 		})
 	}
 

@@ -88,6 +88,7 @@ var registry = []struct {
 	{"fault-tolerance", FaultTolerance},
 	{"seed-variance", SeedVariance},
 	{"defn2-beta", Definition2Beta},
+	{"oracle-backends", OracleBackends},
 }
 
 // IDs returns the known experiment ids in order.

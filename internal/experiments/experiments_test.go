@@ -9,8 +9,8 @@ func quickCfg() Config { return Config{Seed: 42, Quick: true} }
 
 func TestIDsAndLookup(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("expected 21 experiments, got %d", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(ids))
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {
@@ -108,6 +108,20 @@ func TestIrregularQuick(t *testing.T) {
 func TestSection8StretchQuick(t *testing.T) { runOne(t, "section8-stretch") }
 
 func TestDefinition2BetaQuick(t *testing.T) { runOne(t, "defn2-beta") }
+
+func TestOracleBackendsQuick(t *testing.T) {
+	res := runOne(t, "oracle-backends")
+	// The tight 80KiB budget must evict the exact table on every family,
+	// and the landmark floor must always survive.
+	if !strings.Contains(res.Body, "skip") {
+		t.Fatalf("tight budget skipped nothing:\n%s", res.Body)
+	}
+	for _, be := range []string{"landmark-bibfs", "exact-cached", "sparse-hub"} {
+		if !strings.Contains(res.Body, be) {
+			t.Fatalf("backend %s missing from survey:\n%s", be, res.Body)
+		}
+	}
+}
 
 func TestSeedVarianceQuick(t *testing.T) {
 	res := runOne(t, "seed-variance")

@@ -207,6 +207,13 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindGauge, readFloat: fn})
 }
 
+// GaugeFuncLabeled is GaugeFunc with one label pair — the shape behind
+// info-style gauges like oracle_backend_info{backend="..."} 1.
+func (r *Registry) GaugeFuncLabeled(name, help, label, value string, fn func() float64) {
+	r.register(&metric{name: name, labels: renderLabels(label, value), help: help,
+		kind: kindGauge, readFloat: fn})
+}
+
 // Histogram creates, registers, and returns a new histogram with the
 // given bucket upper bounds (see stats.NewHistogram).
 func (r *Registry) Histogram(name, help string, bounds []float64) *stats.Histogram {

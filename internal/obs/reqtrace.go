@@ -12,12 +12,15 @@ import (
 // ORs the bit of every path its queries took, so a batch that mixed
 // cache hits with bidirectional searches reports both. The mask travels
 // in v3 wire response flags (see internal/wire.ResponseContext), which
-// is why it must stay within four bits.
+// is why it must stay within six bits — the flags byte spends one bit on
+// sampling and reserves the top bit.
 const (
-	PathCache uint8 = 1 << iota // sharded-LRU cache hit
+	PathCache uint8 = 1 << iota // sharded-LRU cache hit (landmark-bibfs backend)
 	PathLandmark                // landmark upper bound was tight enough
 	PathBiBFS                   // bounded bidirectional BFS
 	PathBulk                    // bulk multi-source BFS sweep (batch arm)
+	PathExact                   // precomputed all-pairs table (exact-cached backend)
+	PathHub                     // hub bunch hit or hub upper bound (sparse-hub backend)
 )
 
 // PathString renders a path mask ("cache|bibfs"; "none" for zero).
@@ -29,7 +32,8 @@ func PathString(mask uint8) string {
 	for _, p := range [...]struct {
 		bit  uint8
 		name string
-	}{{PathCache, "cache"}, {PathLandmark, "landmark"}, {PathBiBFS, "bibfs"}, {PathBulk, "bulk"}} {
+	}{{PathCache, "cache"}, {PathLandmark, "landmark"}, {PathBiBFS, "bibfs"}, {PathBulk, "bulk"},
+		{PathExact, "exact"}, {PathHub, "hub"}} {
 		if mask&p.bit != 0 {
 			parts = append(parts, p.name)
 		}

@@ -1,0 +1,265 @@
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// landmarkBackend is the original serving engine (see the package doc):
+// a sharded LRU result cache, a k-landmark upper-bound table, and a
+// bounded bidirectional BFS for the exact-on-spanner distance, plus a
+// bulk multi-source BFS arm for large batches. Unbounded (maxDist < 0)
+// it declares stretch bound 1 — every answer is exact on H; with a
+// depth bound it declares no constant stretch, because a query past the
+// bound serves the landmark upper bound, which has no worst-case ratio.
+type landmarkBackend struct {
+	h       *graph.Graph
+	lm      *landmarkTable
+	cache   *shardedCache
+	maxDist int32
+	workers int
+
+	pathCacheHit atomic.Int64
+	pathLandmark atomic.Int64
+	pathBiBFS    atomic.Int64
+	pathBulk     atomic.Int64
+	frontier     *stats.Histogram
+
+	searchPool sync.Pool // *biScratch
+}
+
+// newLandmarkBackend builds the landmark table and cache per the
+// Options defaults: 16 landmarks, a 1<<16-entry cache over 4×workers
+// shards, unbounded search.
+func newLandmarkBackend(h *graph.Graph, opts Options, workers int, trace *obs.Span) *landmarkBackend {
+	k := opts.Landmarks
+	if k == 0 {
+		k = 16
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 1 << 16
+	}
+	maxDist := int32(opts.MaxDist)
+	if maxDist <= 0 {
+		maxDist = -1
+	}
+	lsp := trace.Start("landmark-table")
+	lm := buildLandmarkTable(h, k, opts.Seed)
+	lsp.SetKV("landmarks", len(lm.roots))
+	lsp.End()
+	b := &landmarkBackend{
+		h:        h,
+		lm:       lm,
+		cache:    newShardedCache(cacheSize, shards),
+		maxDist:  maxDist,
+		workers:  workers,
+		frontier: stats.NewHistogram(stats.ExpBuckets(1, 2, 22)),
+	}
+	b.searchPool.New = func() any { return newBiScratch(h.N()) }
+	return b
+}
+
+// Name implements Backend.
+func (b *landmarkBackend) Name() string { return BackendLandmarkBiBFS }
+
+// StretchBound implements Backend: 1 (exact on H) when the search is
+// unbounded, 0 (no declared bound) in bounded-search mode.
+func (b *landmarkBackend) StretchBound() int {
+	if b.maxDist < 0 {
+		return 1
+	}
+	return 0
+}
+
+// MemoryBytes implements Backend: the landmark rows plus the cache's
+// slot arrays (each entry holds a key, value, and two list links).
+func (b *landmarkBackend) MemoryBytes() int64 {
+	bytes := int64(4 * len(b.lm.roots) * (1 + b.h.N())) // roots + k×n rows
+	if b.cache != nil {
+		bytes += int64(b.cache.slots()) * 24 // key 8 + val 4 + prev/next 8 + map slot ~4
+	}
+	return bytes
+}
+
+// Dist implements Backend: cache probe, then bounded bidirectional BFS
+// pruned by the landmark bound, falling back to the bound itself when
+// the depth budget is exhausted.
+func (b *landmarkBackend) Dist(u, v int32) (Answer, uint8) {
+	ans := Answer{U: u, V: v, Exact: true}
+	ans.Bound = b.lm.upperBound(u, v)
+	key := packKey(u, v)
+	if b.cache != nil {
+		if d, ok := b.cache.get(key); ok {
+			b.pathCacheHit.Add(1)
+			ans.Dist = d
+			return ans, obs.PathCache
+		}
+	}
+	sc := b.searchPool.Get().(*biScratch)
+	d, exact := sc.distance(b.h, u, v, b.maxDist, ans.Bound)
+	b.frontier.Observe(float64(sc.maxFrontier))
+	b.searchPool.Put(sc)
+	if !exact {
+		// Depth budget exhausted: serve the landmark bound, uncached.
+		b.pathLandmark.Add(1)
+		ans.Dist = ans.Bound
+		ans.Exact = false
+		return ans, obs.PathLandmark
+	}
+	b.pathBiBFS.Add(1)
+	ans.Dist = d
+	if b.cache != nil {
+		b.cache.put(key, d)
+	}
+	return ans, obs.PathBiBFS
+}
+
+// bulkMinBatch is the smallest batch the bulk sweep considers: below it
+// the per-query bidirectional path wins outright and the grouping
+// bookkeeping is not worth setting up.
+const bulkMinBatch = 128
+
+// AnswerBatch implements Backend: the bulk multi-source BFS arm. It
+// groups the queries by source vertex, runs one full BFS row per
+// distinct source (64 sources per word through the bit-parallel kernel
+// when the spanner is dense enough), and reads each query's answer out
+// of its source's row.
+//
+// Two gates keep it an exact drop-in for the per-query path:
+//
+//   - Unbounded searches only (maxDist < 0). A full BFS row is always
+//     the exact spanner distance, matching the per-query search's every
+//     answer bit for bit. A bounded search can exhaust its depth budget
+//     and fall back to the landmark bound — whether it does depends on
+//     component radii in a way a full BFS cannot mirror — so bounded
+//     batches take the per-query path.
+//   - Enough source sharing (valid queries ≥ 2× distinct sources), since
+//     the sweep's cost is per-source while the per-query path's is
+//     per-query.
+//
+// The bulk path never touches the result cache (it neither reads nor
+// seeds it — the sweep is cheaper than n cache probes, and a full row
+// would flood the LRU); served queries land in the oracle_path_bulk
+// counter instead of the per-query resolution-path counters.
+func (b *landmarkBackend) AnswerBatch(qs []Query, out []Answer) (uint8, bool) {
+	if b.maxDist >= 0 || len(qs) < bulkMinBatch {
+		return 0, false
+	}
+	n := int32(b.h.N())
+	invalid := func(q Query) bool {
+		return q.U < 0 || q.V < 0 || q.U >= n || q.V >= n
+	}
+	// Count swept queries per source vertex (invalid and self queries are
+	// the Oracle's accounting loop's, not the sweep's).
+	cnt := make([]int32, n)
+	valid := 0
+	for _, q := range qs {
+		if invalid(q) || q.U == q.V {
+			continue
+		}
+		cnt[q.U]++
+		valid++
+	}
+	srcs := make([]int32, 0, 64)
+	for v := int32(0); v < n; v++ {
+		if cnt[v] > 0 {
+			srcs = append(srcs, v)
+		}
+	}
+	if len(srcs) == 0 || valid < 2*len(srcs) {
+		return 0, false
+	}
+	// Counting sort of query indices by source, so each BFS row is
+	// consumed in one contiguous run: order[off[i]:off[i+1]] holds the
+	// batch indices whose source is srcs[i].
+	rowOf := make([]int32, n)
+	off := make([]int32, len(srcs)+1)
+	for i, s := range srcs {
+		rowOf[s] = int32(i)
+		off[i+1] = off[i] + cnt[s]
+	}
+	pos := append([]int32(nil), off[:len(srcs)]...)
+	order := make([]int32, valid)
+	for qi, q := range qs {
+		if invalid(q) || q.U == q.V {
+			continue
+		}
+		r := rowOf[q.U]
+		order[pos[r]] = int32(qi)
+		pos[r]++
+	}
+	// The sweep writes only out slots owned by its own row's queries, so
+	// the batch result is byte-identical at any worker count.
+	b.h.MultiSourceBFSSweep(srcs, b.workers, func(i int, src int32, dist []int32) {
+		for _, qi := range order[off[i]:off[i+1]] {
+			q := qs[qi]
+			out[qi] = Answer{
+				U: q.U, V: q.V,
+				Dist:  dist[q.V],
+				Bound: b.lm.upperBound(q.U, q.V),
+				Exact: true,
+			}
+		}
+	})
+	b.pathBulk.Add(int64(valid))
+	return obs.PathBulk, true
+}
+
+// Stats implements Backend.
+func (b *landmarkBackend) Stats() BackendStats {
+	hits, misses := int64(0), int64(0)
+	if b.cache != nil {
+		hits, misses = b.cache.counters()
+	}
+	return BackendStats{
+		Name:         b.Name(),
+		StretchBound: b.StretchBound(),
+		MemoryBytes:  b.MemoryBytes(),
+		Counters: map[string]int64{
+			"cache_hits":    hits,
+			"cache_misses":  misses,
+			"path_cache":    b.pathCacheHit.Load(),
+			"path_landmark": b.pathLandmark.Load(),
+			"path_bibfs":    b.pathBiBFS.Load(),
+			"path_bulk":     b.pathBulk.Load(),
+			"landmarks":     int64(len(b.lm.roots)),
+		},
+	}
+}
+
+// attachMetrics implements Backend: every counter is labeled with the
+// backend's name, so mixed-backend fleets scraped into one place stay
+// distinguishable and per-backend hit rates never blend.
+func (b *landmarkBackend) attachMetrics(reg *obs.Registry) {
+	label := b.Name()
+	hits := func() int64 { return 0 }
+	misses := hits
+	if b.cache != nil {
+		hits = func() int64 { h, _ := b.cache.counters(); return h }
+		misses = func() int64 { _, m := b.cache.counters(); return m }
+	}
+	reg.CounterFuncLabeled(metricCacheHits, "Result-cache hits.", "backend", label, hits)
+	reg.CounterFuncLabeled(metricCacheMisses, "Result-cache misses.", "backend", label, misses)
+	reg.CounterFuncLabeled(metricPathCacheHit, "Resolutions served from the result cache.",
+		"backend", label, b.pathCacheHit.Load)
+	reg.CounterFuncLabeled(metricPathLandmark, "Resolutions falling back to the landmark upper bound.",
+		"backend", label, b.pathLandmark.Load)
+	reg.CounterFuncLabeled(metricPathBiBFS, "Resolutions answered exactly by bidirectional BFS.",
+		"backend", label, b.pathBiBFS.Load)
+	reg.CounterFuncLabeled(metricPathBulk, "Batch queries answered exactly by the bulk multi-source BFS sweep.",
+		"backend", label, b.pathBulk.Load)
+	reg.RegisterHistogram(metricFrontierMax,
+		"Largest single-side BFS frontier per exact search (vertices).", b.frontier)
+	reg.GaugeFunc(metricLandmarks, "Landmark BFS trees precomputed on H.", func() float64 {
+		return float64(len(b.lm.roots))
+	})
+}

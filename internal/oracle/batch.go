@@ -16,13 +16,13 @@ import (
 // to graph.Unreachable rather than an error, so one bad query does not
 // poison a batch.
 //
-// Answers are identical to answering the queries sequentially: the exact
-// search is deterministic and the cache stores only exact values, so a
-// cache hit and a recomputation cannot disagree regardless of how workers
-// interleave. Large batches on unbounded oracles are served by a bulk
-// multi-source BFS sweep (answerBulk) that produces the same answers by a
-// cheaper route: one BFS row per distinct source instead of one
-// bidirectional search per query.
+// Answers are identical to answering the queries sequentially: every
+// backend's resolution is deterministic (and the landmark backend's cache
+// stores only exact values), so scheduling cannot change an answer. A
+// backend may serve the whole batch through a bulk arm when that is
+// cheaper — the landmark backend's multi-source BFS sweep for large
+// unbounded batches, the exact backend's parallel table fill — and the
+// answers are the same either way.
 func (o *Oracle) AnswerBatch(qs []Query) []Answer {
 	return o.AnswerBatchTrace(qs, nil)
 }
@@ -31,7 +31,7 @@ func (o *Oracle) AnswerBatch(qs []Query) []Answer {
 // answers are identical (the trace influences nothing the differential
 // harness can see), but the trace's path mask accumulates every
 // resolution path the batch took and an "oracle" hop records which arm
-// (bulk sweep vs per-query pool) served it. A nil trace costs only the
+// (backend bulk vs per-query pool) served it. A nil trace costs only the
 // per-batch nil checks — path bits are folded into a local word per
 // worker either way, never per-query atomics.
 func (o *Oracle) AnswerBatchTrace(qs []Query, tr *obs.ReqTrace) []Answer {
@@ -42,9 +42,10 @@ func (o *Oracle) AnswerBatchTrace(qs []Query, tr *obs.ReqTrace) []Answer {
 	}
 	arm := "perquery"
 	var mask uint8
-	if o.answerBulk(qs, out) {
+	if m, handled := o.backend.AnswerBatch(qs, out); handled {
 		arm = "bulk"
-		mask = obs.PathBulk
+		mask = m
+		o.accountBatch(qs, out, t0)
 	} else {
 		mask = o.answerMany(qs, out)
 	}
@@ -53,6 +54,35 @@ func (o *Oracle) AnswerBatchTrace(qs []Query, tr *obs.ReqTrace) []Answer {
 		tr.Hop("oracle", t0, fmt.Sprintf("n=%d arm=%s path=%s", len(qs), arm, obs.PathString(mask)))
 	}
 	return out
+}
+
+// accountBatch settles a backend-handled batch: the backend filled every
+// valid non-self out slot (and counted them in its own path counters);
+// this serial pass mirrors the per-query path's oracle-level semantics.
+// Invalid queries get the sentinel Answer and no accounting, self queries
+// count as queries but take no resolution path, backend-served queries
+// count and feed the deterministic stretch sampler in batch order.
+// Latency is accounted as the batch's wall time amortized uniformly over
+// the accounted queries.
+func (o *Oracle) accountBatch(qs []Query, out []Answer, t0 time.Time) {
+	n := int32(o.h.N())
+	perQuery := time.Since(t0).Seconds() / float64(len(qs))
+	for qi, q := range qs {
+		switch {
+		case q.U < 0 || q.V < 0 || q.U >= n || q.V >= n:
+			out[qi] = Answer{U: q.U, V: q.V, Dist: graph.Unreachable, Bound: graph.Unreachable}
+		case q.U == q.V:
+			out[qi] = Answer{U: q.U, V: q.V, Exact: true}
+			o.queries.Add(1)
+			o.latency.Observe(perQuery)
+		default:
+			seq := o.queries.Add(1)
+			if out[qi].Exact {
+				o.maybeSampleStretch(seq, q.U, q.V, out[qi].Dist)
+			}
+			o.latency.Observe(perQuery)
+		}
+	}
 }
 
 // answerMany runs the per-query arm over the worker pool and returns the
@@ -120,117 +150,4 @@ func (o *Oracle) answerTimed(q Query) (Answer, uint8) {
 		o.latency.Observe(time.Since(t0).Seconds())
 	}
 	return a, path
-}
-
-// bulkMinBatch is the smallest batch the bulk sweep considers: below it
-// the per-query bidirectional path wins outright and the grouping
-// bookkeeping is not worth setting up.
-const bulkMinBatch = 128
-
-// answerBulk serves a batch through the multi-source BFS kernel: group
-// the queries by source vertex, run one full BFS row per distinct source
-// (64 sources per word through the bit-parallel kernel when the spanner
-// is dense enough), and read each query's answer out of its source's row.
-// It reports whether it handled the batch.
-//
-// Two gates keep it an exact drop-in for the per-query path:
-//
-//   - Unbounded oracles only (maxDist < 0). A full BFS row is always the
-//     exact spanner distance, matching the per-query search's every
-//     answer bit for bit. A bounded oracle's search can exhaust its depth
-//     budget and fall back to the landmark bound — whether it does
-//     depends on component radii in a way a full BFS cannot mirror — so
-//     bounded batches take the per-query path.
-//   - Enough source sharing (valid queries ≥ 2× distinct sources), since
-//     the sweep's cost is per-source while the per-query path's is
-//     per-query.
-//
-// The bulk path never touches the result cache (it neither reads nor
-// seeds it — the sweep is cheaper than n cache probes, and a full row
-// would flood the LRU); served queries land in the oracle_path_bulk
-// counter instead of the per-query resolution-path counters. Latency is
-// accounted as the batch's wall time amortized uniformly over the
-// accounted queries.
-func (o *Oracle) answerBulk(qs []Query, out []Answer) bool {
-	if o.maxDist >= 0 || len(qs) < bulkMinBatch {
-		return false
-	}
-	t0 := time.Now()
-	n := int32(o.h.N())
-	invalid := func(q Query) bool {
-		return q.U < 0 || q.V < 0 || q.U >= n || q.V >= n
-	}
-	// Count swept queries per source vertex (invalid and self queries are
-	// handled in the accounting loop, not the sweep).
-	cnt := make([]int32, n)
-	valid := 0
-	for _, q := range qs {
-		if invalid(q) || q.U == q.V {
-			continue
-		}
-		cnt[q.U]++
-		valid++
-	}
-	srcs := make([]int32, 0, 64)
-	for v := int32(0); v < n; v++ {
-		if cnt[v] > 0 {
-			srcs = append(srcs, v)
-		}
-	}
-	if len(srcs) == 0 || valid < 2*len(srcs) {
-		return false
-	}
-	// Counting sort of query indices by source, so each BFS row is
-	// consumed in one contiguous run: order[off[i]:off[i+1]] holds the
-	// batch indices whose source is srcs[i].
-	rowOf := make([]int32, n)
-	off := make([]int32, len(srcs)+1)
-	for i, s := range srcs {
-		rowOf[s] = int32(i)
-		off[i+1] = off[i] + cnt[s]
-	}
-	pos := append([]int32(nil), off[:len(srcs)]...)
-	order := make([]int32, valid)
-	for qi, q := range qs {
-		if invalid(q) || q.U == q.V {
-			continue
-		}
-		r := rowOf[q.U]
-		order[pos[r]] = int32(qi)
-		pos[r]++
-	}
-	// The sweep writes only out slots owned by its own row's queries, so
-	// the batch result is byte-identical at any worker count.
-	o.h.MultiSourceBFSSweep(srcs, o.workers, func(i int, src int32, dist []int32) {
-		for _, qi := range order[off[i]:off[i+1]] {
-			q := qs[qi]
-			out[qi] = Answer{
-				U: q.U, V: q.V,
-				Dist:  dist[q.V],
-				Bound: o.lm.upperBound(q.U, q.V),
-				Exact: true,
-			}
-		}
-	})
-	// Serial accounting mirroring the per-query path's semantics: invalid
-	// queries get the sentinel Answer and no accounting, self queries
-	// count as queries but take no resolution path, swept queries count
-	// and feed the deterministic stretch sampler in batch order.
-	perQuery := time.Since(t0).Seconds() / float64(len(qs))
-	for qi, q := range qs {
-		switch {
-		case invalid(q):
-			out[qi] = Answer{U: q.U, V: q.V, Dist: graph.Unreachable, Bound: graph.Unreachable}
-		case q.U == q.V:
-			out[qi] = Answer{U: q.U, V: q.V, Exact: true}
-			o.queries.Add(1)
-			o.latency.Observe(perQuery)
-		default:
-			seq := o.queries.Add(1)
-			o.pathBulk.Inc()
-			o.maybeSampleStretch(seq, q.U, q.V, out[qi].Dist)
-			o.latency.Observe(perQuery)
-		}
-	}
-	return true
 }

@@ -70,10 +70,11 @@ func TestAnswerBulkMatchesPerQueryPath(t *testing.T) {
 				validNonSelf++
 			}
 		}
-		if got := snap.Counters[metricPathBulk]; got != validNonSelf {
+		if got := snap.Counters[backendKey(metricPathBulk, BackendLandmarkBiBFS)]; got != validNonSelf {
 			t.Fatalf("workers=%d: bulk counter %d, want %d", workers, got, validNonSelf)
 		}
-		if snap.Counters[metricPathBiBFS] != 0 || snap.Counters[metricPathCacheHit] != 0 {
+		if snap.Counters[backendKey(metricPathBiBFS, BackendLandmarkBiBFS)] != 0 ||
+			snap.Counters[backendKey(metricPathCacheHit, BackendLandmarkBiBFS)] != 0 {
 			t.Fatalf("workers=%d: bulk batch leaked into per-query path counters", workers)
 		}
 	}
@@ -95,7 +96,7 @@ func TestAnswerBulkSkipsBoundedOracles(t *testing.T) {
 	}
 	o.AnswerBatch(qs)
 	snap := o.Registry().Snapshot()
-	if got := snap.Counters[metricPathBulk]; got != 0 {
+	if got := snap.Counters[backendKey(metricPathBulk, BackendLandmarkBiBFS)]; got != 0 {
 		t.Fatalf("bounded oracle served %d queries through the bulk path", got)
 	}
 }

@@ -31,18 +31,19 @@ func TestPathCountersPartitionResolutions(t *testing.T) {
 		}
 	}
 	snap := reg.Snapshot()
-	hit := snap.Counters[metricPathCacheHit]
-	lm := snap.Counters[metricPathLandmark]
-	bfs := snap.Counters[metricPathBiBFS]
-	lookups := snap.Counters[metricCacheHits] + snap.Counters[metricCacheMisses]
+	key := func(name string) string { return backendKey(name, BackendLandmarkBiBFS) }
+	hit := snap.Counters[key(metricPathCacheHit)]
+	lm := snap.Counters[key(metricPathLandmark)]
+	bfs := snap.Counters[key(metricPathBiBFS)]
+	lookups := snap.Counters[key(metricCacheHits)] + snap.Counters[key(metricCacheMisses)]
 	if hit+lm+bfs != lookups {
 		t.Errorf("path counters %d+%d+%d != cache lookups %d", hit, lm, bfs, lookups)
 	}
 	if bfs == 0 {
 		t.Error("no bibfs resolutions recorded")
 	}
-	if hit != snap.Counters[metricCacheHits] {
-		t.Errorf("path cache-hit %d != cache hits %d", hit, snap.Counters[metricCacheHits])
+	if hit != snap.Counters[key(metricCacheHits)] {
+		t.Errorf("path cache-hit %d != cache hits %d", hit, snap.Counters[key(metricCacheHits)])
 	}
 	// Every exact search observed its frontier.
 	fr := snap.Histograms[metricFrontierMax]

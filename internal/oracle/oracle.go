@@ -3,22 +3,29 @@
 // and routing queries on the spanner graph H while accounting realized
 // stretch against the base graph G.
 //
-// The engine layers three mechanisms, fastest first:
+// Distance resolution is pluggable behind the Backend interface; three
+// engines ship (see Options.Backend and DESIGN.md §14):
 //
-//  1. a sharded LRU result cache keyed by the (unordered) query pair;
-//  2. a landmark table — k BFS trees on H rooted at deterministically
-//     selected landmarks — answering an upper bound
-//     min_l d(u,l) + d(l,v) in O(k);
-//  3. a bounded bidirectional BFS on H for the exact-on-spanner distance,
-//     pruned by the landmark bound.
+//   - landmark-bibfs (the default): a sharded LRU result cache, a
+//     k-landmark upper-bound table answering min_l d(u,l)+d(l,v) in
+//     O(k), and a bounded bidirectional BFS for the exact-on-spanner
+//     distance, pruned by the landmark bound;
+//   - exact-cached: a precomputed all-pairs table for small graphs —
+//     O(n²) space, O(1) queries, every answer exact;
+//   - sparse-hub: the two-level hub/bunch design for sparse graphs —
+//     O(n^{3/2}) space at the default √n hubs, stretch bound 3.
+//
+// Options.Backend "auto" benchmarks the candidates on a sampled query
+// mix at startup and serves the fastest one within the memory budget.
 //
 // Because H is an (α, β)-DC-spanner, the exact-on-H distance is within
 // the certified α of the true distance on G; the oracle verifies this
 // empirically by re-answering a deterministic sample of queries with an
 // exact BFS on G and tracking the realized stretch. All structures are
 // safe for concurrent use and AnswerBatch fans queries out over a worker
-// pool; answers are independent of scheduling (the cache stores only
-// exact values, so a hit and a recomputation agree).
+// pool; answers are independent of scheduling (resolution is
+// deterministic and the landmark backend's cache stores only exact
+// values, so a hit and a recomputation agree).
 package oracle
 
 import (
@@ -37,6 +44,10 @@ import (
 // Metric names the oracle registers (counters are exposed with the
 // _total suffix on /metrics). One oracle per registry: a second oracle
 // registering into the same registry panics on the duplicate names.
+// Backend-owned families (cache, resolution paths) carry a
+// backend="<name>" label so mixed-backend fleets scraped together stay
+// distinguishable; oracle-level families (queries, latency, stretch)
+// are unlabeled.
 const (
 	metricDistQueries   = "oracle_dist_queries"
 	metricRouteQueries  = "oracle_route_queries"
@@ -46,6 +57,9 @@ const (
 	metricPathLandmark  = "oracle_path_landmark"
 	metricPathBiBFS     = "oracle_path_bibfs"
 	metricPathBulk      = "oracle_path_bulk"
+	metricPathExact     = "oracle_path_exact"
+	metricPathBunch     = "oracle_path_bunch"
+	metricPathHub       = "oracle_path_hub"
 	metricFrontierMax   = "oracle_bibfs_frontier_max"
 	metricDistLatency   = "oracle_dist_latency_seconds"
 	metricRouteLatency  = "oracle_route_latency_seconds"
@@ -54,21 +68,38 @@ const (
 	metricMeanStretch   = "oracle_mean_stretch"
 	metricMaxCongestion = "oracle_max_route_congestion"
 	metricLandmarks     = "oracle_landmarks"
+	metricSparseHubs    = "oracle_sparse_hubs"
+	metricBunchEntries  = "oracle_sparse_bunch_entries"
+	metricBackendInfo   = "oracle_backend_info"
+	metricBackendBound  = "oracle_backend_stretch_bound"
+	metricBackendMemory = "oracle_backend_memory_bytes"
 )
 
-// Options configures New.
+// Options configures New. The zero value serves the landmark-bibfs
+// backend with its historical defaults, so existing callers (and the
+// committed bench baselines) are unaffected by the backend layer.
 type Options struct {
-	// Landmarks is the number of BFS trees precomputed on H (clamped to
-	// [1, n]); 0 means the default 16.
+	// Backend selects the distance-resolution engine: one of
+	// BackendLandmarkBiBFS, BackendExactCached, BackendSparseHub, or
+	// BackendAuto to benchmark them at startup and serve the fastest
+	// within MemoryBudget. Empty means BackendLandmarkBiBFS.
+	Backend string
+	// Landmarks is the number of BFS trees precomputed on H by the
+	// landmark-bibfs backend (clamped to [1, n]); 0 means the default 16.
 	Landmarks int
-	// Seed keys landmark selection; 0 inherits the spanner's build seed
-	// (so oracle determinism follows spanner determinism).
+	// SparseHubs is the sparse-hub backend's hub count — its space/query
+	// knob: more hubs mean bigger rows but smaller bunches and tighter
+	// bounds. 0 means ⌈√n⌉, the point balancing rows against bunches.
+	SparseHubs int
+	// Seed keys landmark/hub selection; 0 inherits the spanner's build
+	// seed (so oracle determinism follows spanner determinism).
 	Seed uint64
-	// CacheSize is the total LRU capacity across shards; 0 means the
-	// default 1<<16 entries, negative disables caching.
+	// CacheSize is the landmark-bibfs backend's total LRU capacity across
+	// shards; 0 means the default 1<<16 entries, negative disables
+	// caching.
 	CacheSize int
-	// Shards is the shard count (rounded up to a power of two); 0 means
-	// 4× the parallel worker count.
+	// Shards is the cache shard count (rounded up to a power of two); 0
+	// means 4× the parallel worker count.
 	Shards int
 	// Workers bounds AnswerBatch's worker pool; 0 means GOMAXPROCS.
 	Workers int
@@ -76,11 +107,20 @@ type Options struct {
 	// the base graph and records the realized stretch; 0 means the default
 	// 64, negative disables sampling.
 	SampleEvery int
-	// MaxDist bounds the exact bidirectional search depth: queries whose
-	// spanner distance exceeds it fall back to the landmark upper bound
-	// (Answer.Exact reports false). Negative (the default 0 maps to -1)
-	// means unbounded — every answer is exact on H.
+	// MaxDist bounds the landmark-bibfs backend's exact bidirectional
+	// search depth: queries whose spanner distance exceeds it fall back
+	// to the landmark upper bound (Answer.Exact reports false, and the
+	// backend declares no stretch bound). Negative (the default 0 maps
+	// to -1) means unbounded — every answer is exact on H.
 	MaxDist int
+	// MemoryBudget caps the precomputed state of auto-tuned backends in
+	// bytes; candidates over it are skipped. 0 means the 128 MiB
+	// default; negative disables the gate. Ignored when Backend names a
+	// concrete engine — an explicit choice is always honored.
+	MemoryBudget int64
+	// TunerProbes is the number of sampled queries the auto-tuner times
+	// each candidate on; 0 means the default 2048.
+	TunerProbes int
 	// Registry receives the oracle's serving metrics (query/path counters,
 	// latency and frontier histograms, stretch gauges). Nil means a
 	// private registry, still reachable via Oracle.Registry — passing the
@@ -88,7 +128,7 @@ type Options struct {
 	// stats response, and the demo summary.
 	Registry *obs.Registry
 	// Trace, when non-nil, receives precomputation phase spans (the
-	// landmark-table build).
+	// backend build, and the tuner sweep under Backend "auto").
 	Trace *obs.Span
 }
 
@@ -101,11 +141,15 @@ type Query struct {
 type Answer struct {
 	U, V int32
 	// Dist is the hop distance on the spanner H — exact when Exact is
-	// true, the landmark upper bound otherwise; graph.Unreachable for
-	// disconnected pairs and invalid queries.
+	// true, the serving backend's upper-bound estimate otherwise (the
+	// landmark bound, or the sparse backend's hub bound, both within the
+	// backend's declared stretch of the true spanner distance);
+	// graph.Unreachable for disconnected pairs and invalid queries.
 	Dist int32
-	// Bound is the O(k) landmark upper bound (graph.Unreachable when no
-	// landmark reaches both endpoints).
+	// Bound is the backend's admissible upper bound on the spanner
+	// distance — the O(k) landmark bound for landmark-bibfs, the hub
+	// bound for sparse-hub, Dist itself for exact-cached
+	// (graph.Unreachable when nothing connects the endpoints).
 	Bound int32
 	// Exact reports whether Dist is the exact spanner distance.
 	Exact bool
@@ -115,8 +159,8 @@ type Answer struct {
 type Stats struct {
 	Queries     int64 // Dist queries (Route lookups are counted in Routes only)
 	Routes      int64
-	CacheHits   int64
-	CacheMisses int64
+	CacheHits   int64   // landmark-bibfs result cache; 0 for cacheless backends
+	CacheMisses int64   // ditto
 	HitRate     float64 // hits / (hits+misses); 0 when cache disabled or idle
 
 	LatencyMean float64 // seconds, Dist queries
@@ -147,21 +191,30 @@ type Stats struct {
 	// MaxCongestion is the highest per-node count of served Route paths
 	// crossing a vertex (C(P, v) over the routes answered so far).
 	MaxCongestion int64
-	Landmarks     int
+	Landmarks     int // landmark-bibfs BFS trees; 0 for other backends
+
+	// Per-backend reporting: the serving backend's name, declared
+	// contract, and own counters. Hit rates and resolution-path counts
+	// are attributed to this backend alone — a fleet mixing backends
+	// aggregates per-name, never blending counters across engines.
+	Backend             string
+	BackendStretchBound int
+	BackendMemoryBytes  int64
+	BackendCounters     map[string]int64
 }
 
-// Oracle answers distance and route queries over a DC-spanner.
+// Oracle answers distance and route queries over a DC-spanner through a
+// pluggable resolution backend.
 type Oracle struct {
 	g     *graph.Graph // base graph G (realized-stretch reference)
 	h     *graph.Graph // spanner H (the serving graph)
 	alpha int          // certified distance stretch; 0 = uncertified
 
-	lm      *landmarkTable
-	cache   *shardedCache
+	backend Backend
+	tuner   *TunerReport // non-nil only under Backend "auto"
 	workers int
 
 	sampleEvery int64
-	maxDist     int32
 
 	latency      *stats.Histogram
 	routeLatency *stats.Histogram
@@ -170,25 +223,17 @@ type Oracle struct {
 	congestion   []int64                   // per-node route-path counts, atomic adds
 	start        atomic.Pointer[time.Time] // serving-clock origin, see MarkServingStart
 
-	// Telemetry: the registry all serving metrics live in, the per-query
-	// resolution-path counters (every resolve ends in exactly one of the
-	// three; batch queries served by the bulk multi-source sweep land in
-	// pathBulk instead and never touch the cache), and the exact-search
-	// frontier-size histogram.
-	reg          *obs.Registry
-	pathCacheHit *obs.Counter
-	pathLandmark *obs.Counter
-	pathBiBFS    *obs.Counter
-	pathBulk     *obs.Counter
-	frontier     *stats.Histogram
+	// reg is the registry all serving metrics live in; the per-query
+	// resolution-path counters are backend-owned and labeled by backend
+	// name (see Backend.attachMetrics).
+	reg *obs.Registry
 
 	stretchMu  sync.Mutex
 	stretchN   int
 	stretchSum float64
 	stretchMax float64
 
-	searchPool sync.Pool // *biScratch
-	routePool  sync.Pool // *routeScratch
+	routePool sync.Pool // *routeScratch
 }
 
 type routeScratch struct {
@@ -215,49 +260,40 @@ func NewFromGraphs(g, h *graph.Graph, alpha int, opts Options) (*Oracle, error) 
 	if g.N() != h.N() {
 		return nil, fmt.Errorf("oracle: spanner has %d vertices, base has %d", h.N(), g.N())
 	}
-	k := opts.Landmarks
-	if k == 0 {
-		k = 16
-	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = graph.Workers()
-	}
-	shards := opts.Shards
-	if shards <= 0 {
-		shards = 4 * workers
-	}
-	cacheSize := opts.CacheSize
-	if cacheSize == 0 {
-		cacheSize = 1 << 16
 	}
 	sampleEvery := int64(opts.SampleEvery)
 	if sampleEvery == 0 {
 		sampleEvery = 64
 	}
-	maxDist := int32(opts.MaxDist)
-	if maxDist <= 0 {
-		maxDist = -1
+	var (
+		be    Backend
+		tuner *TunerReport
+		err   error
+	)
+	if opts.Backend == BackendAuto {
+		be, tuner, err = autoTune(h, opts, workers, opts.Trace)
+	} else {
+		be, err = buildBackend(opts.Backend, h, opts, workers, opts.Trace)
 	}
-	lsp := opts.Trace.Start("landmark-table")
-	lm := buildLandmarkTable(h, k, opts.Seed)
-	lsp.SetKV("landmarks", len(lm.roots))
-	lsp.End()
+	if err != nil {
+		return nil, err
+	}
 	o := &Oracle{
 		g:            g,
 		h:            h,
 		alpha:        alpha,
-		lm:           lm,
-		cache:        newShardedCache(cacheSize, shards),
+		backend:      be,
+		tuner:        tuner,
 		workers:      workers,
 		sampleEvery:  sampleEvery,
-		maxDist:      maxDist,
 		latency:      stats.NewLatencyHistogram(),
 		routeLatency: stats.NewLatencyHistogram(),
 		congestion:   make([]int64, g.N()),
 	}
 	o.MarkServingStart()
-	o.searchPool.New = func() any { return newBiScratch(h.N()) }
 	o.routePool.New = func() any {
 		return &routeScratch{bfs: graph.NewBFSScratch(h.N()), parent: make([]int32, h.N())}
 	}
@@ -268,7 +304,8 @@ func NewFromGraphs(g, h *graph.Graph, alpha int, opts Options) (*Oracle, error) 
 // registerMetrics wires the oracle's serving metrics into reg (or a fresh
 // private registry when nil). Stats snapshots and /metrics exposition
 // both read through this registry, so every consumer sees the same
-// numbers.
+// numbers. The serving backend attaches its own labeled counters here;
+// tuner candidates that lost are never attached.
 func (o *Oracle) registerMetrics(reg *obs.Registry) {
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -276,21 +313,16 @@ func (o *Oracle) registerMetrics(reg *obs.Registry) {
 	o.reg = reg
 	reg.CounterFunc(metricDistQueries, "Dist queries answered.", o.queries.Load)
 	reg.CounterFunc(metricRouteQueries, "Route queries answered.", o.routes.Load)
-	hits := func() int64 { return 0 }
-	misses := hits
-	if o.cache != nil {
-		hits = func() int64 { h, _ := o.cache.counters(); return h }
-		misses = func() int64 { _, m := o.cache.counters(); return m }
-	}
-	reg.CounterFunc(metricCacheHits, "Result-cache hits.", hits)
-	reg.CounterFunc(metricCacheMisses, "Result-cache misses.", misses)
-	o.pathCacheHit = reg.Counter(metricPathCacheHit, "Resolutions served from the result cache.")
-	o.pathLandmark = reg.Counter(metricPathLandmark, "Resolutions falling back to the landmark upper bound.")
-	o.pathBiBFS = reg.Counter(metricPathBiBFS, "Resolutions answered exactly by bidirectional BFS.")
-	o.pathBulk = reg.Counter(metricPathBulk, "Batch queries answered exactly by the bulk multi-source BFS sweep.")
-	o.frontier = reg.Histogram(metricFrontierMax,
-		"Largest single-side BFS frontier per exact search (vertices).",
-		stats.ExpBuckets(1, 2, 22))
+	reg.GaugeFuncLabeled(metricBackendInfo,
+		"Serving distance-resolution backend (info gauge: the labeled series is 1).",
+		"backend", o.backend.Name(), func() float64 { return 1 })
+	reg.GaugeFunc(metricBackendBound,
+		"Declared worst-case stretch of the serving backend vs the exact spanner distance (0 = undeclared).",
+		func() float64 { return float64(o.backend.StretchBound()) })
+	reg.GaugeFunc(metricBackendMemory,
+		"Estimated bytes of the serving backend's precomputed state.",
+		func() float64 { return float64(o.backend.MemoryBytes()) })
+	o.backend.attachMetrics(reg)
 	reg.RegisterHistogram(metricDistLatency, "Dist query service time.", o.latency)
 	reg.RegisterHistogram(metricRouteLatency, "Route query service time.", o.routeLatency)
 	reg.GaugeFunc(metricStretchN, "Realized-stretch samples taken.", func() float64 {
@@ -320,9 +352,6 @@ func (o *Oracle) registerMetrics(reg *obs.Registry) {
 		}
 		return float64(max)
 	})
-	reg.GaugeFunc(metricLandmarks, "Landmark BFS trees precomputed on H.", func() float64 {
-		return float64(len(o.lm.roots))
-	})
 }
 
 // Registry returns the registry holding the oracle's metrics — the one
@@ -332,6 +361,18 @@ func (o *Oracle) Registry() *obs.Registry { return o.reg }
 // N returns the number of vertices the oracle serves — queries must have
 // both endpoints in [0, N).
 func (o *Oracle) N() int { return o.h.N() }
+
+// Backend returns the name of the serving backend — the explicit
+// Options.Backend choice, or the auto-tuner's pick.
+func (o *Oracle) Backend() string { return o.backend.Name() }
+
+// TunerReport returns the startup auto-tuning report, or nil when
+// Options.Backend named a concrete backend.
+func (o *Oracle) TunerReport() *TunerReport { return o.tuner }
+
+// BackendStats snapshots the serving backend's own counters and
+// declared contract (also embedded in Stats).
+func (o *Oracle) BackendStats() BackendStats { return o.backend.Stats() }
 
 // MarkServingStart resets the serving clock that Stats.QPS is measured
 // against. New arms it at construction time, which charges the idle gap
@@ -343,16 +384,28 @@ func (o *Oracle) MarkServingStart() {
 	o.start.Store(&now)
 }
 
-// Landmarks returns the sorted landmark vertex ids.
+// Landmarks returns the sorted landmark vertex ids of the landmark-bibfs
+// backend, or nil when another backend serves.
 func (o *Oracle) Landmarks() []int32 {
-	return append([]int32(nil), o.lm.roots...)
+	if lb, ok := o.backend.(*landmarkBackend); ok {
+		return append([]int32(nil), lb.lm.roots...)
+	}
+	return nil
 }
 
-// LandmarkBytes serializes the landmark table; two oracles over the same
-// spanner and seed produce identical bytes (the determinism contract).
-func (o *Oracle) LandmarkBytes() []byte { return o.lm.Bytes() }
+// LandmarkBytes serializes the landmark-bibfs backend's landmark table —
+// two oracles over the same spanner and seed produce identical bytes
+// (the determinism contract) — or nil when another backend serves.
+func (o *Oracle) LandmarkBytes() []byte {
+	if lb, ok := o.backend.(*landmarkBackend); ok {
+		return lb.lm.Bytes()
+	}
+	return nil
+}
 
-// Dist answers a single distance query. Safe for concurrent use.
+// Dist answers a single distance query. Safe for concurrent use. The
+// answer's exactness and bound semantics are the serving backend's (see
+// Answer and the Backend* constants).
 func (o *Oracle) Dist(u, v int32) (Answer, error) {
 	return o.DistTrace(u, v, nil)
 }
@@ -390,46 +443,22 @@ func (o *Oracle) answer(u, v int32) (Answer, uint8, error) {
 	return ans, path, nil
 }
 
-// resolve computes the distance answer with no serving accounting beyond
-// the cache's own hit/miss counters — Route rides on it so route lookups
-// do not inflate Stats.Queries or the Dist latency histogram. It reports
-// which resolution path answered (an obs.Path* bit; 0 when no path ran).
+// resolve computes the distance answer with no serving accounting — Route
+// rides on it so route lookups do not inflate Stats.Queries or the Dist
+// latency histogram. Validation and self-queries are handled here; valid
+// u ≠ v pairs delegate to the serving backend, which reports the
+// obs.Path* bit its resolution took (0 when no path ran).
 func (o *Oracle) resolve(u, v int32) (Answer, uint8, error) {
 	n := int32(o.h.N())
 	if u < 0 || v < 0 || u >= n || v >= n {
 		return Answer{U: u, V: v, Dist: graph.Unreachable, Bound: graph.Unreachable}, 0,
 			fmt.Errorf("oracle: query (%d,%d) out of range [0,%d)", u, v, n)
 	}
-	ans := Answer{U: u, V: v, Exact: true}
 	if u == v {
-		return ans, 0, nil
+		return Answer{U: u, V: v, Exact: true}, 0, nil
 	}
-	ans.Bound = o.lm.upperBound(u, v)
-	key := packKey(u, v)
-	if o.cache != nil {
-		if d, ok := o.cache.get(key); ok {
-			o.pathCacheHit.Inc()
-			ans.Dist = d
-			return ans, obs.PathCache, nil
-		}
-	}
-	sc := o.searchPool.Get().(*biScratch)
-	d, exact := sc.distance(o.h, u, v, o.maxDist, ans.Bound)
-	o.frontier.Observe(float64(sc.maxFrontier))
-	o.searchPool.Put(sc)
-	if !exact {
-		// Depth budget exhausted: serve the landmark bound, uncached.
-		o.pathLandmark.Inc()
-		ans.Dist = ans.Bound
-		ans.Exact = false
-		return ans, obs.PathLandmark, nil
-	}
-	o.pathBiBFS.Inc()
-	ans.Dist = d
-	if o.cache != nil {
-		o.cache.put(key, d)
-	}
-	return ans, obs.PathBiBFS, nil
+	a, path := o.backend.Dist(u, v)
+	return a, path, nil
 }
 
 // maybeSampleStretch re-answers every sampleEvery-th query exactly on G
@@ -453,7 +482,8 @@ func (o *Oracle) maybeSampleStretch(seq int64, u, v, dh int32) {
 }
 
 // Route answers a routing query: one shortest path on H realizing the
-// exact spanner distance, plus the distance answer. The path's nodes are
+// exact spanner distance (or, for an inexact answer, a path within the
+// backend's bound), plus the distance answer. The path's nodes are
 // added to the oracle's congestion accounting (C(P, v) over served
 // routes). Returns a nil path for disconnected pairs.
 //
@@ -510,19 +540,26 @@ func (o *Oracle) Stats() Stats {
 // StatsFrom derives the Stats view from an already-taken registry
 // snapshot — the path by which a serving layer that also owns counters
 // in the same registry (internal/server) renders its whole stats line
-// from one capture instant.
+// from one capture instant. Backend-owned series live in the snapshot
+// under backend-labeled keys; the cache figures here are therefore the
+// serving backend's own, never another engine's.
 func (o *Oracle) StatsFrom(snap obs.Snapshot) Stats {
+	name := o.backend.Name()
 	s := Stats{
-		Queries:        snap.Counters[metricDistQueries],
-		Routes:         snap.Counters[metricRouteQueries],
-		CacheHits:      snap.Counters[metricCacheHits],
-		CacheMisses:    snap.Counters[metricCacheMisses],
-		CertifiedAlpha: o.alpha,
-		Landmarks:      len(o.lm.roots),
-		StretchSamples: int(snap.Gauges[metricStretchN]),
-		RealizedAlpha:  snap.Gauges[metricRealizedAlpha],
-		MeanStretch:    snap.Gauges[metricMeanStretch],
-		MaxCongestion:  int64(snap.Gauges[metricMaxCongestion]),
+		Queries:             snap.Counters[metricDistQueries],
+		Routes:              snap.Counters[metricRouteQueries],
+		CacheHits:           snap.Counters[backendKey(metricCacheHits, name)],
+		CacheMisses:         snap.Counters[backendKey(metricCacheMisses, name)],
+		CertifiedAlpha:      o.alpha,
+		Landmarks:           len(o.Landmarks()),
+		StretchSamples:      int(snap.Gauges[metricStretchN]),
+		RealizedAlpha:       snap.Gauges[metricRealizedAlpha],
+		MeanStretch:         snap.Gauges[metricMeanStretch],
+		MaxCongestion:       int64(snap.Gauges[metricMaxCongestion]),
+		Backend:             name,
+		BackendStretchBound: o.backend.StretchBound(),
+		BackendMemoryBytes:  o.backend.MemoryBytes(),
+		BackendCounters:     o.backend.Stats().Counters,
 	}
 	if total := s.Queries + s.Routes; s.CacheHits > total {
 		s.CacheHits = total
@@ -552,8 +589,8 @@ func (o *Oracle) StatsFrom(snap obs.Snapshot) Stats {
 // String renders the snapshot as a single report line.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"queries=%d routes=%d hitRate=%.3f p50=%.3gs p95=%.3gs p99=%.3gs routeP50=%.3gs routeP99=%.3gs qps=%.0f realizedAlpha=%.3f (certified %d, %d samples) maxCong=%d landmarks=%d",
-		s.Queries, s.Routes, s.HitRate, s.LatencyP50, s.LatencyP95, s.LatencyP99,
+		"backend=%s queries=%d routes=%d hitRate=%.3f p50=%.3gs p95=%.3gs p99=%.3gs routeP50=%.3gs routeP99=%.3gs qps=%.0f realizedAlpha=%.3f (certified %d, %d samples) maxCong=%d landmarks=%d",
+		s.Backend, s.Queries, s.Routes, s.HitRate, s.LatencyP50, s.LatencyP95, s.LatencyP99,
 		s.RouteLatencyP50, s.RouteLatencyP99,
 		s.QPS, s.RealizedAlpha, s.CertifiedAlpha, s.StretchSamples, s.MaxCongestion, s.Landmarks)
 }

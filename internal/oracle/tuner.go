@@ -1,0 +1,187 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// TunerChoice is one candidate backend's startup benchmark: how long it
+// took to build, how fast it answered the probe mix, how much memory it
+// holds, and — when it was not benchmarked at all — why it was skipped.
+type TunerChoice struct {
+	// Name is the candidate backend.
+	Name string
+	// BuildNs is the wall time of the backend's precomputation.
+	BuildNs int64
+	// QueryNs is the mean serial latency over the probe queries.
+	QueryNs float64
+	// MemoryBytes is the realized size of the built backend (the
+	// pre-build estimate when Skipped is non-empty).
+	MemoryBytes int64
+	// StretchBound is the candidate's declared stretch bound.
+	StretchBound int
+	// Skipped, when non-empty, is the reason the candidate was excluded
+	// (memory estimate or realized size over budget).
+	Skipped string
+}
+
+// TunerReport records an auto-tuning run: every candidate's figures and
+// the winner actually serving.
+type TunerReport struct {
+	// Chosen is the backend the oracle serves.
+	Chosen string
+	// Candidates lists every backend considered, in BackendNames order.
+	Candidates []TunerChoice
+}
+
+// String renders the report as one line per candidate plus the verdict.
+func (r *TunerReport) String() string {
+	var b strings.Builder
+	for _, c := range r.Candidates {
+		if c.Skipped != "" {
+			fmt.Fprintf(&b, "  %-14s skipped: %s (est %s)\n", c.Name, c.Skipped, fmtBytes(c.MemoryBytes))
+			continue
+		}
+		marker := " "
+		if c.Name == r.Chosen {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, " %s%-14s build=%-10v query=%-8s mem=%-8s stretch≤%d\n",
+			marker, c.Name, time.Duration(c.BuildNs).Round(time.Microsecond),
+			fmt.Sprintf("%.0fns", c.QueryNs), fmtBytes(c.MemoryBytes), c.StretchBound)
+	}
+	return b.String()
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// defaultMemoryBudget caps auto-tuned backend state when Options leaves
+// MemoryBudget zero: 128 MiB holds the exact table to n ≈ 8000 and the
+// sparse structures far beyond, while staying harmless on serving hosts.
+const defaultMemoryBudget = int64(128) << 20
+
+// defaultTunerProbes is the probe-mix size when Options leaves
+// TunerProbes zero.
+const defaultTunerProbes = 2048
+
+// autoTune builds every candidate backend whose memory estimate fits
+// the budget, times a deterministic probe mix against each, and returns
+// the winner plus the full report. The decision rule: among candidates
+// within budget, minimize mean probe latency; on a tie prefer the
+// smaller declared stretch bound, then BackendNames order. The sampling
+// policy: TunerProbes uniform random ordered pairs drawn from a
+// seed-keyed stream (so two boots of the same graph and seed probe the
+// same mix), answered serially through Backend.Dist — the figure is
+// per-query resolution cost, deliberately excluding batch-arm and cache
+// effects that depend on traffic shape.
+//
+// The winner is served as built: its probe answers stay in its counters
+// (and, for the landmark backend, its result cache), which reads as a
+// small warm-up rather than a distortion.
+func autoTune(h *graph.Graph, opts Options, workers int, trace *obs.Span) (Backend, *TunerReport, error) {
+	budget := opts.MemoryBudget
+	if budget == 0 {
+		budget = defaultMemoryBudget
+	}
+	probes := opts.TunerProbes
+	if probes == 0 {
+		probes = defaultTunerProbes
+	}
+	n := h.N()
+	qs := make([]Query, probes)
+	r := rng.New(opts.Seed ^ 0x70be_d15c_a11e_d0)
+	for i := range qs {
+		qs[i] = Query{U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+	}
+
+	sp := trace.Start("backend-tuner")
+	defer sp.End()
+	rep := &TunerReport{}
+	var best Backend
+	var bestChoice TunerChoice
+	for _, name := range BackendNames() {
+		est := tunerEstimate(name, n, opts)
+		if budget > 0 && est > budget && name != BackendLandmarkBiBFS {
+			rep.Candidates = append(rep.Candidates, TunerChoice{
+				Name: name, MemoryBytes: est, Skipped: "estimate over memory budget",
+			})
+			continue
+		}
+		t0 := time.Now()
+		b, err := buildBackend(name, h, opts, workers, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		buildNs := time.Since(t0).Nanoseconds()
+		if budget > 0 && b.MemoryBytes() > budget && name != BackendLandmarkBiBFS {
+			rep.Candidates = append(rep.Candidates, TunerChoice{
+				Name: name, BuildNs: buildNs, MemoryBytes: b.MemoryBytes(),
+				StretchBound: b.StretchBound(), Skipped: "built size over memory budget",
+			})
+			continue
+		}
+		q0 := time.Now()
+		for _, q := range qs {
+			if q.U == q.V {
+				continue
+			}
+			b.Dist(q.U, q.V)
+		}
+		c := TunerChoice{
+			Name:         name,
+			BuildNs:      buildNs,
+			QueryNs:      float64(time.Since(q0).Nanoseconds()) / float64(len(qs)),
+			MemoryBytes:  b.MemoryBytes(),
+			StretchBound: b.StretchBound(),
+		}
+		rep.Candidates = append(rep.Candidates, c)
+		if best == nil || c.QueryNs < bestChoice.QueryNs ||
+			(c.QueryNs == bestChoice.QueryNs && c.StretchBound > 0 &&
+				(bestChoice.StretchBound == 0 || c.StretchBound < bestChoice.StretchBound)) {
+			best, bestChoice = b, c
+		}
+	}
+	if best == nil {
+		// Unreachable in practice — the landmark backend is never skipped
+		// — but keep the failure explicit rather than a nil deref.
+		return nil, nil, fmt.Errorf("oracle: auto-tuner found no backend within the %s budget", fmtBytes(budget))
+	}
+	rep.Chosen = best.Name()
+	sp.SetKV("chosen", rep.Chosen)
+	return best, rep, nil
+}
+
+// tunerEstimate predicts a backend's memory before building it.
+func tunerEstimate(name string, n int, opts Options) int64 {
+	switch name {
+	case BackendExactCached:
+		return exactMemoryEstimate(n)
+	case BackendSparseHub:
+		k := opts.SparseHubs
+		if k <= 0 {
+			k = defaultSparseHubs(n)
+		}
+		return sparseMemoryEstimate(n, k)
+	default:
+		k := opts.Landmarks
+		if k == 0 {
+			k = 16
+		}
+		return 4 * int64(k) * int64(n+1)
+	}
+}

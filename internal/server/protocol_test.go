@@ -72,7 +72,7 @@ func TestStatsShape(t *testing.T) {
 		t.Fatalf("got %d lines %q, want 3", len(lines), lines)
 	}
 	stats := lines[2]
-	if !strings.HasPrefix(stats, "stats queries=") {
+	if !strings.HasPrefix(stats, "stats backend=") {
 		t.Fatalf("stats response %q lacks oracle report prefix", stats)
 	}
 	if !strings.Contains(stats, " | server ") {

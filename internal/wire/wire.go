@@ -120,10 +120,13 @@ const (
 	// TraceFlagSampled marks the request for hop-by-hop recording; on a
 	// response it confirms the server traced the request.
 	TraceFlagSampled byte = 1 << 0
-	// tracePathShift positions the obs.Path* resolution mask (4 bits)
-	// inside response flags.
+	// tracePathShift positions the obs.Path* resolution mask (6 bits)
+	// inside response flags. Widened from 4 to 6 bits when the oracle
+	// grew backend-specific paths (exact table, hub bunches); peers that
+	// still mask to 4 bits simply drop the new bits, so the widening is
+	// wire-compatible in both directions.
 	tracePathShift = 1
-	tracePathBits  = 0xF
+	tracePathBits  = 0x3F
 )
 
 // TraceContext is the per-frame trace field carried by v3 frames: a

@@ -26,6 +26,21 @@ go test -race -count=1 ./internal/server/
 echo "== dccheck differential sweep (optimized == naive references, all gen families)"
 go run ./cmd/dccheck -quick
 
+echo "== dccheck per-backend sweep (each oracle backend forced, stretch bounds enforced)"
+for be in landmark-bibfs exact-cached sparse-hub; do
+    go run ./cmd/dccheck -quick -backend "$be" \
+        || { echo "dccheck failed with backend $be forced"; exit 1; }
+done
+
+echo "== oracle godoc lint (every exported symbol in internal/oracle documented)"
+UNDOC=$(awk '
+    prev !~ /^\/\// && (/^(func|type|const|var) [A-Z]/ || /^func \([^)]*\) [A-Z]/) {
+        print FILENAME ":" FNR ": " $0; bad = 1
+    }
+    { prev = $0 }
+    END { exit bad }' $(ls internal/oracle/*.go | grep -v _test)) \
+    || { echo "undocumented exported oracle symbols:"; echo "$UNDOC"; exit 1; }
+
 echo "== wire v2/v3 cross-version matrix (negotiation, trace-context downgrade)"
 go test -race -count=1 -run 'CrossVersion|FrameV3|TraceContext|TraceV2Dropped|BinaryTrace' \
     ./internal/wire/ ./internal/server/
@@ -41,7 +56,11 @@ go run ./cmd/dcserve -demo -queries 10000
 echo "== dcserve debug endpoint (/healthz, /metrics scrape)"
 go build -o /tmp/dcserve.verify ./cmd/dcserve
 rm -f /tmp/dcserve.verify.log
+# The landmark backend is forced so the cache/path metric families the
+# scrape below asserts on are the ones registered (auto would pick the
+# exact table on a 512-node graph, which has no cache).
 /tmp/dcserve.verify -listen 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    -oracle-backend landmark-bibfs \
     >/tmp/dcserve.verify.log 2>&1 &
 SRV_PID=$!
 trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
@@ -63,6 +82,7 @@ grep -q '^serving on ' /tmp/dcserve.verify.log || { echo "dcserve never started 
 curl -fsS "http://$DEBUG_ADDR/healthz" | grep -q ok || { echo "/healthz failed"; exit 1; }
 curl -fsS "http://$DEBUG_ADDR/metrics" >/tmp/dcserve.verify.metrics
 for fam in oracle_dist_queries_total oracle_cache_hits_total \
+           oracle_backend_info oracle_backend_stretch_bound \
            oracle_dist_latency_seconds_bucket server_requests_total \
            server_active_conns go_goroutines; do
     grep -q "^$fam" /tmp/dcserve.verify.metrics || { echo "metric family $fam missing from /metrics"; exit 1; }
