@@ -21,6 +21,14 @@
 //
 //	dcload -addr 127.0.0.1:7070 -duration 10s -conns 8 -batch 1:1,16:1 -zipf 0.9
 //
+// Against a dynamic target (dcserve -dynamic), -updates R mixes edge
+// mutations into the run: one dedicated connection issues R seeded
+// insert/delete updates per second — a single connection so the mutation
+// order (and thus the server's end state) is deterministic for a given
+// seed — while the query pool races it. The run then closes with a
+// verify snapshot and prints an "update consistency:" line; an
+// inconsistent spanner (maintained != rebuilt from scratch) exits 1.
+//
 // dcload exits 1 if the run answers zero requests (the e2e smoke's
 // assertion) or if more than 1% of requests error.
 package main
@@ -52,6 +60,7 @@ func main() {
 	batchMix := flag.String("batch", "1:3,16:1", "batch-size mix as size:weight,...")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
 	traceN := flag.Int("trace", 0, "request sampling of every Nth request (sets the wire v3 sampling bit; 0 disables)")
+	updRate := flag.Float64("updates", 0, "edge mutations/sec on one dedicated connection (wire v4; needs a dynamic target)")
 	flag.Parse()
 
 	mix, err := parseMix(*batchMix)
@@ -98,6 +107,25 @@ func main() {
 		clients[i] = c
 	}
 
+	// The update stream gets its own dedicated connection: mutations on a
+	// single pipelined connection apply in issue order, so the server's
+	// end state is a deterministic function of (seed, rate, duration)
+	// regardless of how the query pool is scheduled.
+	var updConn *wire.Client
+	var updSent, updApplied, updRebuilt, updErrs atomic.Int64
+	if *updRate > 0 {
+		updConn, err = wire.Dial(*addr, wire.ClientOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcload: update conn:", err)
+			os.Exit(1)
+		}
+		defer updConn.Close()
+		if updConn.Version() < 4 {
+			fmt.Fprintf(os.Stderr, "dcload: -updates needs wire v4, target negotiated v%d\n", updConn.Version())
+			os.Exit(2)
+		}
+	}
+
 	lat := stats.NewLatencyHistogram()
 	var answered, queries, errs, sent, traced atomic.Int64
 	zipf := rng.NewZipf(*zipfS, info.N)
@@ -140,6 +168,42 @@ func main() {
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	if updConn != nil {
+		// Paced updater. Endpoints are uniform (not Zipf): skewed
+		// mutations would make the server's end state depend on the
+		// query-skew knob. Self-pairs are skipped, not redrawn, so the
+		// mutation sequence stays aligned with the tick count.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rng.New(*seed ^ 0xa5a5c3c3d1d1b7b7)
+			interval := time.Duration(float64(time.Second) / *updRate)
+			next := time.Now()
+			for next.Before(deadline) {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+				u, v := int32(r.Intn(info.N)), int32(r.Intn(info.N))
+				if u == v {
+					continue
+				}
+				res, uerr := updConn.Update(u, v, r.Bernoulli(0.5))
+				updSent.Add(1)
+				if uerr != nil {
+					updErrs.Add(1)
+					fmt.Fprintln(os.Stderr, "dcload: update:", uerr)
+					return
+				}
+				if res.Applied {
+					updApplied.Add(1)
+				}
+				if res.Rebuilt {
+					updRebuilt.Add(1)
+				}
+			}
+		}()
+	}
 	if *rate <= 0 {
 		// Closed loop: each connection back to back.
 		for i, c := range clients {
@@ -207,6 +271,25 @@ func main() {
 	fmt.Printf("latency: p50=%s p95=%s p99=%s p999=%s max=%s mean=%s\n",
 		ms(b.Quantile(0.50)), ms(b.Quantile(0.95)), ms(b.Quantile(0.99)),
 		ms(b.Quantile(0.999)), ms(b.Max), ms(b.Mean()))
+
+	if updConn != nil {
+		si, serr := updConn.Snap(true)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "dcload: verify snapshot:", serr)
+			os.Exit(1)
+		}
+		fmt.Printf("updates: sent=%d applied=%d rebuilt=%d errs=%d\n",
+			updSent.Load(), updApplied.Load(), updRebuilt.Load(), updErrs.Load())
+		fmt.Printf("update consistency: seq=%d m=%d hm=%d verified=%t consistent=%t\n",
+			si.Seq, si.M, si.HM, si.Verified, si.Consistent)
+		if !si.Consistent {
+			fmt.Fprintln(os.Stderr, "dcload: maintained spanner diverged from a from-scratch rebuild")
+			os.Exit(1)
+		}
+		if updErrs.Load() > 0 {
+			os.Exit(1)
+		}
+	}
 
 	if n == 0 {
 		fmt.Fprintln(os.Stderr, "dcload: zero answered requests")

@@ -22,6 +22,12 @@
 //	stats          ->  stats <oracle report> | server <counter report>
 //	quit           ->  closes the connection (stdin mode: exits)
 //
+// With -dynamic the server maintains an incremental cluster spanner over
+// a live graph and additionally answers (see internal/server):
+//
+//	update <u> <v> <add|del>  ->  update ... = applied=<t|f> rebuilt=<t|f> m=<m> hm=<hm> seq=<s>
+//	snapshot [verify]         ->  snapshot n=... m=... hm=... seq=... ghash=... hhash=... verified=<t|f> consistent=<t|f>
+//
 // Errors answer "err <message>" and keep the connection open.
 package main
 
@@ -47,6 +53,10 @@ import (
 func main() {
 	cfg := cliutil.RegisterGraphFlags(flag.CommandLine, "regular", 512, 96, 1)
 	algo := flag.String("algo", "expander", "spanner: expander|regular|baswana-sen|greedy|sparsify-uniform|bounded-degree")
+	dynamic := flag.Bool("dynamic", false,
+		"serve a live graph: maintain an incremental cluster spanner and accept update/snapshot verbs (ignores -algo)")
+	rebuildThr := flag.Float64("rebuild-threshold", 0,
+		"dynamic mode: dirty fraction triggering a full spanner recompute (0 = default, negative disables)")
 	k := flag.Int("k", 2, "Baswana-Sen parameter (stretch 2k-1)")
 	alpha := flag.Int("alpha", 3, "greedy spanner stretch")
 	backend := flag.String("oracle-backend", "auto",
@@ -104,23 +114,7 @@ func main() {
 	g := cfg.MustBuild()
 	fmt.Printf("G: n=%d m=%d maxDeg=%d connected=%v\n", g.N(), g.M(), g.MaxDegree(), g.Connected())
 
-	dc, err := core.Build(g, core.Options{
-		Algorithm: core.Algorithm(*algo),
-		Seed:      cfg.Seed,
-		K:         *k,
-		Alpha:     *alpha,
-		Expander:  spanner.ExpanderOptions{EnsureConnected: true},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	h := dc.Graph()
-	fmt.Printf("H (%s): m=%d (%.1f%% of G), certified alpha=%d\n",
-		*algo, h.M(), 100*float64(h.M())/float64(g.M()), dc.CertifiedAlpha())
-
-	t0 := time.Now()
-	o, err := oracle.New(dc, oracle.Options{
+	oracleOpts := oracle.Options{
 		Backend:      *backend,
 		Landmarks:    *landmarks,
 		SparseHubs:   *sparseHubs,
@@ -130,10 +124,51 @@ func main() {
 		MaxDist:      *maxDist,
 		SampleEvery:  *sample,
 		Registry:     reg,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	}
+
+	// mount wraps whichever engine serves this process: a static Oracle,
+	// or the dynamic live-graph engine that additionally answers the
+	// update/snapshot verbs.
+	var (
+		o     *oracle.Oracle
+		mount func(server.Config) *server.Server
+	)
+	t0 := time.Now()
+	if *dynamic {
+		d, err := oracle.NewDynamic(g, oracle.DynamicOptions{
+			Spanner: spanner.IncrementalOptions{Seed: cfg.Seed, RebuildThreshold: *rebuildThr},
+			Oracle:  oracleOpts,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o = d.Oracle()
+		hm := d.Snapshot(false).HM
+		fmt.Printf("H (incremental-cluster3, dynamic): m=%d (%.1f%% of G), certified alpha=%d\n",
+			hm, 100*float64(hm)/float64(g.M()), spanner.IncrementalAlpha)
+		mount = func(c server.Config) *server.Server { return server.NewBackend(server.DynamicBackend{Dynamic: d}, c) }
+	} else {
+		dc, err := core.Build(g, core.Options{
+			Algorithm: core.Algorithm(*algo),
+			Seed:      cfg.Seed,
+			K:         *k,
+			Alpha:     *alpha,
+			Expander:  spanner.ExpanderOptions{EnsureConnected: true},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		h := dc.Graph()
+		fmt.Printf("H (%s): m=%d (%.1f%% of G), certified alpha=%d\n",
+			*algo, h.M(), 100*float64(h.M())/float64(g.M()), dc.CertifiedAlpha())
+		o, err = oracle.New(dc, oracleOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mount = func(c server.Config) *server.Server { return server.New(o, c) }
 	}
 	if rep := o.TunerReport(); rep != nil {
 		fmt.Printf("oracle tuner:\n%s", rep)
@@ -167,8 +202,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("serving on %s (maxconns=%d maxline=%d idle=%v)\n", l.Addr(), *maxConns, *maxLine, *idle)
-		if err := server.New(o, srvCfg).Serve(ctx, l); err != nil {
+		fmt.Printf("serving on %s (maxconns=%d maxline=%d idle=%v dynamic=%v)\n", l.Addr(), *maxConns, *maxLine, *idle, *dynamic)
+		if err := mount(srvCfg).Serve(ctx, l); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -176,7 +211,7 @@ func main() {
 	default:
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		server.New(o, srvCfg).ServeStream(ctx, os.Stdin, os.Stdout)
+		mount(srvCfg).ServeStream(ctx, os.Stdin, os.Stdout)
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/gen"
@@ -110,6 +111,11 @@ var registry = []Scenario{
 		Name:        "packetsim_round",
 		Description: "store-and-forward packet round (packetsim.Simulate) incl. parallel congestion lower-bound accounting",
 		Prepare:     preparePacketsimRound,
+	},
+	{
+		Name:        "churn",
+		Description: "dynamic-graph churn (oracle.Dynamic): a forward pass of edge toggles, a query batch against the mutated state, then the reverse pass restoring the initial state, closing with a verify snapshot; the fingerprint folds per-update edge counts, the mid-state answers, and the state hashes, so it proves the round trip is exact",
+		Prepare:     prepareChurn,
 	},
 }
 
@@ -246,6 +252,107 @@ func prepareOracleBatch(opt Options, reg *obs.Registry) (Iter, error) {
 			d = d.u64(uint64(uint32(a.Dist))<<32 | uint64(uint32(a.Bound)))
 		}
 		return uint64(d), nil
+	}, nil
+}
+
+func prepareChurn(opt Options, reg *obs.Registry) (Iter, error) {
+	g, err := benchGraph(opt)
+	if err != nil {
+		return nil, err
+	}
+	nTog, nq := 64, 2000
+	if opt.Quick {
+		nTog, nq = 24, 500
+	}
+	r := rng.New(opt.Seed).Split()
+	pairs := make([][2]int32, nTog)
+	for i := range pairs {
+		u, v := int32(r.Intn(g.N())), int32(r.Intn(g.N()))
+		for u == v {
+			v = int32(r.Intn(g.N()))
+		}
+		pairs[i] = [2]int32{u, v}
+	}
+	qs := make([]oracle.Query, nq)
+	for i := range qs {
+		qs[i] = oracle.Query{U: int32(r.Intn(g.N())), V: int32(r.Intn(g.N()))}
+	}
+	updates := reg.Counter("bench_churn_updates", "edge updates applied across all iterations")
+	queries := reg.Counter("bench_churn_queries", "mid-churn queries answered across all iterations")
+
+	// One engine per worker count (the oracle's pool size is fixed at
+	// construction). Each iteration leaves the engine exactly where it
+	// started — every pair is toggled once forward and once in reverse,
+	// and flips are involutions — so the engines never drift apart and
+	// the fingerprint is stable across iterations and worker counts.
+	// Rebuilt and Seq are deliberately NOT folded into the fingerprint:
+	// both carry state across iteration boundaries (the dirty-fraction
+	// counter and the update counter), while M/HM/answers/hashes are pure
+	// functions of the toggle position within one iteration.
+	type engine struct {
+		d   *oracle.Dynamic
+		cur map[graph.Edge]bool
+	}
+	engines := make(map[int]*engine)
+	return func(workers int) (uint64, error) {
+		en, ok := engines[workers]
+		if !ok {
+			dyn, err := oracle.NewDynamic(g, oracle.DynamicOptions{
+				Spanner: spanner.IncrementalOptions{Seed: opt.Seed},
+				Oracle: oracle.Options{Backend: oracle.BackendExactCached,
+					Workers: workers, CacheSize: -1, Seed: opt.Seed, SampleEvery: -1},
+			})
+			if err != nil {
+				return 0, err
+			}
+			cur := make(map[graph.Edge]bool, g.M())
+			for _, e := range g.Edges() {
+				cur[e] = true
+			}
+			en = &engine{d: dyn, cur: cur}
+			engines[workers] = en
+		}
+		fp := newDigest()
+		toggle := func(p [2]int32) error {
+			e := graph.Edge{U: p[0], V: p[1]}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			add := !en.cur[e]
+			res, err := en.d.Update(p[0], p[1], add)
+			if err != nil {
+				return err
+			}
+			if add {
+				en.cur[e] = true
+			} else {
+				delete(en.cur, e)
+			}
+			updates.Add(1)
+			fp = fp.u64(uint64(res.M)).u64(uint64(res.HM))
+			return nil
+		}
+		for _, p := range pairs {
+			if err := toggle(p); err != nil {
+				return 0, err
+			}
+		}
+		as := en.d.AnswerBatch(qs)
+		queries.Add(int64(len(as)))
+		for _, a := range as {
+			fp = fp.u64(uint64(uint32(a.Dist))<<32 | uint64(uint32(a.Bound)))
+		}
+		for i := len(pairs) - 1; i >= 0; i-- {
+			if err := toggle(pairs[i]); err != nil {
+				return 0, err
+			}
+		}
+		info := en.d.Snapshot(true)
+		if !info.Consistent {
+			return 0, fmt.Errorf("churn: maintained spanner diverged from a from-scratch rebuild (seq=%d)", info.Seq)
+		}
+		fp = fp.u64(info.GraphHash).u64(info.SpannerHash)
+		return uint64(fp), nil
 	}, nil
 }
 

@@ -155,6 +155,7 @@ func runFamily(rep *Report, f Family, opts Options) {
 	}
 
 	checkBFSKernels(rep, f.Name, g, opts, r.Split())
+	checkDynamic(rep, f.Name, g, opts, r.Split())
 }
 
 // checkBFSKernels is the multi-source kernel differential: the

@@ -29,19 +29,27 @@ type exactBackend struct {
 func newExactBackend(h *graph.Graph, workers int, trace *obs.Span) *exactBackend {
 	sp := trace.Start("exact-table")
 	n := h.N()
-	tri := graph.NewTriDist(n)
+	b := &exactBackend{h: h, tri: graph.NewTriDist(n), workers: workers}
+	b.fillAll()
+	sp.SetKV("entries", n*(n-1)/2)
+	sp.End()
+	return b
+}
+
+// fillAll recomputes the whole table by one multi-source sweep over every
+// vertex (each row writes its upper-triangle slots only — disjoint across
+// rows, so race-free at any worker count).
+func (b *exactBackend) fillAll() {
+	n := b.h.N()
 	srcs := make([]int32, n)
 	for i := range srcs {
 		srcs[i] = int32(i)
 	}
-	h.MultiSourceBFSSweep(srcs, workers, func(i int, src int32, dist []int32) {
+	b.h.MultiSourceBFSSweep(srcs, b.workers, func(i int, src int32, dist []int32) {
 		for v := src + 1; v < int32(n); v++ {
-			tri.Set(src, v, dist[v])
+			b.tri.Set(src, v, dist[v])
 		}
 	})
-	sp.SetKV("entries", n*(n-1)/2)
-	sp.End()
-	return &exactBackend{h: h, tri: tri, workers: workers}
 }
 
 // Name implements Backend.
@@ -90,6 +98,134 @@ func (b *exactBackend) AnswerBatch(qs []Query, out []Answer) (uint8, bool) {
 	})
 	b.pathExact.Add(served.Load())
 	return obs.PathExact, true
+}
+
+// refresh implements Backend: patch the distance table in place against
+// the spanner edge diff instead of resweeping every source.
+//
+//   - Insertions apply the classic one-edge relaxation
+//     d'(u,v) = min(d(u,v), d(u,a)+1+d(b,v), d(u,b)+1+d(a,v)) — exact
+//     for a single inserted edge, and exact for several when applied one
+//     edge at a time.
+//   - Deletions then rewrite only affected rows: a source x whose
+//     distances can change must have some removed edge {a,b} tight from
+//     it (|d(x,a)−d(x,b)| = 1) on the pre-removal graph, so every other
+//     row is already correct. When more than half the rows are affected a
+//     full sweep is cheaper, so refresh falls back to fillAll.
+//
+// The diff is taken between the old and new spanners (not the base-graph
+// update, whose spanner footprint can be several edges), so the rule
+// stays exact no matter what the maintenance layer did upstream.
+func (b *exactBackend) refresh(h *graph.Graph, _ GraphUpdate) {
+	added, removed := diffEdges(b.h.Edges(), h.Edges())
+	b.h = h
+	n := int32(h.N())
+	for _, e := range added {
+		b.patchInsert(e.U, e.V)
+	}
+	if len(removed) == 0 {
+		return
+	}
+	// After the insertion patches the table is exact for h plus the
+	// removed edges — exactly the graph the tightness criterion needs.
+	affected := make([]bool, n)
+	count := 0
+	for _, e := range removed {
+		for x := int32(0); x < n; x++ {
+			if affected[x] {
+				continue
+			}
+			da, db := b.tri.At(x, e.U), b.tri.At(x, e.V)
+			if da == graph.Unreachable || db == graph.Unreachable {
+				continue
+			}
+			if da-db == 1 || db-da == 1 {
+				affected[x] = true
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return
+	}
+	if int32(count) > n/2 {
+		b.fillAll()
+		return
+	}
+	srcs := make([]int32, 0, count)
+	for x := int32(0); x < n; x++ {
+		if affected[x] {
+			srcs = append(srcs, x)
+		}
+	}
+	// Rewrite each affected row. A pair with both endpoints affected is
+	// owned by its smaller-id row, so no two rows write the same slot and
+	// the sweep stays race-free at any worker count.
+	b.h.MultiSourceBFSSweep(srcs, b.workers, func(i int, src int32, dist []int32) {
+		for v := int32(0); v < n; v++ {
+			if v == src || (affected[v] && v < src) {
+				continue
+			}
+			b.tri.Set(src, v, dist[v])
+		}
+	})
+}
+
+// patchInsert relaxes every pair through the newly inserted spanner edge
+// {a, c}: any path improved by the edge crosses it once, splitting into
+// old-distance legs, so the pre-patch columns of a and c decide every
+// new value.
+func (b *exactBackend) patchInsert(a, c int32) {
+	n := int32(b.h.N())
+	da := make([]int32, n)
+	dc := make([]int32, n)
+	for x := int32(0); x < n; x++ {
+		da[x] = b.tri.At(x, a)
+		dc[x] = b.tri.At(x, c)
+	}
+	better := func(best, left, right int32) int32 {
+		if left == graph.Unreachable || right == graph.Unreachable {
+			return best
+		}
+		if d := left + 1 + right; best == graph.Unreachable || d < best {
+			return d
+		}
+		return best
+	}
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			old := b.tri.At(u, v)
+			d := better(old, da[u], dc[v])
+			d = better(d, dc[u], da[v])
+			if d != old {
+				b.tri.Set(u, v, d)
+			}
+		}
+	}
+}
+
+// diffEdges merges two canonical (U < V, lexicographically sorted) edge
+// lists into the sets present only in the new one (added) and only in
+// the old one (removed).
+func diffEdges(old, cur []graph.Edge) (added, removed []graph.Edge) {
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		a, b := old[i], cur[j]
+		switch {
+		case a == b:
+			i++
+			j++
+		case a.U < b.U || (a.U == b.U && a.V < b.V):
+			removed = append(removed, a)
+			i++
+		default:
+			added = append(added, b)
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, cur[j:]...)
+	return added, removed
 }
 
 // Stats implements Backend.

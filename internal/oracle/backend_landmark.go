@@ -22,6 +22,8 @@ type landmarkBackend struct {
 	cache   *shardedCache
 	maxDist int32
 	workers int
+	lmCount int    // resolved landmark count, kept for refresh
+	seed    uint64 // landmark-selection seed, kept for refresh
 
 	pathCacheHit atomic.Int64
 	pathLandmark atomic.Int64
@@ -62,6 +64,8 @@ func newLandmarkBackend(h *graph.Graph, opts Options, workers int, trace *obs.Sp
 		cache:    newShardedCache(cacheSize, shards),
 		maxDist:  maxDist,
 		workers:  workers,
+		lmCount:  k,
+		seed:     opts.Seed,
 		frontier: stats.NewHistogram(stats.ExpBuckets(1, 2, 22)),
 	}
 	b.searchPool.New = func() any { return newBiScratch(h.N()) }
@@ -212,6 +216,22 @@ func (b *landmarkBackend) AnswerBatch(qs []Query, out []Answer) (uint8, bool) {
 	})
 	b.pathBulk.Add(int64(valid))
 	return obs.PathBulk, true
+}
+
+// refresh implements Backend: rebuild the landmark table on the new
+// spanner with the original (count, seed) — selection is deterministic
+// in (seed, h), so a refreshed backend holds the exact table a fresh
+// build would — and flush the result cache, whose entries were exact
+// only on the old spanner. Counters, the frontier histogram, the search
+// pool (scratch is sized by n, which updates never change), and metric
+// registrations (their closures read b.lm/b.cache through the receiver)
+// all survive.
+func (b *landmarkBackend) refresh(h *graph.Graph, _ GraphUpdate) {
+	b.h = h
+	b.lm = buildLandmarkTable(h, b.lmCount, b.seed)
+	if b.cache != nil {
+		b.cache.flush()
+	}
 }
 
 // Stats implements Backend.

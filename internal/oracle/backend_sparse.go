@@ -35,8 +35,11 @@ import (
 // default) balances the terms at O(n^{3/2}). Query time is two binary
 // searches plus an O(k) hub scan.
 type sparseBackend struct {
-	h    *graph.Graph
-	hubs *landmarkTable
+	h       *graph.Graph
+	hubs    *landmarkTable
+	k       int    // resolved hub count, kept for refresh
+	seed    uint64 // hub-selection seed (already sparseHubSeed-keyed)
+	workers int
 
 	// Bunches in CSR layout, each bunch sorted by vertex id for binary
 	// search: bunchW[bunchOff[u]:bunchOff[u+1]] are the members of B(u),
@@ -76,7 +79,21 @@ func newSparseBackend(h *graph.Graph, opts Options, workers int, trace *obs.Span
 		k = n
 	}
 	sp := trace.Start("sparse-hub-table")
-	hubs := buildLandmarkTable(h, k, opts.Seed^sparseHubSeed)
+	b := &sparseBackend{h: h, k: k, seed: opts.Seed ^ sparseHubSeed, workers: workers}
+	b.rebuild(h)
+	sp.SetKV("hubs", len(b.hubs.roots))
+	sp.SetKV("bunch-entries", len(b.bunchW))
+	sp.End()
+	return b
+}
+
+// rebuild recomputes the hub table, the d(u, A) column minima, every
+// bunch, and the CSR pack over h with the stored (k, seed) — the shared
+// body of construction and refresh, so a refreshed backend is structure-
+// for-structure the backend a fresh build would produce.
+func (b *sparseBackend) rebuild(h *graph.Graph) {
+	n := h.N()
+	hubs := buildLandmarkTable(h, b.k, b.seed)
 	// d(u, A): the column minimum over the hub rows.
 	dA := make([]int32, n)
 	for u := range dA {
@@ -94,13 +111,14 @@ func newSparseBackend(h *graph.Graph, opts Options, workers int, trace *obs.Span
 	// range with private BFS scratch, writing only its own bunches[u]
 	// slots, so the build is deterministic at any worker count.
 	bunches := make([][]bunchEntry, n)
-	graph.ParallelRangeWorkers(n, workers, func(w, lo, hi int) {
+	graph.ParallelRangeWorkers(n, b.workers, func(w, lo, hi int) {
 		bs := newBunchScratch(n)
 		for u := lo; u < hi; u++ {
 			bunches[u] = bs.grow(h, int32(u), dA[u])
 		}
 	})
-	b := &sparseBackend{h: h, hubs: hubs, bunchOff: make([]int32, n+1)}
+	b.h, b.hubs = h, hubs
+	b.bunchOff = make([]int32, n+1)
 	total := 0
 	for u := 0; u < n; u++ {
 		total += len(bunches[u])
@@ -115,10 +133,15 @@ func newSparseBackend(h *graph.Graph, opts Options, workers int, trace *obs.Span
 			b.bunchD[off+int32(i)] = e.d
 		}
 	}
-	sp.SetKV("hubs", len(hubs.roots))
-	sp.SetKV("bunch-entries", total)
-	sp.End()
-	return b
+}
+
+// refresh implements Backend: bunch membership is a global property of
+// the spanner (one edge can move d(u, A) and re-cut every bunch radius
+// along a path), so the backend recomputes hubs and bunches in place via
+// rebuild. Path counters and metric registrations survive — the gauge
+// closures read b.hubs/b.bunchW through the receiver.
+func (b *sparseBackend) refresh(h *graph.Graph, _ GraphUpdate) {
+	b.rebuild(h)
 }
 
 // bunchEntry is one bunch member with its exact distance from the owner.

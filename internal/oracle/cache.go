@@ -187,3 +187,20 @@ func (s *cacheShard) pushFront(slot int32) {
 func (c *shardedCache) counters() (int64, int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// flush discards every cached entry while keeping the slot arrays and
+// the hit/miss counters (they count lookups, not contents). This is the
+// graph-update invalidation path: cached distances are exact only for
+// the spanner they were computed on, so a mutation empties the cache
+// rather than tearing it down.
+func (c *shardedCache) flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.m {
+			delete(s.m, k)
+		}
+		s.head, s.tail, s.used = -1, -1, 0
+		s.mu.Unlock()
+	}
+}

@@ -403,6 +403,19 @@ func (o *Oracle) LandmarkBytes() []byte {
 	return nil
 }
 
+// applyUpdate swings the oracle onto the refreshed base graph and
+// spanner and has the backend repair its precomputed state in place
+// (Backend.refresh). The vertex set never changes, so every n-sized
+// structure — the congestion array, the route and search scratch pools,
+// the metric closures — carries over untouched. NOT safe against
+// concurrent queries: the caller must hold an exclusive lock over the
+// oracle (oracle.Dynamic holds its update lock here).
+func (o *Oracle) applyUpdate(g, h *graph.Graph, up GraphUpdate) {
+	o.g = g
+	o.h = h
+	o.backend.refresh(h, up)
+}
+
 // Dist answers a single distance query. Safe for concurrent use. The
 // answer's exactness and bound semantics are the serving backend's (see
 // Answer and the Backend* constants).

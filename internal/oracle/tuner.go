@@ -18,8 +18,14 @@ type TunerChoice struct {
 	Name string
 	// BuildNs is the wall time of the backend's precomputation.
 	BuildNs int64
-	// QueryNs is the mean serial latency over the probe queries.
+	// QueryNs is the mean serial latency over the answered probe
+	// queries (zero when Answered is zero).
 	QueryNs float64
+	// Answered counts the probes actually resolved through Backend.Dist.
+	// Probe pairs are drawn with u ≠ v whenever the graph has two
+	// vertices, so this normally equals the probe count; on a 1-vertex
+	// graph it is zero and QueryNs carries no timing signal.
+	Answered int
 	// MemoryBytes is the realized size of the built backend (the
 	// pre-build estimate when Skipped is non-empty).
 	MemoryBytes int64
@@ -51,9 +57,9 @@ func (r *TunerReport) String() string {
 		if c.Name == r.Chosen {
 			marker = "*"
 		}
-		fmt.Fprintf(&b, " %s%-14s build=%-10v query=%-8s mem=%-8s stretch≤%d\n",
+		fmt.Fprintf(&b, " %s%-14s build=%-10v query=%-8s mem=%-8s stretch≤%d probes=%d\n",
 			marker, c.Name, time.Duration(c.BuildNs).Round(time.Microsecond),
-			fmt.Sprintf("%.0fns", c.QueryNs), fmtBytes(c.MemoryBytes), c.StretchBound)
+			fmt.Sprintf("%.0fns", c.QueryNs), fmtBytes(c.MemoryBytes), c.StretchBound, c.Answered)
 	}
 	return b.String()
 }
@@ -79,16 +85,30 @@ const defaultMemoryBudget = int64(128) << 20
 // TunerProbes zero.
 const defaultTunerProbes = 2048
 
+// tunerQueryTolerance is the fractional band around the fastest
+// candidate's mean probe latency within which candidates count as tied
+// (see autoTune's decision rule). 5% sits above run-to-run timing noise
+// on the probe mix but below any real architectural speed gap.
+const tunerQueryTolerance = 0.05
+
 // autoTune builds every candidate backend whose memory estimate fits
 // the budget, times a deterministic probe mix against each, and returns
 // the winner plus the full report. The decision rule: among candidates
-// within budget, minimize mean probe latency; on a tie prefer the
-// smaller declared stretch bound, then BackendNames order. The sampling
-// policy: TunerProbes uniform random ordered pairs drawn from a
-// seed-keyed stream (so two boots of the same graph and seed probe the
-// same mix), answered serially through Backend.Dist — the figure is
-// per-query resolution cost, deliberately excluding batch-arm and cache
-// effects that depend on traffic shape.
+// within budget, find the minimum mean probe latency, treat every
+// candidate within tunerQueryTolerance (5%) of it as tied — float means
+// are virtually never exactly equal, so an equality tie-break would let
+// sub-nanosecond timing noise decide — and among the tied prefer the
+// smallest positive declared stretch bound (an undeclared bound loses to
+// any declared one), then BackendNames order. The sampling policy:
+// TunerProbes uniform random ordered pairs with u ≠ v (self-pairs are
+// redrawn — the Oracle short-circuits them before the backend, so timing
+// them would bias the mean low; on a 1-vertex graph no valid pair
+// exists, every candidate answers zero probes, and the stretch
+// preference alone decides) drawn from a seed-keyed stream (so two boots
+// of the same graph and seed probe the same mix), answered serially
+// through Backend.Dist — the figure is per-query resolution cost,
+// deliberately excluding batch-arm and cache effects that depend on
+// traffic shape.
 //
 // The winner is served as built: its probe answers stay in its counters
 // (and, for the landmark backend, its result cache), which reads as a
@@ -106,14 +126,18 @@ func autoTune(h *graph.Graph, opts Options, workers int, trace *obs.Span) (Backe
 	qs := make([]Query, probes)
 	r := rng.New(opts.Seed ^ 0x70be_d15c_a11e_d0)
 	for i := range qs {
-		qs[i] = Query{U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		for n > 1 && u == v {
+			v = int32(r.Intn(n))
+		}
+		qs[i] = Query{U: u, V: v}
 	}
 
 	sp := trace.Start("backend-tuner")
 	defer sp.End()
 	rep := &TunerReport{}
-	var best Backend
-	var bestChoice TunerChoice
+	var built []Backend
+	var builtChoices []TunerChoice
 	for _, name := range BackendNames() {
 		est := tunerEstimate(name, n, opts)
 		if budget > 0 && est > budget && name != BackendLandmarkBiBFS {
@@ -135,32 +159,56 @@ func autoTune(h *graph.Graph, opts Options, workers int, trace *obs.Span) (Backe
 			})
 			continue
 		}
+		answered := 0
 		q0 := time.Now()
 		for _, q := range qs {
 			if q.U == q.V {
 				continue
 			}
 			b.Dist(q.U, q.V)
+			answered++
 		}
+		elapsed := time.Since(q0).Nanoseconds()
 		c := TunerChoice{
 			Name:         name,
 			BuildNs:      buildNs,
-			QueryNs:      float64(time.Since(q0).Nanoseconds()) / float64(len(qs)),
+			Answered:     answered,
 			MemoryBytes:  b.MemoryBytes(),
 			StretchBound: b.StretchBound(),
 		}
-		rep.Candidates = append(rep.Candidates, c)
-		if best == nil || c.QueryNs < bestChoice.QueryNs ||
-			(c.QueryNs == bestChoice.QueryNs && c.StretchBound > 0 &&
-				(bestChoice.StretchBound == 0 || c.StretchBound < bestChoice.StretchBound)) {
-			best, bestChoice = b, c
+		if answered > 0 {
+			c.QueryNs = float64(elapsed) / float64(answered)
 		}
+		rep.Candidates = append(rep.Candidates, c)
+		built = append(built, b)
+		builtChoices = append(builtChoices, c)
 	}
-	if best == nil {
+	if len(built) == 0 {
 		// Unreachable in practice — the landmark backend is never skipped
 		// — but keep the failure explicit rather than a nil deref.
 		return nil, nil, fmt.Errorf("oracle: auto-tuner found no backend within the %s budget", fmtBytes(budget))
 	}
+	minNs := builtChoices[0].QueryNs
+	for _, c := range builtChoices[1:] {
+		if c.QueryNs < minNs {
+			minNs = c.QueryNs
+		}
+	}
+	band := minNs * (1 + tunerQueryTolerance)
+	bestIdx, bestStretch := -1, 0
+	for i, c := range builtChoices {
+		if c.QueryNs > band {
+			continue
+		}
+		stretch := c.StretchBound
+		if stretch <= 0 {
+			stretch = int(^uint(0) >> 1) // undeclared: worse than any bound
+		}
+		if bestIdx < 0 || stretch < bestStretch {
+			bestIdx, bestStretch = i, stretch
+		}
+	}
+	best := built[bestIdx]
 	rep.Chosen = best.Name()
 	sp.SetKV("chosen", rep.Chosen)
 	return best, rep, nil

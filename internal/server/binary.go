@@ -19,7 +19,7 @@ import (
 // connection must not be able to occupy the whole process.
 const maxBinaryInflight = 8
 
-// binSession is one binary (wire v2/v3) connection's state. Requests run
+// binSession is one binary (wire v2–v4) connection's state. Requests run
 // concurrently up to maxBinaryInflight and may complete out of order;
 // responses are serialized by wmu. Frames are encoded at the negotiated
 // version: a v3 session carries trace context both ways, a v2 session
@@ -179,6 +179,34 @@ func (bs *binSession) handle(f wire.Frame, tr *obs.ReqTrace) {
 		srv.counters.Add("requests", int64(len(qs)))
 		bs.respond(f, tr, wire.Frame{Type: wire.MsgBatchR, ID: f.ID,
 			Payload: wire.AppendAnswers(make([]byte, 0, wire.BatchFrameBytes(len(as))), as)})
+	case wire.MsgUpdate:
+		if srv.up == nil {
+			bs.respondErr(f.ID, "updates not supported (static graph; start the server with a dynamic engine)")
+			return
+		}
+		u, v, add, err := wire.DecodeUpdateReq(f.Payload)
+		if err != nil {
+			bs.respondErr(f.ID, err.Error())
+			return
+		}
+		res, err := srv.up.Update(u, v, add)
+		if err != nil {
+			bs.respondErr(f.ID, err.Error())
+			return
+		}
+		bs.writeFrame(wire.Frame{Type: wire.MsgUpdateR, ID: f.ID, Payload: wire.AppendUpdateResult(nil, res)})
+	case wire.MsgSnap:
+		if srv.up == nil {
+			bs.respondErr(f.ID, "updates not supported (static graph; start the server with a dynamic engine)")
+			return
+		}
+		verify, err := wire.DecodeSnapReq(f.Payload)
+		if err != nil {
+			bs.respondErr(f.ID, err.Error())
+			return
+		}
+		bs.writeFrame(wire.Frame{Type: wire.MsgSnapR, ID: f.ID,
+			Payload: wire.AppendSnapshotInfo(nil, srv.up.Snapshot(verify))})
 	case wire.MsgStats:
 		bs.writeFrame(wire.Frame{Type: wire.MsgStatsR, ID: f.ID, Payload: []byte(srv.statsLine())})
 	case wire.MsgInfo:

@@ -56,9 +56,59 @@ func (sess *session) handle(line string) error {
 		return sess.handleTrace(fields)
 	case "batch":
 		return sess.handleBatch(fields)
+	case "update":
+		return sess.handleUpdate(fields)
+	case "snapshot":
+		return sess.handleSnapshot(fields)
 	default:
-		return sess.respondErrf("unknown command %q (want dist|route|batch|trace|stats|quit)", fields[0])
+		return sess.respondErrf("unknown command %q (want dist|route|batch|trace|stats|update|snapshot|quit)", fields[0])
 	}
+}
+
+// handleUpdate answers "update <u> <v> <add|del>": one edge mutation of
+// a live graph, applied end to end (graph, spanner, backend state)
+// before the response goes out — a client that sees the response line
+// queries the updated state.
+func (sess *session) handleUpdate(fields []string) error {
+	srv := sess.srv
+	if srv.up == nil {
+		return sess.respondErrf("updates not supported (static graph; start the server with a dynamic engine)")
+	}
+	if len(fields) != 4 || (fields[3] != "add" && fields[3] != "del") {
+		return sess.respondErrf(`want "update <u> <v> <add|del>"`)
+	}
+	u, v, err := parsePair(fields[:3])
+	if err != nil {
+		return sess.respondErrf("%s", err)
+	}
+	res, err := srv.up.Update(u, v, fields[3] == "add")
+	if err != nil {
+		return sess.respondErrf("%s", err)
+	}
+	return sess.respond(fmt.Sprintf("update %d %d %s = applied=%t rebuilt=%t m=%d hm=%d seq=%d",
+		u, v, fields[3], res.Applied, res.Rebuilt, res.M, res.HM, res.Seq))
+}
+
+// handleSnapshot answers "snapshot [verify]" with the dynamic engine's
+// state digest; verify asks the server to rebuild the spanner from
+// scratch and report whether the maintained one matches.
+func (sess *session) handleSnapshot(fields []string) error {
+	srv := sess.srv
+	if srv.up == nil {
+		return sess.respondErrf("updates not supported (static graph; start the server with a dynamic engine)")
+	}
+	verify := false
+	switch {
+	case len(fields) == 1:
+	case len(fields) == 2 && fields[1] == "verify":
+		verify = true
+	default:
+		return sess.respondErrf(`want "snapshot [verify]"`)
+	}
+	info := srv.up.Snapshot(verify)
+	return sess.respond(fmt.Sprintf(
+		"snapshot n=%d m=%d hm=%d seq=%d ghash=%016x hhash=%016x verified=%t consistent=%t",
+		info.N, info.M, info.HM, info.Seq, info.GraphHash, info.SpannerHash, info.Verified, info.Consistent))
 }
 
 // handleTrace answers "trace <u> <v>": a dist query with tracing forced

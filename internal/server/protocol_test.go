@@ -34,7 +34,7 @@ func TestHandleTable(t *testing.T) {
 		{"route self", "route 3 3", `^route 3 3 = 0 path=3$`},
 		{"route normal", "route 0 100", `^route 0 100 = \d+ path=\d+(-\d+)*$`},
 		{"route bad", "route x 1", `^err bad vertex in \[x 1\]$`},
-		{"unknown command", "frobnicate 1 2", `^err unknown command "frobnicate" \(want dist\|route\|batch\|trace\|stats\|quit\)$`},
+		{"unknown command", "frobnicate 1 2", `^err unknown command "frobnicate" \(want dist\|route\|batch\|trace\|stats\|update\|snapshot\|quit\)$`},
 		{"batch missing n", "batch", `^err want "batch <n>"$`},
 		{"batch zero", "batch 0", `^err batch size must be in \[1, \d+\]$`},
 		{"batch negative", "batch -3", `^err batch size must be in \[1, \d+\]$`},

@@ -25,6 +25,18 @@
 //	                   hops=[...]; the trace also lands in the flight
 //	                   recorder when one is configured
 //	stats          ->  stats <oracle report> | server <counter report>
+//	update <u> <v> <add|del>
+//	               ->  applies one edge mutation to a live (dynamic)
+//	                   graph: update <u> <v> <op> = applied=<t|f>
+//	                   rebuilt=<t|f> m=<m> hm=<hm> seq=<seq>; backends
+//	                   without a dynamic engine answer
+//	                   "err updates not supported"
+//	snapshot [verify]
+//	               ->  snapshot n=<n> m=<m> hm=<hm> seq=<seq>
+//	                   ghash=<hex> hhash=<hex> verified=<t|f>
+//	                   consistent=<t|f>; with verify the server rebuilds
+//	                   the spanner from scratch and compares it to the
+//	                   incrementally maintained one
 //	quit           ->  closes the connection
 //
 // Malformed requests answer "err <message>" and keep the connection open;
@@ -139,6 +151,7 @@ type Server struct {
 	b        Backend
 	tb       TracedBackend // b, when it supports traced calls; else nil
 	ss       SnapshotStatser
+	up       Updatable // b, when it serves graph mutations; else nil
 	cfg      Config
 	log      *slog.Logger
 	counters *stats.Counters
@@ -212,6 +225,7 @@ func NewBackend(b Backend, cfg Config) *Server {
 	// assertions once so the hot path does a nil check, not a type switch.
 	s.tb, _ = b.(TracedBackend)
 	s.ss, _ = b.(SnapshotStatser)
+	s.up, _ = b.(Updatable)
 	if cfg.Registry != nil {
 		cfg.Registry.AttachCounters("server", s.counters)
 		cfg.Registry.GaugeFunc("server_active_conns",

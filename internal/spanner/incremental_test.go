@@ -1,0 +1,158 @@
+package spanner
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// edgesEqual compares two canonical edge lists.
+func edgesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The keystone property: after any update sequence, the maintained
+// spanner is identical — edge for edge — to the one built from scratch
+// on the current edge set, and it is a valid 3-spanner of that edge set.
+func TestIncrementalEqualsRebuilt(t *testing.T) {
+	for name, base := range map[string]*graph.Graph{
+		"er-sparse": gen.ErdosRenyi(40, 0.06, rng.New(7)),
+		"er-dense":  gen.ErdosRenyi(30, 0.25, rng.New(8)),
+		"cycle":     gen.Cycle(32),
+		"clique":    gen.Clique(14),
+	} {
+		const seed = 0xd1_5c0_c0de
+		inc := NewIncremental(base, IncrementalOptions{Seed: seed, RebuildThreshold: -1})
+		r := rng.New(99)
+		n := int32(base.N())
+		for step := 0; step < 300; step++ {
+			u, v := int32(r.Intn(int(n))), int32(r.Intn(int(n)))
+			if u == v {
+				continue
+			}
+			var err error
+			if r.Bernoulli(0.5) {
+				_, _, err = inc.Insert(u, v)
+			} else {
+				_, _, err = inc.Delete(u, v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if step%29 != 0 {
+				continue
+			}
+			snap := inc.Graph().Snapshot()
+			fresh := NewIncremental(snap, IncrementalOptions{Seed: seed, RebuildThreshold: -1})
+			if !edgesEqual(inc.Edges(), fresh.Edges()) {
+				t.Fatalf("%s step %d: incremental spanner (%d edges) != rebuilt (%d edges)",
+					name, step, inc.HM(), fresh.HM())
+			}
+			s := inc.Spanner()
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s step %d: %v", name, step, err)
+			}
+			if rep := VerifyEdgeStretch(snap, s.H, IncrementalAlpha); rep.Violations != 0 {
+				t.Fatalf("%s step %d: %d edges over stretch %d (max %.1f)",
+					name, step, rep.Violations, IncrementalAlpha, rep.MaxStretch)
+			}
+		}
+	}
+}
+
+// The rebuild threshold is a performance fallback, never a semantic one:
+// a low threshold must trigger full recomputes and still produce the
+// same spanner as threshold-free local maintenance.
+func TestIncrementalRebuildThresholdSemanticsFree(t *testing.T) {
+	base := gen.ErdosRenyi(36, 0.12, rng.New(11))
+	const seed = 31337
+	eager := NewIncremental(base, IncrementalOptions{Seed: seed, RebuildThreshold: 0.02})
+	lazy := NewIncremental(base, IncrementalOptions{Seed: seed, RebuildThreshold: -1})
+	r := rng.New(5)
+	sawRebuild := false
+	for step := 0; step < 200; step++ {
+		u, v := int32(r.Intn(36)), int32(r.Intn(36))
+		if u == v {
+			continue
+		}
+		add := r.Bernoulli(0.5)
+		var rebuilt bool
+		var err1, err2 error
+		if add {
+			_, rebuilt, err1 = eager.Insert(u, v)
+			_, _, err2 = lazy.Insert(u, v)
+		} else {
+			_, rebuilt, err1 = eager.Delete(u, v)
+			_, _, err2 = lazy.Delete(u, v)
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		sawRebuild = sawRebuild || rebuilt
+		if !edgesEqual(eager.Edges(), lazy.Edges()) {
+			t.Fatalf("step %d: rebuild path diverged from local maintenance", step)
+		}
+	}
+	if !sawRebuild || eager.Rebuilds() == 0 {
+		t.Fatal("a 2% dirty threshold never triggered a full recompute over 200 updates")
+	}
+	if lazy.Rebuilds() != 0 {
+		t.Fatalf("threshold -1 recomputed %d times", lazy.Rebuilds())
+	}
+}
+
+// No-op updates (inserting a present edge, deleting an absent one) must
+// not change the spanner or advance the sequence counter.
+func TestIncrementalNoOpUpdates(t *testing.T) {
+	base := gen.Cycle(20)
+	inc := NewIncremental(base, IncrementalOptions{Seed: 3})
+	before := inc.Edges()
+	seq := inc.Seq()
+	if applied, _, err := inc.Insert(0, 1); err != nil || applied {
+		t.Fatalf("inserting a present edge: applied=%v err=%v", applied, err)
+	}
+	if applied, _, err := inc.Delete(0, 5); err != nil || applied {
+		t.Fatalf("deleting an absent edge: applied=%v err=%v", applied, err)
+	}
+	if _, _, err := inc.Insert(0, 20); err == nil {
+		t.Fatal("out-of-range insert accepted")
+	}
+	if inc.Seq() != seq || !edgesEqual(inc.Edges(), before) {
+		t.Fatal("no-op updates mutated the maintained state")
+	}
+}
+
+// Disconnecting and reconnecting a component round-trips to the exact
+// original spanner — deletions must fully unwind refcounts.
+func TestIncrementalDeleteReinsertRoundTrip(t *testing.T) {
+	base := gen.ErdosRenyi(30, 0.15, rng.New(21))
+	inc := NewIncremental(base, IncrementalOptions{Seed: 77, RebuildThreshold: -1})
+	want := inc.Edges()
+	edges := append([]graph.Edge(nil), base.Edges()...)
+	for _, e := range edges {
+		if _, _, err := inc.Delete(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.HM() != 0 || inc.Graph().M() != 0 {
+		t.Fatalf("after deleting every edge: hm=%d m=%d", inc.HM(), inc.Graph().M())
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		if _, _, err := inc.Insert(edges[i].U, edges[i].V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !edgesEqual(inc.Edges(), want) {
+		t.Fatal("delete-all/re-insert-all did not restore the original spanner")
+	}
+}

@@ -285,6 +285,50 @@ func (c *Client) BatchTraced(qs []oracle.Query, tc TraceContext) ([]oracle.Answe
 	return as, f.Trace, nil
 }
 
+// requireV4 gates the dynamic-graph calls on the negotiated version: a
+// pre-v4 peer would answer the unknown frame type with MsgErr at best,
+// so the client fails fast without spending a round trip.
+func (c *Client) requireV4(call string) error {
+	if c.version >= 4 {
+		return nil
+	}
+	return fmt.Errorf("wire: %s requires protocol version >= 4 (negotiated %d)", call, c.version)
+}
+
+// Update applies one edge mutation (insert when add, delete otherwise)
+// to the server's live graph. Requires a v4 connection; servers without
+// a dynamic engine answer a RemoteError.
+func (c *Client) Update(u, v int32, add bool) (oracle.UpdateResult, error) {
+	if err := c.requireV4("update"); err != nil {
+		return oracle.UpdateResult{}, err
+	}
+	f, err := c.roundTrip(MsgUpdate, AppendUpdateReq(nil, u, v, add), TraceContext{})
+	if err != nil {
+		return oracle.UpdateResult{}, err
+	}
+	if err := expect(f, MsgUpdateR); err != nil {
+		return oracle.UpdateResult{}, err
+	}
+	return DecodeUpdateResult(f.Payload)
+}
+
+// Snap fetches the server's dynamic-graph state snapshot; with verify
+// set the server also rebuilds its spanner from scratch and reports
+// whether the maintained one matches. Requires a v4 connection.
+func (c *Client) Snap(verify bool) (oracle.SnapshotInfo, error) {
+	if err := c.requireV4("snapshot"); err != nil {
+		return oracle.SnapshotInfo{}, err
+	}
+	f, err := c.roundTrip(MsgSnap, AppendSnapReq(nil, verify), TraceContext{})
+	if err != nil {
+		return oracle.SnapshotInfo{}, err
+	}
+	if err := expect(f, MsgSnapR); err != nil {
+		return oracle.SnapshotInfo{}, err
+	}
+	return DecodeSnapshotInfo(f.Payload)
+}
+
 // Stats fetches the server's stats report line.
 func (c *Client) Stats() (string, error) {
 	f, err := c.roundTrip(MsgStats, nil, TraceContext{})

@@ -26,8 +26,31 @@ func echoStub(t *testing.T, sMin, sMax uint16) string {
 	})
 }
 
-func TestCrossVersionV3ClientV3Server(t *testing.T) {
+func TestCrossVersionV4ClientV4Server(t *testing.T) {
 	addr := echoStub(t, VersionMin, VersionMax)
+	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != 4 {
+		t.Fatalf("negotiated %d, want 4", c.Version())
+	}
+	a, tc, err := c.DistTraced(2, 3, SampledContext(0xdeadbeef))
+	if err != nil || a.Dist != 5 {
+		t.Fatalf("DistTraced = (%+v, %v), want dist 5", a, err)
+	}
+	if tc.ID != 0xdeadbeef || !tc.Sampled() || tc.PathMask() != 0x4 {
+		t.Fatalf("echoed trace = %+v, want id 0xdeadbeef sampled path 0x4", tc)
+	}
+}
+
+func TestCrossVersionV4ClientV3Server(t *testing.T) {
+	// A modern client against a fleet frozen at v3: negotiation lands on
+	// 3, tracing still works, and the dynamic-graph calls fail fast
+	// client-side — no frame is sent, so the old server never sees an
+	// unknown message type.
+	addr := echoStub(t, 2, 3)
 	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second})
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
@@ -40,8 +63,37 @@ func TestCrossVersionV3ClientV3Server(t *testing.T) {
 	if err != nil || a.Dist != 5 {
 		t.Fatalf("DistTraced = (%+v, %v), want dist 5", a, err)
 	}
-	if tc.ID != 0xdeadbeef || !tc.Sampled() || tc.PathMask() != 0x4 {
-		t.Fatalf("echoed trace = %+v, want id 0xdeadbeef sampled path 0x4", tc)
+	if !tc.Sampled() {
+		t.Fatalf("v3 connection dropped the trace context: %+v", tc)
+	}
+	if _, err := c.Update(0, 1, true); err == nil {
+		t.Fatal("Update succeeded on a v3 connection")
+	}
+	if _, err := c.Snap(true); err == nil {
+		t.Fatal("Snap succeeded on a v3 connection")
+	}
+	if !c.Healthy() {
+		t.Fatal("client-side version gate killed the connection")
+	}
+}
+
+func TestCrossVersionV3ClientV4Server(t *testing.T) {
+	// An old client pinned at v3 against a modern fleet.
+	addr := echoStub(t, VersionMin, VersionMax)
+	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second, MaxVersion: 3})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != 3 {
+		t.Fatalf("negotiated %d, want 3", c.Version())
+	}
+	a, tc, err := c.DistTraced(2, 3, SampledContext(0xdeadbeef))
+	if err != nil || a.Dist != 5 {
+		t.Fatalf("DistTraced = (%+v, %v), want dist 5", a, err)
+	}
+	if tc.ID != 0xdeadbeef || !tc.Sampled() {
+		t.Fatalf("echoed trace = %+v, want id 0xdeadbeef sampled", tc)
 	}
 }
 
@@ -80,6 +132,45 @@ func TestCrossVersionV2ClientV3Server(t *testing.T) {
 	a, err := c.Dist(7, 8)
 	if err != nil || a.Dist != 15 {
 		t.Fatalf("Dist = (%+v, %v), want dist 15", a, err)
+	}
+}
+
+func TestUpdateSnapRoundTrip(t *testing.T) {
+	wantRes := oracle.UpdateResult{Applied: true, Rebuilt: true, M: 123, HM: 77, Seq: 42}
+	wantInfo := oracle.SnapshotInfo{
+		N: 64, M: 123, HM: 77, Seq: 42,
+		GraphHash: 0x0123456789abcdef, SpannerHash: 0xfedcba9876543210,
+		Verified: true, Consistent: true,
+	}
+	addr := stubServer(t, func(f Frame) *Frame {
+		switch f.Type {
+		case MsgUpdate:
+			u, v, add, err := DecodeUpdateReq(f.Payload)
+			if err != nil || u != 3 || v != 9 || add {
+				return &Frame{Type: MsgErr, ID: f.ID, Payload: []byte("bad update req")}
+			}
+			return &Frame{Type: MsgUpdateR, ID: f.ID, Payload: AppendUpdateResult(nil, wantRes)}
+		case MsgSnap:
+			verify, err := DecodeSnapReq(f.Payload)
+			if err != nil || !verify {
+				return &Frame{Type: MsgErr, ID: f.ID, Payload: []byte("bad snap req")}
+			}
+			return &Frame{Type: MsgSnapR, ID: f.ID, Payload: AppendSnapshotInfo(nil, wantInfo)}
+		}
+		return &Frame{Type: MsgErr, ID: f.ID, Payload: []byte("unexpected type")}
+	})
+	c, err := Dial(addr, ClientOptions{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	res, err := c.Update(3, 9, false)
+	if err != nil || res != wantRes {
+		t.Fatalf("Update = (%+v, %v), want %+v", res, err, wantRes)
+	}
+	info, err := c.Snap(true)
+	if err != nil || info != wantInfo {
+		t.Fatalf("Snap = (%+v, %v), want %+v", info, err, wantInfo)
 	}
 }
 

@@ -260,6 +260,134 @@ func DecodeAnswers(b []byte) ([]oracle.Answer, error) {
 	return as, nil
 }
 
+// Update request op codes (one byte on the wire — boolean today, a byte
+// so a future op, e.g. a weighted re-label, needs no new message type).
+const (
+	updateOpAdd = 0
+	updateOpDel = 1
+)
+
+// AppendUpdateReq appends an encoded MsgUpdate payload: one edge
+// mutation of the live base graph.
+func AppendUpdateReq(dst []byte, u, v int32, add bool) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(u))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(v))
+	op := byte(updateOpDel)
+	if add {
+		op = updateOpAdd
+	}
+	return append(dst, op)
+}
+
+// DecodeUpdateReq decodes a MsgUpdate payload.
+func DecodeUpdateReq(b []byte) (u, v int32, add bool, err error) {
+	if len(b) != updateReqLen {
+		return 0, 0, false, fmt.Errorf("wire: update payload is %d bytes, want %d", len(b), updateReqLen)
+	}
+	switch b[8] {
+	case updateOpAdd:
+		add = true
+	case updateOpDel:
+		add = false
+	default:
+		return 0, 0, false, fmt.Errorf("wire: update op 0x%02x, want add (0) or del (1)", b[8])
+	}
+	return int32(binary.BigEndian.Uint32(b[0:4])), int32(binary.BigEndian.Uint32(b[4:8])), add, nil
+}
+
+const (
+	updateFlagApplied = 1 << 0
+	updateFlagRebuilt = 1 << 1
+)
+
+// AppendUpdateResult appends an encoded MsgUpdateR payload.
+func AppendUpdateResult(dst []byte, res oracle.UpdateResult) []byte {
+	var flags byte
+	if res.Applied {
+		flags |= updateFlagApplied
+	}
+	if res.Rebuilt {
+		flags |= updateFlagRebuilt
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(res.M))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(res.HM))
+	return binary.BigEndian.AppendUint64(dst, res.Seq)
+}
+
+// DecodeUpdateResult decodes a MsgUpdateR payload.
+func DecodeUpdateResult(b []byte) (oracle.UpdateResult, error) {
+	if len(b) != updateRespLen {
+		return oracle.UpdateResult{}, fmt.Errorf("wire: update result payload is %d bytes, want %d", len(b), updateRespLen)
+	}
+	return oracle.UpdateResult{
+		Applied: b[0]&updateFlagApplied != 0,
+		Rebuilt: b[0]&updateFlagRebuilt != 0,
+		M:       int(binary.BigEndian.Uint32(b[1:5])),
+		HM:      int(binary.BigEndian.Uint32(b[5:9])),
+		Seq:     binary.BigEndian.Uint64(b[9:17]),
+	}, nil
+}
+
+const snapFlagVerify = 1 << 0
+
+// AppendSnapReq appends an encoded MsgSnap payload.
+func AppendSnapReq(dst []byte, verify bool) []byte {
+	var flags byte
+	if verify {
+		flags |= snapFlagVerify
+	}
+	return append(dst, flags)
+}
+
+// DecodeSnapReq decodes a MsgSnap payload.
+func DecodeSnapReq(b []byte) (verify bool, err error) {
+	if len(b) != snapReqLen {
+		return false, fmt.Errorf("wire: snapshot payload is %d bytes, want %d", len(b), snapReqLen)
+	}
+	return b[0]&snapFlagVerify != 0, nil
+}
+
+const (
+	snapFlagVerified   = 1 << 0
+	snapFlagConsistent = 1 << 1
+)
+
+// AppendSnapshotInfo appends an encoded MsgSnapR payload.
+func AppendSnapshotInfo(dst []byte, info oracle.SnapshotInfo) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(info.N))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(info.M))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(info.HM))
+	dst = binary.BigEndian.AppendUint64(dst, info.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, info.GraphHash)
+	dst = binary.BigEndian.AppendUint64(dst, info.SpannerHash)
+	var flags byte
+	if info.Verified {
+		flags |= snapFlagVerified
+	}
+	if info.Consistent {
+		flags |= snapFlagConsistent
+	}
+	return append(dst, flags)
+}
+
+// DecodeSnapshotInfo decodes a MsgSnapR payload.
+func DecodeSnapshotInfo(b []byte) (oracle.SnapshotInfo, error) {
+	if len(b) != snapRespLen {
+		return oracle.SnapshotInfo{}, fmt.Errorf("wire: snapshot info payload is %d bytes, want %d", len(b), snapRespLen)
+	}
+	return oracle.SnapshotInfo{
+		N:           int(binary.BigEndian.Uint32(b[0:4])),
+		M:           int(binary.BigEndian.Uint32(b[4:8])),
+		HM:          int(binary.BigEndian.Uint32(b[8:12])),
+		Seq:         binary.BigEndian.Uint64(b[12:20]),
+		GraphHash:   binary.BigEndian.Uint64(b[20:28]),
+		SpannerHash: binary.BigEndian.Uint64(b[28:36]),
+		Verified:    b[36]&snapFlagVerified != 0,
+		Consistent:  b[36]&snapFlagConsistent != 0,
+	}, nil
+}
+
 // Info is the MsgInfoR payload: the serving shape a client needs before
 // generating traffic.
 type Info struct {

@@ -1,10 +1,12 @@
 // Package wire is the binary serving wire format: a versioned,
 // length-prefixed frame protocol carrying dist/batch/stats/info requests
 // with pipelining. Version 1 is the human-readable line protocol of
-// internal/server; the binary format starts at 2, and version 3 adds an
-// optional trace context to every frame. The fleet tier is the consumer —
-// cmd/dcrouter fans batches out to workers over pooled connections and
-// cmd/dcload drives either server flavor at load.
+// internal/server; the binary format starts at 2, version 3 adds an
+// optional trace context to every frame, and version 4 adds the
+// dynamic-graph messages (edge updates and state snapshots) with no
+// frame-format change. The fleet tier is the consumer — cmd/dcrouter
+// fans batches out to workers over pooled connections and cmd/dcload
+// drives either server flavor at load.
 //
 // # Connection establishment
 //
@@ -59,7 +61,18 @@
 //	MsgBatch  -> MsgBatchR  count-prefixed query slice / Answer slice
 //	MsgStats  -> MsgStatsR  server stats report (UTF-8 text)
 //	MsgInfo   -> MsgInfoR   vertex count + batch limit of the server
+//	MsgUpdate -> MsgUpdateR one edge insert/delete / UpdateResult (v4+)
+//	MsgSnap   -> MsgSnapR   state snapshot, optionally verified (v4+)
 //	          <- MsgErr     UTF-8 error text for the echoed id
+//
+// The v4 messages ride the v3 frame format unchanged — negotiation is
+// the only gate. A v4 client on a connection that negotiated down to 3
+// or 2 fails Update/Snap client-side with a version error instead of
+// sending frames an old server would answer with MsgErr; everything
+// else (dist, batch, stats, info, tracing) is unaffected by the
+// downgrade. Servers without a dynamic engine behind them answer
+// MsgUpdate/MsgSnap with MsgErr even at v4 — speaking the version
+// means understanding the frames, not necessarily serving mutations.
 //
 // Batch answers mirror oracle.AnswerBatch exactly — invalid queries
 // answer the Unreachable sentinel at their index instead of failing the
@@ -79,23 +92,28 @@ const MagicByte = 0xD5
 
 // The protocol versions this package speaks. Version 1 is the text line
 // protocol (never spoken in frames); the binary format starts at 2.
+// Version 4 (update/snapshot messages) shares version 3's frame format.
 const (
 	VersionMin uint16 = 2
-	VersionMax uint16 = 3
+	VersionMax uint16 = 4
 )
 
 // Frame types. Requests have the high bit clear, responses set; MsgErr
 // answers any request type.
 const (
-	MsgDist   byte = 0x01
-	MsgBatch  byte = 0x02
-	MsgStats  byte = 0x03
-	MsgInfo   byte = 0x04
-	MsgDistR  byte = 0x81
-	MsgBatchR byte = 0x82
-	MsgStatsR byte = 0x83
-	MsgInfoR  byte = 0x84
-	MsgErr    byte = 0xFF
+	MsgDist    byte = 0x01
+	MsgBatch   byte = 0x02
+	MsgStats   byte = 0x03
+	MsgInfo    byte = 0x04
+	MsgUpdate  byte = 0x05 // v4+
+	MsgSnap    byte = 0x06 // v4+
+	MsgDistR   byte = 0x81
+	MsgBatchR  byte = 0x82
+	MsgStatsR  byte = 0x83
+	MsgInfoR   byte = 0x84
+	MsgUpdateR byte = 0x85 // v4+
+	MsgSnapR   byte = 0x86 // v4+
+	MsgErr     byte = 0xFF
 )
 
 // Sizes of the fixed wire structures.
@@ -113,6 +131,16 @@ const (
 	queryLen = 8
 	// answerLen is one encoded Answer (u, v, dist, bound int32 + flags).
 	answerLen = 17
+	// updateReqLen is one encoded update request (u, v uint32 + op byte).
+	updateReqLen = 9
+	// updateRespLen is one encoded UpdateResult (flags + m, hm uint32 +
+	// seq uint64).
+	updateRespLen = 17
+	// snapReqLen is one encoded snapshot request (flags byte).
+	snapReqLen = 1
+	// snapRespLen is one encoded SnapshotInfo (n, m, hm uint32 + seq,
+	// ghash, hhash uint64 + flags byte).
+	snapRespLen = 37
 )
 
 // Trace-context flag bits (v3 frames).

@@ -41,8 +41,8 @@ UNDOC=$(awk '
     END { exit bad }' $(ls internal/oracle/*.go | grep -v _test)) \
     || { echo "undocumented exported oracle symbols:"; echo "$UNDOC"; exit 1; }
 
-echo "== wire v2/v3 cross-version matrix (negotiation, trace-context downgrade)"
-go test -race -count=1 -run 'CrossVersion|FrameV3|TraceContext|TraceV2Dropped|BinaryTrace' \
+echo "== wire v2/v3/v4 cross-version matrix (negotiation, trace-context downgrade, update/snapshot gating)"
+go test -race -count=1 -run 'CrossVersion|FrameV3|TraceContext|TraceV2Dropped|BinaryTrace|UpdateSnap|BinaryUpdate|BinaryStatic|BinaryConcurrent' \
     ./internal/wire/ ./internal/server/
 
 echo "== fuzz smoke (line protocol + wire frames v2+v3 + graphio reader, 5s each)"
@@ -155,6 +155,37 @@ trap - EXIT
 grep -q '^drained, exiting' /tmp/dcrouter.verify.log || { echo "dcrouter missing drain banner"; cat /tmp/dcrouter.verify.log; exit 1; }
 echo "fleet e2e: router drained cleanly"
 
+echo "== dynamic churn e2e (dcserve -dynamic + dcload update mix, verified end state)"
+rm -f /tmp/dcserve.dyn.log
+# No expander regime needed here: dynamic mode maintains the incremental
+# cluster spanner, so a thin regular graph exercises real topology churn.
+/tmp/dcserve.verify -dynamic -n 256 -d 8 -listen 127.0.0.1:0 -oracle-backend exact-cached \
+    >/tmp/dcserve.dyn.log 2>&1 &
+DYN_PID=$!
+trap 'kill "$DYN_PID" 2>/dev/null || true' EXIT
+DYN_ADDR=""
+for _ in $(seq 1 300); do
+    DYN_ADDR=$(sed -n 's/^serving on \([^ ]*\).*/\1/p' /tmp/dcserve.dyn.log)
+    [ -n "$DYN_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$DYN_ADDR" ] || { echo "dynamic dcserve never started serving"; cat /tmp/dcserve.dyn.log; exit 1; }
+# -updates drives edge mutations on a dedicated connection while queries
+# race them; dcload's exit status asserts the final verify snapshot shows
+# the maintained spanner equal to a from-scratch rebuild.
+/tmp/dcload.verify -addr "$DYN_ADDR" -duration 2s -conns 2 -batch 1:3,8:1 -updates 50 \
+    >/tmp/dcload.dyn.out 2>&1 \
+    || { echo "dcload churn run failed"; cat /tmp/dcload.dyn.out /tmp/dcserve.dyn.log; exit 1; }
+cat /tmp/dcload.dyn.out
+grep -q '^update consistency: .*verified=true consistent=true' /tmp/dcload.dyn.out \
+    || { echo "dynamic server end state not verified consistent"; exit 1; }
+grep -Eq '^updates: sent=[1-9][0-9]* applied=[1-9]' /tmp/dcload.dyn.out \
+    || { echo "no updates were applied during the churn run"; exit 1; }
+kill -INT "$DYN_PID"
+wait "$DYN_PID" || { echo "dynamic dcserve did not drain cleanly"; cat /tmp/dcserve.dyn.log; exit 1; }
+trap - EXIT
+echo "dynamic churn e2e: verified consistent end state"
+
 echo "== dcspan CPU profile smoke"
 rm -f /tmp/dcspan.verify.pprof
 go run ./cmd/dcspan -n 512 -d 96 -trace -cpuprofile /tmp/dcspan.verify.pprof >/dev/null
@@ -175,7 +206,7 @@ done
 echo "dcbench: $BENCH_COUNT scenarios validated in $BENCH_DIR"
 
 echo "== dcbench -compare regression gate (self-compare must pass, slowed baseline must fail)"
-go run ./cmd/dcbench -quick -workers 2 -iters 1 -run parallel_bfs \
+go run ./cmd/dcbench -quick -workers 2 -iters 1 -run parallel_bfs,churn \
     -out "$BENCH_DIR" -compare "$BENCH_DIR" \
     || { echo "self-comparison against just-written baselines failed"; exit 1; }
 # Corrupt one baseline's ns_per_op to 1 so any real timing regresses >25%.
